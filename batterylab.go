@@ -1,0 +1,256 @@
+// Package batterylab is the public API of the BatteryLab platform — a
+// distributed power monitoring platform for mobile devices (Varvello et
+// al., HotNets 2019), reproduced as a Go library with every hardware
+// dependency (Monsoon power monitor, relay circuit switch, Android test
+// devices, Raspberry Pi controller, Meross socket, ProtonVPN tunnels)
+// simulated faithfully.
+//
+// The typical flow mirrors the paper's architecture:
+//
+//	clock := batterylab.VirtualClock()                  // or RealClock()
+//	dep, _ := batterylab.NewDeployment(clock, batterylab.DeploymentConfig{Seed: 1})
+//	res, _ := dep.Platform.RunExperiment(batterylab.ExperimentSpec{
+//	    Node:      dep.NodeName,
+//	    Device:    dep.DeviceSerial,
+//	    Mirroring: true,
+//	    Workload:  func(drv batterylab.Driver) *batterylab.Script { ... },
+//	})
+//	fmt.Println(res.EnergyMAH)
+//
+// A Deployment is one vantage point (controller + device + monitor)
+// joined to a platform (access server + DNS + CA) — the paper's Imperial
+// College setup. Multi-vantage-point federations are built by creating
+// controllers with NewController and joining them via Platform.Join.
+package batterylab
+
+import (
+	"time"
+
+	"batterylab/internal/automation"
+	"batterylab/internal/browser"
+	"batterylab/internal/controller"
+	"batterylab/internal/core"
+	"batterylab/internal/device"
+	"batterylab/internal/mirror"
+	"batterylab/internal/simclock"
+	"batterylab/internal/video"
+	"batterylab/internal/vpn"
+)
+
+// Re-exported platform types. The internal packages carry the full
+// documentation.
+type (
+	// Platform is a BatteryLab deployment: access server, DNS zone,
+	// certificate authority and joined vantage points.
+	Platform = core.Platform
+	// ExperimentSpec describes one battery measurement run.
+	ExperimentSpec = core.ExperimentSpec
+	// Result carries an experiment's traces and energy figure.
+	Result = core.Result
+	// Transport selects the measurement-time automation channel.
+	Transport = core.Transport
+
+	// Controller is a vantage point controller.
+	Controller = controller.Controller
+	// ControllerConfig describes a vantage point.
+	ControllerConfig = controller.Config
+	// Device is a simulated Android test device.
+	Device = device.Device
+	// DeviceConfig describes a test device.
+	DeviceConfig = device.Config
+
+	// Clock abstracts time; experiments run on a virtual clock.
+	Clock = simclock.Clock
+
+	// Script is an automation workload.
+	Script = automation.Script
+	// Driver is an automation channel bound to a device.
+	Driver = automation.Driver
+
+	// BrowserProfile is one of the study browsers' calibrated models.
+	BrowserProfile = browser.Profile
+	// Browser is an installed browser app instance.
+	Browser = browser.Browser
+	// BrowserWorkloadOptions tunes the §4.2 page-visit workload.
+	BrowserWorkloadOptions = browser.WorkloadOptions
+
+	// VPNExit is one ProtonVPN egress location.
+	VPNExit = vpn.Exit
+	// SpeedtestResult is one row of the paper's Table 2.
+	SpeedtestResult = vpn.SpeedtestResult
+
+	// MirrorSession is a device-mirroring session (scrcpy-like agent +
+	// VNC server + noVNC GUI backend).
+	MirrorSession = mirror.Session
+	// LatencyProbe models the click-to-photon mirroring latency
+	// measurement of §4.2.
+	LatencyProbe = mirror.LatencyProbe
+)
+
+// NewLatencyProbe builds a mirroring latency probe for a client at the
+// given network RTT from the vantage point.
+func NewLatencyProbe(seed uint64, networkRTT time.Duration) *LatencyProbe {
+	return mirror.NewLatencyProbe(seed, networkRTT)
+}
+
+// Measurement-time transports.
+const (
+	TransportWiFi      = core.TransportWiFi
+	TransportBluetooth = core.TransportBluetooth
+	TransportUSB       = core.TransportUSB
+)
+
+// VirtualClock returns a deterministic simulated clock starting at the
+// platform epoch: experiments over minutes of simulated time finish in
+// milliseconds.
+func VirtualClock() *simclock.Virtual { return simclock.NewVirtual() }
+
+// RealClock returns the wall clock, for running daemons.
+func RealClock() Clock { return simclock.Real() }
+
+// NewPlatform assembles an empty platform (access server, DNS zone,
+// certificate authority).
+func NewPlatform(clock Clock, seed uint64) (*Platform, error) {
+	return core.NewPlatform(clock, seed)
+}
+
+// NewController assembles a vantage point controller.
+func NewController(clock Clock, cfg ControllerConfig) (*Controller, error) {
+	return controller.New(clock, cfg)
+}
+
+// NewDevice builds a test device (defaults: a Samsung J7 Duo running
+// Android 8.0 with a 3000 mAh battery).
+func NewDevice(clock Clock, cfg DeviceConfig) (*Device, error) {
+	return device.New(clock, cfg)
+}
+
+// NewScript starts an empty automation script.
+func NewScript(name string) *Script { return automation.NewScript(name) }
+
+// BrowserProfiles returns the four §4.2 study browsers: Brave, Chrome,
+// Edge, Firefox.
+func BrowserProfiles() []BrowserProfile { return browser.Profiles() }
+
+// FindBrowserProfile looks a study browser up by name.
+func FindBrowserProfile(name string) (BrowserProfile, error) {
+	return browser.FindProfile(name)
+}
+
+// NewBrowser instantiates a browser app for installation on a device.
+// The controller's AP is the browser's network; region follows the
+// controller's VPN state.
+func NewBrowser(prof BrowserProfile, ctl *Controller) *Browser {
+	return browser.New(prof, ctl.AP(), func() string { return ctl.Region() })
+}
+
+// BuildBrowserWorkload assembles the paper's page-visit workload script.
+func BuildBrowserWorkload(drv Driver, pkg string, opts BrowserWorkloadOptions) *Script {
+	return browser.BuildWorkload(drv, pkg, opts)
+}
+
+// NewsSites returns the workload's 10 news pages.
+func NewsSites() []string { return browser.NewsSites() }
+
+// VideoPlayerPackage is the bundled mp4 player's package name.
+const VideoPlayerPackage = video.PackageName
+
+// NewVideoPlayer builds the mp4 playback app used by the accuracy
+// evaluation; path is the media's sdcard location.
+func NewVideoPlayer(path string) *video.Player { return video.NewPlayer(path) }
+
+// SampleMP4 generates placeholder mp4 bytes for pushing to a device.
+func SampleMP4(n int) []byte { return video.SampleMP4(n) }
+
+// VPNExits returns the five ProtonVPN locations of §4.3.
+func VPNExits() []VPNExit { return vpn.Exits() }
+
+// DeploymentConfig tunes NewDeployment.
+type DeploymentConfig struct {
+	// Seed drives every stochastic model (default 2019).
+	Seed uint64
+	// NodeName is the vantage point identifier (default "node1").
+	NodeName string
+	// InstallBrowsers installs the four study browsers (default true —
+	// set SkipBrowsers to opt out).
+	SkipBrowsers bool
+	// VideoPath, when non-empty, pushes a sample mp4 there and installs
+	// the player.
+	VideoPath string
+}
+
+// Deployment is a ready-to-measure single-vantage-point platform: the
+// paper's first deployment (one Monsoon, one J7 Duo, one Pi).
+type Deployment struct {
+	Platform     *Platform
+	Controller   *Controller
+	Device       *Device
+	NodeName     string
+	DeviceSerial string
+	FQDN         string
+
+	clock Clock
+}
+
+// NewDeployment assembles and joins a complete vantage point.
+func NewDeployment(clock Clock, cfg DeploymentConfig) (*Deployment, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 2019
+	}
+	if cfg.NodeName == "" {
+		cfg.NodeName = "node1"
+	}
+	plat, err := core.NewPlatform(clock, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := controller.New(clock, controller.Config{Name: cfg.NodeName, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	dev, err := device.New(clock, device.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctl.AttachDevice(dev); err != nil {
+		return nil, err
+	}
+	fqdn, err := plat.Join(ctl, "198.51.100.7:2222")
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.SkipBrowsers {
+		for _, prof := range browser.Profiles() {
+			if err := dev.Install(NewBrowser(prof, ctl)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.VideoPath != "" {
+		if err := dev.Storage().Push(cfg.VideoPath, video.SampleMP4(4<<20)); err != nil {
+			return nil, err
+		}
+		if err := dev.Install(video.NewPlayer(cfg.VideoPath)); err != nil {
+			return nil, err
+		}
+	}
+	return &Deployment{
+		Platform:     plat,
+		Controller:   ctl,
+		Device:       dev,
+		NodeName:     cfg.NodeName,
+		DeviceSerial: dev.Serial(),
+		FQDN:         fqdn,
+		clock:        clock,
+	}, nil
+}
+
+// RunFor lets dur of deployment time pass: on a virtual clock it
+// advances the simulation; on the real clock it sleeps.
+func (d *Deployment) RunFor(dur time.Duration) {
+	if v, ok := d.clock.(*simclock.Virtual); ok {
+		v.Advance(dur)
+		return
+	}
+	d.clock.Sleep(dur)
+}

@@ -1,0 +1,90 @@
+// Command blab-access runs the BatteryLab access server daemon: the
+// multi-user web console (HTTPS-terminated upstream in deployment) plus
+// secure channels to remote vantage points.
+//
+// On start it creates an admin user, prints their API token and the
+// server's client public key (which each controller must -authorize),
+// then connects to every vantage point listed via -node.
+//
+// Usage:
+//
+//	blab-access -http 127.0.0.1:9090 -node node1=127.0.0.1:2222
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+
+	"batterylab/internal/accessserver"
+	"batterylab/internal/simclock"
+	"batterylab/internal/sshx"
+)
+
+type nodeList []string
+
+func (n *nodeList) String() string     { return strings.Join(*n, ",") }
+func (n *nodeList) Set(v string) error { *n = append(*n, v); return nil }
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "127.0.0.1:9090", "web console listen address")
+		nodes    nodeList
+	)
+	flag.Var(&nodes, "node", "vantage point as name=addr (repeatable)")
+	flag.Parse()
+
+	clock := simclock.Real()
+	srv := accessserver.New(clock, accessserver.Config{})
+
+	admin, err := srv.Users.Add("admin", accessserver.RoleAdmin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clientKey, err := sshx.GenerateKeypair()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("access server up\n")
+	fmt.Printf("  admin token      : %s\n", admin.Token)
+	fmt.Printf("  client public key: %x\n", []byte(clientKey.Pub))
+
+	for _, spec := range nodes {
+		name, addr, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("-node %q: want name=addr", spec)
+		}
+		cl := sshx.NewClient(clientKey)
+		if err := cl.Dial(addr, nil); err != nil { // trust on first use
+			log.Fatalf("connecting to %s at %s: %v", name, addr, err)
+		}
+		srv.Nodes.Approve(name)
+		if err := srv.Nodes.Register(accessserver.NewRemoteNode(name, cl)); err != nil {
+			log.Fatal(err)
+		}
+		out, err := cl.Exec("ping")
+		if err != nil {
+			log.Fatalf("ping %s: %v", name, err)
+		}
+		fmt.Printf("  vantage point    : %s at %s (%s, host key %s)\n",
+			name, addr, out, sshx.Fingerprint(cl.HostKey()))
+	}
+
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+	fmt.Printf("  web console      : http://%s/api/nodes\n", *httpAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	httpSrv.Close()
+	fmt.Println("shutting down")
+}

@@ -1,0 +1,107 @@
+// Command blab-controller runs a vantage point daemon on the real clock:
+// a controller with one simulated test device, exposing the secure
+// command channel the access server manages it through (§3.4's port
+// 2222), the Meross-style power socket API, and the mirroring GUI
+// backend (§3.4's port 8080).
+//
+// On start it prints the controller's host key fingerprint and waits for
+// the access server's public key (hex, via -authorize) to be granted
+// command access.
+//
+// Usage:
+//
+//	blab-controller -name node1 -ssh 127.0.0.1:2222 -http 127.0.0.1:8080 \
+//	    -authorize <hex-ed25519-pubkey> [-allow-cidr 10.0.0.0/8]
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"batterylab/internal/controller"
+	"batterylab/internal/device"
+	"batterylab/internal/simclock"
+	"batterylab/internal/sshx"
+)
+
+func main() {
+	var (
+		name      = flag.String("name", "node1", "vantage point identifier")
+		sshAddr   = flag.String("ssh", "127.0.0.1:2222", "secure command channel listen address")
+		httpAddr  = flag.String("http", "127.0.0.1:8080", "GUI backend + socket API listen address")
+		authorize = flag.String("authorize", "", "hex ed25519 public key of the access server")
+		allowCIDR = flag.String("allow-cidr", "", "restrict command channel to this CIDR")
+		seed      = flag.Uint64("seed", 1, "simulation seed for the device models")
+	)
+	flag.Parse()
+
+	clock := simclock.Real()
+	ctl, err := controller.New(clock, controller.Config{Name: *name, Seed: *seed})
+	if err != nil {
+		log.Fatalf("assembling vantage point: %v", err)
+	}
+	dev, err := device.New(clock, device.Config{Seed: *seed})
+	if err != nil {
+		log.Fatalf("building device: %v", err)
+	}
+	if err := ctl.AttachDevice(dev); err != nil {
+		log.Fatalf("attaching device: %v", err)
+	}
+
+	hostKey, err := sshx.GenerateKeypair()
+	if err != nil {
+		log.Fatalf("generating host key: %v", err)
+	}
+	srv := ctl.NewSSHServer(hostKey)
+	if *authorize != "" {
+		raw, err := hex.DecodeString(*authorize)
+		if err != nil || len(raw) != ed25519.PublicKeySize {
+			log.Fatalf("-authorize: want %d hex bytes of ed25519 public key", ed25519.PublicKeySize)
+		}
+		srv.AuthorizeKey(ed25519.PublicKey(raw))
+	} else {
+		log.Printf("warning: no -authorize key; the command channel will reject everyone")
+	}
+	if *allowCIDR != "" {
+		if err := srv.AllowCIDR(*allowCIDR); err != nil {
+			log.Fatalf("-allow-cidr: %v", err)
+		}
+	}
+	boundSSH, err := srv.Listen(*sshAddr)
+	if err != nil {
+		log.Fatalf("command channel: %v", err)
+	}
+	defer srv.Close()
+
+	sess, err := ctl.MirrorSession(dev.Serial())
+	if err != nil {
+		log.Fatalf("mirror session: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/gui/", http.StripPrefix("/gui", sess.GUIHandler()))
+	mux.Handle("/socket/", http.StripPrefix("/socket", ctl.Socket().Handler()))
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+
+	fmt.Printf("vantage point %s up\n", *name)
+	fmt.Printf("  command channel : %s (host key %s)\n", boundSSH, sshx.Fingerprint(hostKey.Pub))
+	fmt.Printf("  GUI backend     : http://%s/gui/api/session\n", *httpAddr)
+	fmt.Printf("  power socket    : http://%s/socket/status\n", *httpAddr)
+	fmt.Printf("  test devices    : %v\n", ctl.ListDevices())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	httpSrv.Close()
+	fmt.Println("shutting down")
+}

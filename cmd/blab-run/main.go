@@ -1,0 +1,117 @@
+// Command blab-run submits one battery measurement against an in-process
+// simulated deployment and prints the results — the quickest way to ask
+// the paper's §4.2 question for a single browser:
+//
+//	blab-run -browser Brave
+//	blab-run -browser Chrome -mirror -vpn Bunkyo -pages 5 -out trace.csv
+//	blab-run -video            # the §4.1 playback workload instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"batterylab"
+)
+
+func main() {
+	var (
+		browserName = flag.String("browser", "Brave", "study browser (Brave, Chrome, Edge, Firefox)")
+		videoMode   = flag.Bool("video", false, "run the mp4 playback workload instead of browsing")
+		mirror      = flag.Bool("mirror", false, "activate device mirroring during the run")
+		vpnLoc      = flag.String("vpn", "", "VPN exit location (e.g. Bunkyo); empty = direct")
+		pages       = flag.Int("pages", 10, "pages to visit")
+		scrolls     = flag.Int("scrolls", 8, "scrolls per page")
+		rate        = flag.Int("rate", 1000, "monitor sample rate (Hz)")
+		seed        = flag.Uint64("seed", 2019, "simulation seed")
+		out         = flag.String("out", "", "write the current trace CSV here")
+	)
+	flag.Parse()
+
+	clock := batterylab.VirtualClock()
+	dep, err := batterylab.NewDeployment(clock, batterylab.DeploymentConfig{
+		Seed:      *seed,
+		VideoPath: "/sdcard/blab.mp4",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := batterylab.ExperimentSpec{
+		Node:        dep.NodeName,
+		Device:      dep.DeviceSerial,
+		SampleRate:  *rate,
+		Mirroring:   *mirror,
+		VPNLocation: *vpnLoc,
+	}
+	label := *browserName
+	if *videoMode {
+		label = "video playback"
+		spec.Workload = func(drv batterylab.Driver) *batterylab.Script {
+			s := batterylab.NewScript("video")
+			s.Add("launch", 5*time.Minute, func() error {
+				_, err := drv.LaunchApp(batterylab.VideoPlayerPackage)
+				return err
+			})
+			return s
+		}
+	} else {
+		prof, err := batterylab.FindBrowserProfile(*browserName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Workload = func(drv batterylab.Driver) *batterylab.Script {
+			return batterylab.BuildBrowserWorkload(drv, prof.Package, batterylab.BrowserWorkloadOptions{
+				Pages:   batterylab.NewsSites()[:min(*pages, 10)],
+				Scrolls: *scrolls,
+			})
+		}
+	}
+
+	start := time.Now()
+	res, err := dep.Platform.RunExperiment(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cdf, err := res.Current.CDF()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload    : %s (mirroring=%v, vpn=%q)\n", label, *mirror, *vpnLoc)
+	fmt.Printf("measured    : %s of device time in %s of wall time\n",
+		res.Duration.Round(time.Second), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("samples     : %d at %d Hz\n", res.Current.Len(), *rate)
+	fmt.Printf("current     : p50=%.1f mA  p90=%.1f mA  mean=%.1f mA\n",
+		cdf.Median(), cdf.Quantile(0.9), res.Current.Summary().Mean)
+	fmt.Printf("discharge   : %.2f mAh\n", res.EnergyMAH)
+	fmt.Printf("device CPU  : p50=%.1f %%\n", res.DeviceCPU.Summary().Median)
+	fmt.Printf("ctl CPU     : p50=%.1f %%\n", res.ControllerCPU.Summary().Median)
+	if *mirror {
+		fmt.Printf("stream      : %.1f MB uploaded\n", float64(res.MirrorUploadBytes)/1e6)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Current.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace       : %s\n", *out)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+// Quickstart: assemble a single-vantage-point BatteryLab deployment on a
+// virtual clock, run one battery measurement of a browsing workload, and
+// print the trace statistics — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"batterylab"
+)
+
+func main() {
+	// A Deployment is the paper's first vantage point: an access server
+	// plus a controller hosting a Samsung J7 Duo wired to a simulated
+	// Monsoon through the relay switch.
+	clock := batterylab.VirtualClock()
+	dep, err := batterylab.NewDeployment(clock, batterylab.DeploymentConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vantage point %s hosting device %s\n", dep.FQDN, dep.DeviceSerial)
+
+	// The workload: Brave visiting three news pages, scrolling around
+	// each — scripted exactly like the paper's bash-over-ADB automation.
+	prof, err := batterylab.FindBrowserProfile("Brave")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dep.Platform.RunExperiment(batterylab.ExperimentSpec{
+		Node:       dep.NodeName,
+		Device:     dep.DeviceSerial,
+		SampleRate: 1000,
+		Workload: func(drv batterylab.Driver) *batterylab.Script {
+			return batterylab.BuildBrowserWorkload(drv, prof.Package,
+				batterylab.BrowserWorkloadOptions{
+					Pages:   batterylab.NewsSites()[:3],
+					Scrolls: 6,
+				})
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cdf, err := res.Current.CDF()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured %s of battery activity:\n", res.Duration.Round(time.Second))
+	fmt.Printf("  current    p50 = %6.1f mA, p90 = %6.1f mA\n", cdf.Median(), cdf.Quantile(0.9))
+	fmt.Printf("  discharge      = %6.2f mAh\n", res.EnergyMAH)
+	fmt.Printf("  device CPU p50 = %6.1f %%\n", res.DeviceCPU.Summary().Median)
+	fmt.Printf("  battery left   = %6.1f %%\n", 100*dep.Device.Battery().SoC())
+}

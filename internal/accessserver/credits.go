@@ -1,0 +1,94 @@
+package accessserver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Ledger implements the credit system the paper anticipates (§5):
+// members earn credits by contributing vantage point resources and spend
+// them running experiments, so experimenters lacking hardware for the
+// initial setup can still buy access.
+//
+// Accounting units: one credit buys one device-minute of measurement.
+type Ledger struct {
+	mu       sync.Mutex
+	balances map[string]float64
+	history  map[string][]LedgerEntry
+}
+
+// LedgerEntry records one credit movement.
+type LedgerEntry struct {
+	Delta  float64
+	Reason string
+}
+
+// ContributionRate is the credits earned per vantage-point-hour
+// contributed to the platform.
+const ContributionRate = 4.0
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		balances: make(map[string]float64),
+		history:  make(map[string][]LedgerEntry),
+	}
+}
+
+// Balance reports a member's credits.
+func (l *Ledger) Balance(user string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balances[user]
+}
+
+// History returns a member's ledger entries.
+func (l *Ledger) History(user string) []LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]LedgerEntry{}, l.history[user]...)
+}
+
+func (l *Ledger) add(user string, delta float64, reason string) {
+	l.balances[user] += delta
+	l.history[user] = append(l.history[user], LedgerEntry{Delta: delta, Reason: reason})
+}
+
+// CreditContribution awards credits for hosting a vantage point for the
+// given duration.
+func (l *Ledger) CreditContribution(user, node string, dur time.Duration) float64 {
+	earned := ContributionRate * dur.Hours()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.add(user, earned, fmt.Sprintf("hosting %s for %s", node, dur.Round(time.Minute)))
+	return earned
+}
+
+// Grant adds credits administratively (new-member starter grants).
+func (l *Ledger) Grant(user string, credits float64, reason string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.add(user, credits, reason)
+}
+
+// ChargeExperiment debits the device-minutes an experiment consumed. It
+// fails without mutating the balance when the member cannot cover it.
+func (l *Ledger) ChargeExperiment(user string, deviceTime time.Duration) error {
+	cost := deviceTime.Minutes()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.balances[user] < cost {
+		return fmt.Errorf("accessserver: %s has %.1f credits, needs %.1f",
+			user, l.balances[user], cost)
+	}
+	l.add(user, -cost, fmt.Sprintf("experiment (%s of device time)", deviceTime.Round(time.Second)))
+	return nil
+}
+
+// CanAfford reports whether user can cover deviceTime of measurement.
+func (l *Ledger) CanAfford(user string, deviceTime time.Duration) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balances[user] >= deviceTime.Minutes()
+}

@@ -1,0 +1,79 @@
+package accessserver
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLedgerContributionEarnsCredits(t *testing.T) {
+	l := NewLedger()
+	earned := l.CreditContribution("alice", "node1", 2*time.Hour)
+	if earned != 2*ContributionRate {
+		t.Fatalf("earned = %v", earned)
+	}
+	if l.Balance("alice") != earned {
+		t.Fatalf("balance = %v", l.Balance("alice"))
+	}
+}
+
+func TestLedgerChargeAndInsufficient(t *testing.T) {
+	l := NewLedger()
+	l.Grant("bob", 10, "starter grant")
+	if !l.CanAfford("bob", 10*time.Minute) {
+		t.Fatal("bob should afford 10 minutes")
+	}
+	if err := l.ChargeExperiment("bob", 7*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Balance("bob"); got != 3 {
+		t.Fatalf("balance = %v", got)
+	}
+	if err := l.ChargeExperiment("bob", 5*time.Minute); err == nil {
+		t.Fatal("overdraft accepted")
+	}
+	if got := l.Balance("bob"); got != 3 {
+		t.Fatalf("failed charge mutated balance: %v", got)
+	}
+}
+
+func TestLedgerHistory(t *testing.T) {
+	l := NewLedger()
+	l.Grant("carol", 5, "grant")
+	l.ChargeExperiment("carol", time.Minute)
+	h := l.History("carol")
+	if len(h) != 2 || h[0].Delta != 5 || h[1].Delta != -1 {
+		t.Fatalf("history = %+v", h)
+	}
+	// History is a copy.
+	h[0].Delta = 999
+	if l.History("carol")[0].Delta != 5 {
+		t.Fatal("history aliases internal state")
+	}
+}
+
+func TestLedgerUnknownUserZero(t *testing.T) {
+	l := NewLedger()
+	if l.Balance("nobody") != 0 {
+		t.Fatal("unknown user has credits")
+	}
+	if l.CanAfford("nobody", time.Minute) {
+		t.Fatal("unknown user can afford")
+	}
+}
+
+func TestLedgerEconomyLoop(t *testing.T) {
+	// A member hosts a vantage point for a day and spends the proceeds
+	// on measurements: 24 h × 4 credits/h = 96 device-minutes.
+	l := NewLedger()
+	l.CreditContribution("dave", "node2", 24*time.Hour)
+	minutes := 0
+	for l.CanAfford("dave", time.Minute) {
+		if err := l.ChargeExperiment("dave", time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		minutes++
+	}
+	if minutes != 96 {
+		t.Fatalf("bought %d minutes, want 96", minutes)
+	}
+}

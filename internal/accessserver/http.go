@@ -1,0 +1,136 @@
+package accessserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns the web console's REST API. Every request needs a
+// valid user token in the Authorization header ("Bearer <token>"); the
+// role matrix gates each route. In deployment this sits behind HTTPS
+// only (§3.1) — transport security is the listener's concern.
+//
+//	GET  /api/nodes                 list vantage points
+//	GET  /api/nodes/{name}/devices  list a node's devices
+//	GET  /api/jobs                  list jobs
+//	POST /api/jobs/{name}/build     queue a build
+//	POST /api/jobs/{name}/approve   approve current revision (admin)
+//	GET  /api/builds/{id}           build status
+//	GET  /api/builds/{id}/log       console log
+//	GET  /api/builds/{id}/artifacts artifact names
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	auth := func(w http.ResponseWriter, r *http.Request, perm Permission) *User {
+		tok := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		user, err := s.Users.Authenticate(tok)
+		if err != nil {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return nil
+		}
+		if !Allowed(user.Role, perm) {
+			http.Error(w, "forbidden for role "+user.Role.String(), http.StatusForbidden)
+			return nil
+		}
+		return user
+	}
+
+	mux.HandleFunc("/api/nodes", func(w http.ResponseWriter, r *http.Request) {
+		if auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		writeJSON(w, s.Nodes.List())
+	})
+	mux.HandleFunc("/api/nodes/", func(w http.ResponseWriter, r *http.Request) {
+		if auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/api/nodes/")
+		name, tail, _ := strings.Cut(rest, "/")
+		if tail != "devices" {
+			http.NotFound(w, r)
+			return
+		}
+		devs, err := s.Nodes.Devices(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, devs)
+	})
+	mux.HandleFunc("/api/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		writeJSON(w, s.Jobs())
+	})
+	mux.HandleFunc("/api/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/api/jobs/")
+		name, action, _ := strings.Cut(rest, "/")
+		switch {
+		case action == "build" && r.Method == http.MethodPost:
+			user := auth(w, r, PermRunJob)
+			if user == nil {
+				return
+			}
+			b, err := s.Submit(user, name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			writeJSON(w, map[string]any{"build": b.ID, "state": b.State().String()})
+		case action == "approve" && r.Method == http.MethodPost:
+			user := auth(w, r, PermApprovePipeline)
+			if user == nil {
+				return
+			}
+			if err := s.ApproveJob(user, name); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			writeJSON(w, map[string]any{"approved": true})
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	mux.HandleFunc("/api/builds/", func(w http.ResponseWriter, r *http.Request) {
+		if auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/api/builds/")
+		idStr, sub, _ := strings.Cut(rest, "/")
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			http.Error(w, "bad build id", http.StatusBadRequest)
+			return
+		}
+		b, err := s.Build(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		switch sub {
+		case "":
+			writeJSON(w, map[string]any{
+				"id":    b.ID,
+				"job":   b.Job,
+				"state": b.State().String(),
+			})
+		case "log":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(b.Log()))
+		case "artifacts":
+			writeJSON(w, b.Workspace().List())
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,222 @@
+package accessserver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RunFunc is a job's pipeline body. It receives the build context and a
+// completion callback; maintenance jobs call done synchronously, while
+// experiment jobs typically hand a workload script to an automation
+// executor and call done from its completion callback. done must be
+// called exactly once.
+type RunFunc func(ctx *BuildContext, done func(error))
+
+// Constraints gate when a build may dispatch (§3.1: "based on
+// experimenter constraints, e.g. target device ... and BatteryLab
+// constraints, e.g. one job at a time per device").
+type Constraints struct {
+	// Node is the target vantage point (required).
+	Node string
+	// Device is the target device serial; if set, the build holds the
+	// node/device lock for its duration.
+	Device string
+	// RequireLowCPU defers dispatch until the controller's CPU is below
+	// 50 % (the optional condition of §4.2).
+	RequireLowCPU bool
+}
+
+// Job is a stored pipeline. New jobs and every revision require
+// administrator approval before they can run.
+type Job struct {
+	Name  string
+	Owner string
+
+	mu          sync.Mutex
+	constraints Constraints
+	run         RunFunc
+	approved    bool
+	revision    int
+}
+
+// Approved reports whether the current revision may run.
+func (j *Job) Approved() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.approved
+}
+
+// Revision reports the current revision number.
+func (j *Job) Revision() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.revision
+}
+
+// Constraints reports the job's dispatch constraints.
+func (j *Job) Constraints() Constraints {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.constraints
+}
+
+// BuildState tracks a build through its life.
+type BuildState int
+
+// Build states.
+const (
+	StateQueued BuildState = iota
+	StateRunning
+	StateSuccess
+	StateFailure
+	StateAborted
+)
+
+func (s BuildState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateSuccess:
+		return "success"
+	case StateFailure:
+		return "failure"
+	default:
+		return "aborted"
+	}
+}
+
+// Build is one execution of a job.
+type Build struct {
+	ID  int
+	Job string
+
+	mu         sync.Mutex
+	state      BuildState
+	queuedAt   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	log        strings.Builder
+	workspace  *Workspace
+	err        error
+}
+
+// State reports the build state.
+func (b *Build) State() BuildState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Err reports the failure cause for failed builds.
+func (b *Build) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// Log returns the console log so far.
+func (b *Build) Log() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.log.String()
+}
+
+// Workspace returns the build's artifact store.
+func (b *Build) Workspace() *Workspace { return b.workspace }
+
+// QueueTime reports how long the build waited before dispatch (zero
+// while still queued).
+func (b *Build) QueueTime() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.startedAt.IsZero() {
+		return 0
+	}
+	return b.startedAt.Sub(b.queuedAt)
+}
+
+// Duration reports the run time of a finished build.
+func (b *Build) Duration() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.finishedAt.IsZero() || b.startedAt.IsZero() {
+		return 0
+	}
+	return b.finishedAt.Sub(b.startedAt)
+}
+
+// BuildContext is what a RunFunc sees.
+type BuildContext struct {
+	// Build identifies the running build.
+	Build *Build
+	// Node is the target vantage point handle.
+	Node Node
+	// Device is the target device serial ("" if none).
+	Device string
+}
+
+// Logf appends to the build console log.
+func (ctx *BuildContext) Logf(format string, args ...any) {
+	ctx.Build.mu.Lock()
+	defer ctx.Build.mu.Unlock()
+	fmt.Fprintf(&ctx.Build.log, format+"\n", args...)
+}
+
+// Workspace is a build's artifact store: named byte files kept for the
+// retention window ("available for several days within the job's
+// workspace", §3.1).
+type Workspace struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{files: make(map[string][]byte)}
+}
+
+// Save stores an artifact.
+func (w *Workspace) Save(name string, data []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	w.files[name] = cp
+}
+
+// Load retrieves an artifact.
+func (w *Workspace) Load(name string) ([]byte, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	data, ok := w.files[name]
+	if !ok {
+		return nil, fmt.Errorf("accessserver: no artifact %q", name)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// List reports artifact names sorted.
+func (w *Workspace) List() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]string, 0, len(w.files))
+	for n := range w.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// purge clears all artifacts (retention expiry).
+func (w *Workspace) purge() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.files = make(map[string][]byte)
+}

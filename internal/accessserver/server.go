@@ -1,0 +1,408 @@
+package accessserver
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"batterylab/internal/simclock"
+)
+
+// Config tunes the access server.
+type Config struct {
+	// Executors bounds concurrently running builds (Jenkins executors).
+	Executors int
+	// Retention is how long finished builds keep logs and artifacts
+	// ("several days", §3.1).
+	Retention time.Duration
+	// LowCPUThreshold gates RequireLowCPU dispatch.
+	LowCPUThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Executors == 0 {
+		c.Executors = 2
+	}
+	if c.Retention == 0 {
+		c.Retention = 5 * 24 * time.Hour
+	}
+	if c.LowCPUThreshold == 0 {
+		c.LowCPUThreshold = 50
+	}
+	return c
+}
+
+// Server is the access server: users, nodes, jobs, the build queue and
+// its scheduler.
+type Server struct {
+	cfg   Config
+	clock simclock.Clock
+
+	Users *Users
+	Nodes *Nodes
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	builds  map[int]*Build
+	queue   []*Build
+	running int
+	nextID  int
+	// locks: "node/device" and "node" keys held by running builds.
+	locks map[string]int // key -> build ID
+	crons []*cronEntry
+}
+
+type cronEntry struct {
+	name   string
+	ticker *simclock.Ticker
+	runs   int
+}
+
+// New creates an access server.
+func New(clock simclock.Clock, cfg Config) *Server {
+	return &Server{
+		cfg:    cfg.withDefaults(),
+		clock:  clock,
+		Users:  NewUsers(),
+		Nodes:  NewNodes(),
+		jobs:   make(map[string]*Job),
+		builds: make(map[int]*Build),
+		nextID: 1,
+		locks:  make(map[string]int),
+	}
+}
+
+// CreateJob stores a new (unapproved) pipeline. The user needs
+// PermCreateJob.
+func (s *Server) CreateJob(user *User, name string, cons Constraints, run RunFunc) (*Job, error) {
+	if !Allowed(user.Role, PermCreateJob) {
+		return nil, fmt.Errorf("accessserver: %s (%s) may not create jobs", user.Name, user.Role)
+	}
+	if name == "" || run == nil {
+		return nil, fmt.Errorf("accessserver: job needs a name and a pipeline body")
+	}
+	if cons.Node == "" {
+		return nil, fmt.Errorf("accessserver: job %q needs a target node", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.jobs[name]; dup {
+		return nil, fmt.Errorf("accessserver: job %q exists", name)
+	}
+	j := &Job{Name: name, Owner: user.Name, constraints: cons, run: run, revision: 1}
+	// Admins' own pipelines are implicitly approved.
+	j.approved = user.Role == RoleAdmin
+	s.jobs[name] = j
+	return j, nil
+}
+
+// EditJob replaces a job's pipeline; the revision needs fresh approval
+// (§3.1: "every pipeline change has to be approved by an
+// administrator").
+func (s *Server) EditJob(user *User, name string, cons Constraints, run RunFunc) error {
+	if !Allowed(user.Role, PermEditJob) {
+		return fmt.Errorf("accessserver: %s (%s) may not edit jobs", user.Name, user.Role)
+	}
+	j, err := s.Job(name)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.constraints = cons
+	j.run = run
+	j.revision++
+	j.approved = user.Role == RoleAdmin
+	return nil
+}
+
+// ApproveJob marks the current revision runnable (admin only).
+func (s *Server) ApproveJob(user *User, name string) error {
+	if !Allowed(user.Role, PermApprovePipeline) {
+		return fmt.Errorf("accessserver: %s (%s) may not approve pipelines", user.Name, user.Role)
+	}
+	j, err := s.Job(name)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.approved = true
+	return nil
+}
+
+// Job resolves a job by name.
+func (s *Server) Job(name string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[name]
+	if !ok {
+		return nil, fmt.Errorf("accessserver: no job %q", name)
+	}
+	return j, nil
+}
+
+// Jobs lists job names sorted.
+func (s *Server) Jobs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.jobs))
+	for n := range s.jobs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Submit queues a build of the job. The user needs PermRunJob and the
+// job's current revision must be approved.
+func (s *Server) Submit(user *User, jobName string) (*Build, error) {
+	if !Allowed(user.Role, PermRunJob) {
+		return nil, fmt.Errorf("accessserver: %s (%s) may not run jobs", user.Name, user.Role)
+	}
+	j, err := s.Job(jobName)
+	if err != nil {
+		return nil, err
+	}
+	if !j.Approved() {
+		return nil, fmt.Errorf("accessserver: job %q revision %d awaits admin approval", jobName, j.Revision())
+	}
+	s.mu.Lock()
+	b := &Build{
+		ID:        s.nextID,
+		Job:       jobName,
+		queuedAt:  s.clock.Now(),
+		workspace: NewWorkspace(),
+	}
+	s.nextID++
+	s.builds[b.ID] = b
+	s.queue = append(s.queue, b)
+	s.mu.Unlock()
+	s.dispatch()
+	return b, nil
+}
+
+// Build resolves a build by id.
+func (s *Server) Build(id int) (*Build, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.builds[id]
+	if !ok {
+		return nil, fmt.Errorf("accessserver: no build %d", id)
+	}
+	return b, nil
+}
+
+// QueueLength reports pending builds.
+func (s *Server) QueueLength() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Running reports in-flight builds.
+func (s *Server) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// dispatch scans the queue and starts every build whose constraints are
+// satisfiable right now.
+func (s *Server) dispatch() {
+	for {
+		started := s.dispatchOne()
+		if !started {
+			return
+		}
+	}
+}
+
+// dispatchOne starts the first dispatchable build, reporting whether it
+// started one.
+func (s *Server) dispatchOne() bool {
+	s.mu.Lock()
+	if s.running >= s.cfg.Executors {
+		s.mu.Unlock()
+		return false
+	}
+	var (
+		b     *Build
+		j     *Job
+		node  Node
+		idx   = -1
+		locks []string
+	)
+	for i, cand := range s.queue {
+		job, ok := s.jobs[cand.Job]
+		if !ok {
+			continue
+		}
+		cons := job.Constraints()
+		n, err := s.Nodes.Get(cons.Node)
+		if err != nil {
+			continue // node not registered (yet)
+		}
+		keys := lockKeys(cons)
+		if s.locksHeld(keys) {
+			continue
+		}
+		if cons.RequireLowCPU && !s.nodeCPULowLocked(n) {
+			continue
+		}
+		b, j, node, idx, locks = cand, job, n, i, keys
+		break
+	}
+	if b == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+	for _, k := range locks {
+		s.locks[k] = b.ID
+	}
+	s.running++
+	cons := j.Constraints()
+	run := j.run
+	s.mu.Unlock()
+
+	b.mu.Lock()
+	b.state = StateRunning
+	b.startedAt = s.clock.Now()
+	b.mu.Unlock()
+
+	ctx := &BuildContext{Build: b, Node: node, Device: cons.Device}
+	ctx.Logf("build #%d of %s started on %s", b.ID, b.Job, cons.Node)
+
+	var once sync.Once
+	done := func(err error) {
+		once.Do(func() {
+			s.finish(b, locks, err)
+		})
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done(fmt.Errorf("pipeline panic: %v", r))
+			}
+		}()
+		run(ctx, done)
+	}()
+	return true
+}
+
+// lockKeys computes the mutual-exclusion keys for a constraint set.
+func lockKeys(cons Constraints) []string {
+	if cons.Device != "" {
+		return []string{cons.Node + "/" + cons.Device}
+	}
+	// Jobs without a device still serialize per node.
+	return []string{cons.Node}
+}
+
+func (s *Server) locksHeld(keys []string) bool {
+	for _, k := range keys {
+		if _, held := s.locks[k]; held {
+			return true
+		}
+		// A device lock also conflicts with a whole-node lock and vice
+		// versa.
+		if i := strings.IndexByte(k, '/'); i >= 0 {
+			if _, held := s.locks[k[:i]]; held {
+				return true
+			}
+		} else {
+			for held := range s.locks {
+				if strings.HasPrefix(held, k+"/") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// nodeCPULowLocked asks the node for its CPU via status.
+func (s *Server) nodeCPULowLocked(n Node) bool {
+	out, err := n.Exec("status")
+	if err != nil {
+		return false
+	}
+	// status: ... cpu=NN.N% ...
+	for _, f := range strings.Fields(out) {
+		if strings.HasPrefix(f, "cpu=") {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(f, "cpu="), "%"), 64)
+			if err != nil {
+				return false
+			}
+			return v < s.cfg.LowCPUThreshold
+		}
+	}
+	return false
+}
+
+// finish completes a build, releases its locks and re-runs dispatch.
+func (s *Server) finish(b *Build, locks []string, err error) {
+	b.mu.Lock()
+	b.finishedAt = s.clock.Now()
+	if err != nil {
+		b.state = StateFailure
+		b.err = err
+		fmt.Fprintf(&b.log, "build failed: %v\n", err)
+	} else {
+		b.state = StateSuccess
+		fmt.Fprintf(&b.log, "build succeeded\n")
+	}
+	b.mu.Unlock()
+
+	s.mu.Lock()
+	for _, k := range locks {
+		delete(s.locks, k)
+	}
+	s.running--
+	s.mu.Unlock()
+
+	// Retention: purge the workspace and log after the window.
+	s.clock.AfterFunc(s.cfg.Retention, func() {
+		b.workspace.purge()
+		b.mu.Lock()
+		b.log.Reset()
+		b.mu.Unlock()
+	})
+	s.dispatch()
+}
+
+// Kick re-evaluates the queue (used after node registration and by the
+// periodic scheduler tick).
+func (s *Server) Kick() { s.dispatch() }
+
+// Cron registers a recurring maintenance task executed directly against
+// a node (outside the build queue), every period. It returns a stop
+// function. The paper's examples: renewing wildcard certificates,
+// ensuring the power meter is off when idle, factory-resetting devices.
+func (s *Server) Cron(name string, period time.Duration, task func()) (stop func()) {
+	entry := &cronEntry{name: name}
+	entry.ticker = simclock.NewTicker(s.clock, period, func(time.Time) {
+		entry.runs++
+		task()
+	})
+	s.mu.Lock()
+	s.crons = append(s.crons, entry)
+	s.mu.Unlock()
+	return entry.ticker.Stop
+}
+
+// CronRuns reports how many times the named cron fired.
+func (s *Server) CronRuns(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.crons {
+		if c.name == name {
+			return c.runs
+		}
+	}
+	return 0
+}

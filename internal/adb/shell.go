@@ -1,0 +1,184 @@
+package adb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"batterylab/internal/device"
+)
+
+// Shell executes an `adb shell` command on the device and returns its
+// output. The supported surface is the subset BatteryLab's automation
+// scripts and the execute_adb API use.
+func (s *Server) Shell(serial, cmd string) (string, error) {
+	e, err := s.available(serial)
+	if err != nil {
+		return "", err
+	}
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("adb: empty shell command")
+	}
+	d := e.dev
+	switch fields[0] {
+	case "input":
+		return "", shellInput(d, fields[1:])
+	case "am":
+		return shellAM(d, fields[1:])
+	case "pm":
+		return shellPM(d, fields[1:])
+	case "dumpsys":
+		if len(fields) != 2 {
+			return "", fmt.Errorf("adb: usage: dumpsys <service>")
+		}
+		return d.Dumpsys(fields[1])
+	case "logcat":
+		return shellLogcat(d, fields[1:])
+	case "rm":
+		if len(fields) != 2 {
+			return "", fmt.Errorf("adb: usage: rm <path>")
+		}
+		return "", d.Storage().Delete(fields[1])
+	case "ls":
+		prefix := "/"
+		if len(fields) > 1 {
+			prefix = fields[1]
+		}
+		return strings.Join(d.Storage().List(prefix), "\n"), nil
+	case "getprop":
+		return shellGetprop(d, fields[1:])
+	case "echo":
+		return strings.Join(fields[1:], " "), nil
+	default:
+		return "", fmt.Errorf("adb: %s: inaccessible or not found", fields[0])
+	}
+}
+
+func shellInput(d *device.Device, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("adb: usage: input <tap|keyevent|text|swipe> ...")
+	}
+	switch args[0] {
+	case "tap":
+		if len(args) != 3 {
+			return fmt.Errorf("adb: usage: input tap <x> <y>")
+		}
+		x, errX := strconv.Atoi(args[1])
+		y, errY := strconv.Atoi(args[2])
+		if errX != nil || errY != nil {
+			return fmt.Errorf("adb: input tap: bad coordinates")
+		}
+		return d.Input(device.InputEvent{Kind: device.InputTap, X: x, Y: y})
+	case "keyevent":
+		if len(args) != 2 {
+			return fmt.Errorf("adb: usage: input keyevent <code>")
+		}
+		return d.Input(device.InputEvent{Kind: device.InputKey, Key: args[1]})
+	case "text":
+		if len(args) < 2 {
+			return fmt.Errorf("adb: usage: input text <string>")
+		}
+		return d.Input(device.InputEvent{Kind: device.InputText, Text: strings.Join(args[1:], " ")})
+	case "swipe":
+		if len(args) < 5 {
+			return fmt.Errorf("adb: usage: input swipe <x1> <y1> <x2> <y2> [ms]")
+		}
+		y1, err1 := strconv.Atoi(args[2])
+		y2, err2 := strconv.Atoi(args[4])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("adb: input swipe: bad coordinates")
+		}
+		// Swiping up (end above start) scrolls the page down.
+		return d.Input(device.InputEvent{Kind: device.InputScroll, ScrollDown: y2 < y1})
+	default:
+		return fmt.Errorf("adb: input: unknown subcommand %q", args[0])
+	}
+}
+
+func shellAM(d *device.Device, args []string) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("adb: usage: am <start|force-stop> ...")
+	}
+	switch args[0] {
+	case "start":
+		// am start -n pkg/.Activity  (component's package part is used)
+		pkg := ""
+		for i := 1; i < len(args); i++ {
+			if args[i] == "-n" && i+1 < len(args) {
+				pkg = strings.SplitN(args[i+1], "/", 2)[0]
+			}
+		}
+		if pkg == "" {
+			return "", fmt.Errorf("adb: am start: missing -n <component>")
+		}
+		if err := d.LaunchApp(pkg); err != nil {
+			return "", err
+		}
+		return "Starting: Intent { cmp=" + pkg + " }", nil
+	case "force-stop":
+		if len(args) != 2 {
+			return "", fmt.Errorf("adb: usage: am force-stop <package>")
+		}
+		return "", d.StopApp(args[1])
+	default:
+		return "", fmt.Errorf("adb: am: unknown subcommand %q", args[0])
+	}
+}
+
+func shellPM(d *device.Device, args []string) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("adb: usage: pm <list|clear> ...")
+	}
+	switch args[0] {
+	case "list":
+		if len(args) >= 2 && args[1] == "packages" {
+			var b strings.Builder
+			for _, pkg := range d.Packages() {
+				fmt.Fprintf(&b, "package:%s\n", pkg)
+			}
+			return b.String(), nil
+		}
+		return "", fmt.Errorf("adb: pm list: only 'packages' supported")
+	case "clear":
+		if len(args) != 2 {
+			return "", fmt.Errorf("adb: usage: pm clear <package>")
+		}
+		if err := d.ClearAppData(args[1]); err != nil {
+			return "Failed", err
+		}
+		return "Success", nil
+	default:
+		return "", fmt.Errorf("adb: pm: unknown subcommand %q", args[0])
+	}
+}
+
+func shellLogcat(d *device.Device, args []string) (string, error) {
+	if len(args) == 1 && args[0] == "-c" {
+		d.Logcat().Clear()
+		return "", nil
+	}
+	if len(args) == 1 && args[0] == "-d" {
+		return d.Logcat().DumpText(), nil
+	}
+	return "", fmt.Errorf("adb: logcat: only -d and -c supported")
+}
+
+func shellGetprop(d *device.Device, args []string) (string, error) {
+	cfg := d.Config()
+	props := map[string]string{
+		"ro.product.model":          cfg.Model,
+		"ro.build.version.sdk":      strconv.Itoa(cfg.APILevel),
+		"ro.serialno":               cfg.Serial,
+		"ro.build.type":             "user",
+		"ro.boot.verifiedbootstate": "green",
+	}
+	if len(args) == 1 {
+		return props[args[0]], nil
+	}
+	var b strings.Builder
+	for _, k := range []string{"ro.boot.verifiedbootstate", "ro.build.type", "ro.build.version.sdk", "ro.product.model", "ro.serialno"} {
+		fmt.Fprintf(&b, "[%s]: [%s]\n", k, props[k])
+	}
+	return b.String(), nil
+}

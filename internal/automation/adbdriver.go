@@ -1,0 +1,91 @@
+package automation
+
+import (
+	"fmt"
+	"time"
+
+	"batterylab/internal/adb"
+)
+
+// ADBDriver automates a device through the controller's ADB server. Its
+// capabilities depend on the transport the server currently uses for the
+// device: USB is reliable but not measurement-safe, WiFi is measurement-
+// safe but occupies the WiFi path, Bluetooth is both but needs root.
+type ADBDriver struct {
+	srv    *adb.Server
+	serial string
+}
+
+// NewADBDriver binds the driver to serial on srv.
+func NewADBDriver(srv *adb.Server, serial string) *ADBDriver {
+	return &ADBDriver{srv: srv, serial: serial}
+}
+
+// Kind implements Driver.
+func (d *ADBDriver) Kind() Kind { return KindADB }
+
+// Serial implements Driver.
+func (d *ADBDriver) Serial() string { return d.serial }
+
+// Capabilities implements Driver, reflecting the live transport.
+func (d *ADBDriver) Capabilities() Capabilities {
+	t, err := d.srv.Transport(d.serial)
+	if err != nil {
+		return Capabilities{}
+	}
+	return Capabilities{
+		SupportsMirroring: true,
+		MeasurementSafe:   t != adb.TransportUSB,
+		CellularSafe:      t == adb.TransportBluetooth,
+		RequiresRoot:      t == adb.TransportBluetooth,
+	}
+}
+
+func (d *ADBDriver) exec(cmd string) (time.Duration, error) {
+	lat, err := d.srv.CommandLatency(d.serial)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := d.srv.Shell(d.serial, cmd); err != nil {
+		return 0, err
+	}
+	return lat, nil
+}
+
+// LaunchApp implements Driver (am start).
+func (d *ADBDriver) LaunchApp(pkg string) (time.Duration, error) {
+	return d.exec("am start -n " + pkg + "/.Main")
+}
+
+// StopApp implements Driver (am force-stop).
+func (d *ADBDriver) StopApp(pkg string) (time.Duration, error) {
+	return d.exec("am force-stop " + pkg)
+}
+
+// ClearApp implements Driver (pm clear).
+func (d *ADBDriver) ClearApp(pkg string) (time.Duration, error) {
+	return d.exec("pm clear " + pkg)
+}
+
+// Tap implements Driver (input tap).
+func (d *ADBDriver) Tap(x, y int) (time.Duration, error) {
+	return d.exec(fmt.Sprintf("input tap %d %d", x, y))
+}
+
+// Key implements Driver (input keyevent).
+func (d *ADBDriver) Key(key string) (time.Duration, error) {
+	return d.exec("input keyevent " + key)
+}
+
+// TypeText implements Driver (input text).
+func (d *ADBDriver) TypeText(text string) (time.Duration, error) {
+	return d.exec("input text " + text)
+}
+
+// Scroll implements Driver (input swipe).
+func (d *ADBDriver) Scroll(down bool) (time.Duration, error) {
+	if down {
+		return d.exec("input swipe 360 900 360 300 200")
+	}
+	return d.exec("input swipe 360 300 360 900 200")
+}

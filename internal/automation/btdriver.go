@@ -1,0 +1,106 @@
+package automation
+
+import (
+	"time"
+
+	"batterylab/internal/bluetooth"
+)
+
+// BTKeyboardDriver automates a device through the controller's emulated
+// Bluetooth HID keyboard. It is the most portable channel — Android and
+// iOS, no root, cellular-safe, measurement-safe — but it cannot tap
+// arbitrary coordinates, cannot support mirroring (which needs ADB), and
+// apps must be keyboard-navigable (§3.3).
+type BTKeyboardDriver struct {
+	kb     *bluetooth.HIDKeyboard
+	serial string
+}
+
+// NewBTKeyboardDriver binds a paired keyboard to serial.
+func NewBTKeyboardDriver(kb *bluetooth.HIDKeyboard, serial string) *BTKeyboardDriver {
+	return &BTKeyboardDriver{kb: kb, serial: serial}
+}
+
+// Kind implements Driver.
+func (d *BTKeyboardDriver) Kind() Kind { return KindBTKeyboard }
+
+// Serial implements Driver.
+func (d *BTKeyboardDriver) Serial() string { return d.serial }
+
+// Capabilities implements Driver.
+func (d *BTKeyboardDriver) Capabilities() Capabilities {
+	return Capabilities{
+		SupportsMirroring: false,
+		MeasurementSafe:   true,
+		CellularSafe:      true,
+	}
+}
+
+// LaunchApp navigates the launcher by keyboard: search key, app name,
+// enter. The latency reflects the whole key sequence.
+func (d *BTKeyboardDriver) LaunchApp(pkg string) (time.Duration, error) {
+	var total time.Duration
+	lat, err := d.kb.SendKey(d.serial, "KEYCODE_SEARCH")
+	if err != nil {
+		return 0, err
+	}
+	total += lat
+	lat, err = d.kb.TypeText(d.serial, appLabel(pkg))
+	if err != nil {
+		return 0, err
+	}
+	total += lat
+	lat, err = d.kb.SendKey(d.serial, "KEYCODE_ENTER")
+	if err != nil {
+		return 0, err
+	}
+	return total + lat, nil
+}
+
+// appLabel derives the launcher search string from a package name: the
+// last dot-component ("com.brave.browser" -> "browser").
+func appLabel(pkg string) string {
+	last := pkg
+	for i := len(pkg) - 1; i >= 0; i-- {
+		if pkg[i] == '.' {
+			last = pkg[i+1:]
+			break
+		}
+	}
+	return last
+}
+
+// StopApp is not reachable from a keyboard alone; BatteryLab performs
+// stop/cleanup over ADB-USB before and after the measurement window.
+func (d *BTKeyboardDriver) StopApp(string) (time.Duration, error) {
+	return 0, &ErrUnsupportedAction{Driver: KindBTKeyboard, Action: "force-stop an app"}
+}
+
+// ClearApp is likewise an out-of-measurement ADB task.
+func (d *BTKeyboardDriver) ClearApp(string) (time.Duration, error) {
+	return 0, &ErrUnsupportedAction{Driver: KindBTKeyboard, Action: "clear app data"}
+}
+
+// Tap has no HID equivalent.
+func (d *BTKeyboardDriver) Tap(int, int) (time.Duration, error) {
+	return 0, &ErrUnsupportedAction{Driver: KindBTKeyboard, Action: "tap coordinates"}
+}
+
+// Key implements Driver.
+func (d *BTKeyboardDriver) Key(key string) (time.Duration, error) {
+	return d.kb.SendKey(d.serial, key)
+}
+
+// TypeText implements Driver.
+func (d *BTKeyboardDriver) TypeText(text string) (time.Duration, error) {
+	return d.kb.TypeText(d.serial, text)
+}
+
+// Scroll implements Driver via the arrow keys.
+func (d *BTKeyboardDriver) Scroll(down bool) (time.Duration, error) {
+	key := "KEYCODE_DPAD_UP"
+	if down {
+		key = "KEYCODE_DPAD_DOWN"
+	}
+	return d.kb.SendKey(d.serial, key)
+}

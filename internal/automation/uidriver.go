@@ -1,0 +1,100 @@
+package automation
+
+import (
+	"fmt"
+	"time"
+
+	"batterylab/internal/device"
+)
+
+// UITestDriver models instrumented UI testing (Espresso/XCTest): the app
+// is rebuilt with the test script baked in, so no communication channel
+// with the controller is needed during the run — the best case for
+// measurement purity. The cost: it only works for apps whose source is
+// available (§3.3), expressed here as a registry of instrumentable
+// packages.
+type UITestDriver struct {
+	dev      *device.Device
+	testAPKs map[string]bool
+}
+
+// NewUITestDriver binds to a device with the given set of packages for
+// which a test APK could be built.
+func NewUITestDriver(dev *device.Device, instrumentablePkgs []string) *UITestDriver {
+	m := make(map[string]bool, len(instrumentablePkgs))
+	for _, p := range instrumentablePkgs {
+		m[p] = true
+	}
+	return &UITestDriver{dev: dev, testAPKs: m}
+}
+
+// Kind implements Driver.
+func (d *UITestDriver) Kind() Kind { return KindUITest }
+
+// Serial implements Driver.
+func (d *UITestDriver) Serial() string { return d.dev.Serial() }
+
+// Capabilities implements Driver.
+func (d *UITestDriver) Capabilities() Capabilities {
+	return Capabilities{
+		SupportsMirroring: false,
+		MeasurementSafe:   true,
+		CellularSafe:      true,
+		RequiresAppSource: true,
+	}
+}
+
+// onDeviceLatency is the cost of an instrumented action (no network hop,
+// just the test runner's dispatch).
+const onDeviceLatency = 2 * time.Millisecond
+
+func (d *UITestDriver) guard(pkg string) error {
+	if !d.testAPKs[pkg] {
+		return fmt.Errorf("automation: uitest: no test APK for %s (app source unavailable)", pkg)
+	}
+	return nil
+}
+
+// LaunchApp implements Driver; the instrumented APK must exist.
+func (d *UITestDriver) LaunchApp(pkg string) (time.Duration, error) {
+	if err := d.guard(pkg); err != nil {
+		return 0, err
+	}
+	return onDeviceLatency, d.dev.LaunchApp(pkg)
+}
+
+// StopApp implements Driver.
+func (d *UITestDriver) StopApp(pkg string) (time.Duration, error) {
+	if err := d.guard(pkg); err != nil {
+		return 0, err
+	}
+	return onDeviceLatency, d.dev.StopApp(pkg)
+}
+
+// ClearApp implements Driver.
+func (d *UITestDriver) ClearApp(pkg string) (time.Duration, error) {
+	if err := d.guard(pkg); err != nil {
+		return 0, err
+	}
+	return onDeviceLatency, d.dev.ClearAppData(pkg)
+}
+
+// Tap implements Driver.
+func (d *UITestDriver) Tap(x, y int) (time.Duration, error) {
+	return onDeviceLatency, d.dev.Input(device.InputEvent{Kind: device.InputTap, X: x, Y: y})
+}
+
+// Key implements Driver.
+func (d *UITestDriver) Key(key string) (time.Duration, error) {
+	return onDeviceLatency, d.dev.Input(device.InputEvent{Kind: device.InputKey, Key: key})
+}
+
+// TypeText implements Driver.
+func (d *UITestDriver) TypeText(text string) (time.Duration, error) {
+	return onDeviceLatency, d.dev.Input(device.InputEvent{Kind: device.InputText, Text: text})
+}
+
+// Scroll implements Driver.
+func (d *UITestDriver) Scroll(down bool) (time.Duration, error) {
+	return onDeviceLatency, d.dev.Input(device.InputEvent{Kind: device.InputScroll, ScrollDown: down})
+}

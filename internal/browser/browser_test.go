@@ -1,0 +1,262 @@
+package browser
+
+import (
+	"testing"
+	"time"
+
+	"batterylab/internal/device"
+	"batterylab/internal/simclock"
+	"batterylab/internal/wifi"
+)
+
+type rig struct {
+	clk *simclock.Virtual
+	dev *device.Device
+	ap  *wifi.AP
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clk := simclock.NewVirtual()
+	dev, err := device.New(clk, device.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := wifi.NewAP("blab", wifi.ModeNAT)
+	if err := ap.Connect(dev); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{clk: clk, dev: dev, ap: ap}
+}
+
+func installBrowser(t *testing.T, r *rig, name string, region RegionProvider) *Browser {
+	t.Helper()
+	prof, err := FindProfile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(prof, r.ap, region)
+	if err := r.dev.Install(b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+		if p.Package == "" || p.LoadCPU <= p.IdleCPU {
+			t.Fatalf("degenerate profile %+v", p)
+		}
+	}
+	for _, want := range []string{"Brave", "Chrome", "Edge", "Firefox"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	if _, err := FindProfile("Netscape"); err == nil {
+		t.Fatal("unknown profile found")
+	}
+}
+
+func TestBraveBlocksAdsChromeDoesNot(t *testing.T) {
+	brave, _ := FindProfile("Brave")
+	chrome, _ := FindProfile("Chrome")
+	if !brave.BlocksAds || chrome.BlocksAds {
+		t.Fatal("ad blocking flags wrong")
+	}
+	if chrome.RegionAdScale["JP"] != 0.8 {
+		t.Fatal("Chrome JP ad scale missing")
+	}
+}
+
+func TestCPUOrderingAcrossProfiles(t *testing.T) {
+	// The paper's Fig. 4: Brave's CPU pressure < Chrome's. Idle+ad load
+	// ordering across all four: Brave < Chrome <= Edge <= Firefox.
+	var idle []float64
+	for _, name := range []string{"Brave", "Chrome", "Edge", "Firefox"} {
+		p, _ := FindProfile(name)
+		idle = append(idle, p.IdleCPU+p.AdCPU)
+	}
+	for i := 1; i < len(idle); i++ {
+		if idle[i] < idle[i-1] {
+			t.Fatalf("idle ordering violated: %v", idle)
+		}
+	}
+}
+
+func TestNavigateLifecycle(t *testing.T) {
+	r := newRig(t)
+	b := installBrowser(t, r, "Chrome", nil)
+	if err := r.dev.LaunchApp(b.PackageName()); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(5 * time.Second) // past first-run setup
+
+	if err := r.dev.Input(device.InputEvent{Kind: device.InputText, Text: "bbc.com"}); err != nil {
+		t.Fatal(err)
+	}
+	// During load: high CPU.
+	r.clk.Advance(500 * time.Millisecond)
+	loadUtil := r.dev.CPU().UtilAt(r.clk.Now())
+	if loadUtil < 35 {
+		t.Fatalf("load CPU = %.1f, want high", loadUtil)
+	}
+	// After the 6 s budget: settled to idle + ads.
+	r.clk.Advance(8 * time.Second)
+	idleUtil := r.dev.CPU().UtilAt(r.clk.Now())
+	if idleUtil > loadUtil-15 {
+		t.Fatalf("idle CPU %.1f not far below load %.1f", idleUtil, loadUtil)
+	}
+	if b.PagesLoaded() != 1 {
+		t.Fatalf("pages = %d", b.PagesLoaded())
+	}
+	// Bytes moved: content + ads.
+	_, rx := r.dev.WiFi().Counters()
+	if rx < contentBytes {
+		t.Fatalf("rx = %d, want > content", rx)
+	}
+}
+
+func TestBraveFetchesFewerBytesThanChrome(t *testing.T) {
+	load := func(name string) int64 {
+		r := newRig(t)
+		b := installBrowser(t, r, name, nil)
+		r.dev.LaunchApp(b.PackageName())
+		r.clk.Advance(5 * time.Second)
+		r.dev.Input(device.InputEvent{Kind: device.InputText, Text: "bbc.com"})
+		r.clk.Advance(10 * time.Second)
+		_, rx := r.dev.WiFi().Counters()
+		return rx
+	}
+	braveRx := load("Brave")
+	chromeRx := load("Chrome")
+	if braveRx >= chromeRx {
+		t.Fatalf("Brave rx %d should be < Chrome rx %d (ads blocked)", braveRx, chromeRx)
+	}
+	if float64(chromeRx-braveRx) < 0.8*adBytes {
+		t.Fatalf("ad byte gap too small: %d", chromeRx-braveRx)
+	}
+}
+
+func TestChromeJapanAdReduction(t *testing.T) {
+	load := func(region string) int64 {
+		r := newRig(t)
+		b := installBrowser(t, r, "Chrome", func() string { return region })
+		r.dev.LaunchApp(b.PackageName())
+		r.clk.Advance(5 * time.Second)
+		r.dev.Input(device.InputEvent{Kind: device.InputText, Text: "bbc.com"})
+		r.clk.Advance(10 * time.Second)
+		_, rx := r.dev.WiFi().Counters()
+		return rx
+	}
+	gb := load("GB")
+	jp := load("JP")
+	if jp >= gb {
+		t.Fatalf("JP rx %d should be < GB rx %d", jp, gb)
+	}
+	wantGap := int64(0.2 * adBytes * 0.8) // at least most of the 20% ad cut
+	if gb-jp < wantGap {
+		t.Fatalf("JP ad reduction too small: %d", gb-jp)
+	}
+}
+
+func TestScrollBurstsAndSettles(t *testing.T) {
+	r := newRig(t)
+	b := installBrowser(t, r, "Brave", nil)
+	r.dev.LaunchApp(b.PackageName())
+	r.clk.Advance(5 * time.Second)
+	r.dev.Input(device.InputEvent{Kind: device.InputText, Text: "x.com"})
+	r.clk.Advance(8 * time.Second)
+
+	idle := r.dev.CPU().UtilAt(r.clk.Now())
+	r.dev.Input(device.InputEvent{Kind: device.InputScroll, ScrollDown: true})
+	r.clk.Advance(300 * time.Millisecond)
+	burst := r.dev.CPU().UtilAt(r.clk.Now())
+	if burst < idle+8 {
+		t.Fatalf("scroll burst %.1f not above idle %.1f", burst, idle)
+	}
+	r.clk.Advance(3 * time.Second)
+	settled := r.dev.CPU().UtilAt(r.clk.Now())
+	if settled > burst-8 {
+		t.Fatalf("scroll did not settle: %.1f vs burst %.1f", settled, burst)
+	}
+}
+
+func TestNavigateNotRunning(t *testing.T) {
+	r := newRig(t)
+	b := installBrowser(t, r, "Brave", nil)
+	if err := b.HandleInput(r.dev, device.InputEvent{Kind: device.InputText, Text: "x"}); err == nil {
+		t.Fatal("navigate while stopped accepted")
+	}
+	if err := b.HandleInput(r.dev, device.InputEvent{Kind: device.InputScroll}); err == nil {
+		t.Fatal("scroll while stopped accepted")
+	}
+}
+
+func TestClearDataForcesSetup(t *testing.T) {
+	r := newRig(t)
+	b := installBrowser(t, r, "Chrome", nil)
+	r.dev.LaunchApp(b.PackageName())
+	r.clk.Advance(10 * time.Second)
+	r.dev.StopApp(b.PackageName())
+	r.dev.ClearAppData(b.PackageName())
+	// Relaunch pays setup: CPU right after launch is elevated.
+	r.dev.LaunchApp(b.PackageName())
+	r.clk.Advance(time.Second)
+	setupUtil := r.dev.CPU().UtilAt(r.clk.Now())
+	if setupUtil < 20 {
+		t.Fatalf("setup CPU = %.1f, want elevated", setupUtil)
+	}
+}
+
+func TestStopCleansPipeline(t *testing.T) {
+	r := newRig(t)
+	b := installBrowser(t, r, "Firefox", nil)
+	r.dev.LaunchApp(b.PackageName())
+	r.clk.Advance(5 * time.Second)
+	r.dev.Input(device.InputEvent{Kind: device.InputText, Text: "x.com"})
+	r.clk.Advance(2 * time.Second)
+	r.dev.StopApp(b.PackageName())
+	if r.dev.CPU().FindProcess(b.PackageName()) != nil {
+		t.Fatal("browser process survived stop")
+	}
+	if r.dev.Framebuffer().UpdateRate() != 0 {
+		t.Fatal("framebuffer active after stop")
+	}
+	// The pending load-settle timer must not resurrect state.
+	r.clk.Advance(10 * time.Second)
+}
+
+func TestAdRefreshTraffic(t *testing.T) {
+	r := newRig(t)
+	b := installBrowser(t, r, "Chrome", nil)
+	r.dev.LaunchApp(b.PackageName())
+	r.clk.Advance(5 * time.Second)
+	r.dev.Input(device.InputEvent{Kind: device.InputText, Text: "x.com"})
+	r.clk.Advance(10 * time.Second)
+	_, rxAfterLoad := r.dev.WiFi().Counters()
+	r.clk.Advance(30 * time.Second) // page open: ads keep refreshing
+	_, rxLater := r.dev.WiFi().Counters()
+	if rxLater <= rxAfterLoad {
+		t.Fatal("no ad refresh traffic while page open")
+	}
+	// Brave: no refresh traffic.
+	r2 := newRig(t)
+	b2 := installBrowser(t, r2, "Brave", nil)
+	r2.dev.LaunchApp(b2.PackageName())
+	r2.clk.Advance(5 * time.Second)
+	r2.dev.Input(device.InputEvent{Kind: device.InputText, Text: "x.com"})
+	r2.clk.Advance(10 * time.Second)
+	_, a := r2.dev.WiFi().Counters()
+	r2.clk.Advance(30 * time.Second)
+	_, bb := r2.dev.WiFi().Counters()
+	if bb != a {
+		t.Fatalf("Brave generated ad refresh traffic: %d -> %d", a, bb)
+	}
+}

@@ -1,0 +1,90 @@
+package browser
+
+import (
+	"time"
+
+	"batterylab/internal/automation"
+)
+
+// NewsSites returns the 10 popular news websites the paper's workload
+// visits sequentially.
+func NewsSites() []string {
+	return []string{
+		"bbc.com", "cnn.com", "nytimes.com", "theguardian.com",
+		"reuters.com", "washingtonpost.com", "foxnews.com",
+		"aljazeera.com", "bloomberg.com", "news.yahoo.com",
+	}
+}
+
+// WorkloadOptions tunes the §4.2 browsing workload.
+type WorkloadOptions struct {
+	// Pages visited in order. Defaults to NewsSites().
+	Pages []string
+	// DwellTime is the fixed wait after entering a URL, "emulating a
+	// typical page load time" (paper: 6 s).
+	DwellTime time.Duration
+	// Scrolls is the number of scroll operations per page, alternating
+	// down/up (paper: "multiple" — default 8).
+	Scrolls int
+	// ScrollGap is the pause between scrolls.
+	ScrollGap time.Duration
+	// SkipClean leaves browser state in place (the clean is normally
+	// done over ADB-USB *before* the measurement window).
+	SkipClean bool
+}
+
+func (o WorkloadOptions) withDefaults() WorkloadOptions {
+	if len(o.Pages) == 0 {
+		o.Pages = NewsSites()
+	}
+	if o.DwellTime == 0 {
+		o.DwellTime = 6 * time.Second
+	}
+	if o.Scrolls == 0 {
+		o.Scrolls = 8
+	}
+	if o.ScrollGap == 0 {
+		o.ScrollGap = 2 * time.Second
+	}
+	return o
+}
+
+// BuildWorkload assembles the paper's browser workload as an automation
+// script for the given driver and browser package: clean state and setup,
+// then for each page type the URL, wait the page-load budget, and
+// interact with scroll ups/downs. The returned script's TotalWait is the
+// experiment's scripted duration.
+func BuildWorkload(drv automation.Driver, pkg string, opts WorkloadOptions) *automation.Script {
+	opts = opts.withDefaults()
+	s := automation.NewScript("browse/" + pkg)
+
+	if !opts.SkipClean {
+		s.Add("pm-clear", 500*time.Millisecond, func() error {
+			_, err := drv.ClearApp(pkg)
+			return err
+		})
+	}
+	s.Add("launch", 3*time.Second, func() error {
+		_, err := drv.LaunchApp(pkg)
+		return err
+	})
+	for _, page := range opts.Pages {
+		page := page
+		s.Add("navigate:"+page, opts.DwellTime, func() error {
+			_, err := drv.TypeText(page)
+			return err
+		})
+		for i := 0; i < opts.Scrolls; i++ {
+			down := i%2 == 0
+			s.Add("scroll", opts.ScrollGap, func() error {
+				_, err := drv.Scroll(down)
+				return err
+			})
+		}
+	}
+	s.Add("stop", time.Second, func() error {
+		_, err := drv.StopApp(pkg)
+		return err
+	})
+	return s
+}

@@ -1,0 +1,108 @@
+package browser
+
+import (
+	"testing"
+	"time"
+
+	"batterylab/internal/adb"
+	"batterylab/internal/automation"
+	"batterylab/internal/device"
+	"batterylab/internal/simclock"
+	"batterylab/internal/usb"
+	"batterylab/internal/wifi"
+)
+
+func workloadRig(t *testing.T) (*simclock.Virtual, *device.Device, automation.Driver, *Browser) {
+	t.Helper()
+	clk := simclock.NewVirtual()
+	dev, err := device.New(clk, device.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := usb.NewHub(1)
+	hub.Attach(0, dev)
+	ap := wifi.NewAP("blab", wifi.ModeNAT)
+	ap.Connect(dev)
+	srv := adb.NewServer(hub, ap)
+	srv.Register(dev)
+	prof, _ := FindProfile("Chrome")
+	b := New(prof, ap, nil)
+	dev.Install(b)
+	return clk, dev, automation.NewADBDriver(srv, dev.Serial()), b
+}
+
+func TestBuildWorkloadStructure(t *testing.T) {
+	_, _, drv, _ := workloadRig(t)
+	s := BuildWorkload(drv, "com.android.chrome", WorkloadOptions{
+		Pages:   []string{"a.com", "b.com"},
+		Scrolls: 3,
+	})
+	// clean + launch + 2×(navigate + 3 scrolls) + stop = 11 steps.
+	if s.Len() != 11 {
+		t.Fatalf("steps = %d, want 11", s.Len())
+	}
+	// Duration: 0.5 clean + 3 launch + 2×(6 dwell + 3×2 scroll) + 1 stop.
+	want := 500*time.Millisecond + 3*time.Second + 2*(6*time.Second+3*2*time.Second) + time.Second
+	if s.TotalWait() != want {
+		t.Fatalf("total = %v, want %v", s.TotalWait(), want)
+	}
+}
+
+func TestBuildWorkloadDefaults(t *testing.T) {
+	_, _, drv, _ := workloadRig(t)
+	s := BuildWorkload(drv, "com.android.chrome", WorkloadOptions{})
+	// clean + launch + 10×(1 + 8) + stop.
+	if s.Len() != 2+10*9+1 {
+		t.Fatalf("steps = %d", s.Len())
+	}
+}
+
+func TestBuildWorkloadSkipClean(t *testing.T) {
+	_, _, drv, _ := workloadRig(t)
+	with := BuildWorkload(drv, "x", WorkloadOptions{Pages: []string{"a"}, Scrolls: 1})
+	without := BuildWorkload(drv, "x", WorkloadOptions{Pages: []string{"a"}, Scrolls: 1, SkipClean: true})
+	if with.Len() != without.Len()+1 {
+		t.Fatalf("SkipClean: %d vs %d", with.Len(), without.Len())
+	}
+}
+
+func TestWorkloadEndToEnd(t *testing.T) {
+	clk, dev, drv, b := workloadRig(t)
+	s := BuildWorkload(drv, "com.android.chrome", WorkloadOptions{
+		Pages:   []string{"bbc.com", "cnn.com", "reuters.com"},
+		Scrolls: 4,
+	})
+	var done bool
+	var doneErr error
+	automation.NewExecutor(clk).Run(s, func(err error) { done, doneErr = true, err })
+	clk.Advance(s.TotalWait() + 5*time.Second)
+	if !done || doneErr != nil {
+		t.Fatalf("done=%v err=%v", done, doneErr)
+	}
+	if b.PagesLoaded() != 3 {
+		t.Fatalf("pages loaded = %d, want 3", b.PagesLoaded())
+	}
+	// The workload ends with a force-stop.
+	if dev.Foreground() != "" {
+		t.Fatalf("foreground = %q after workload", dev.Foreground())
+	}
+	// Bytes were fetched for every page.
+	_, rx := dev.WiFi().Counters()
+	if rx < 3*contentBytes {
+		t.Fatalf("rx = %d", rx)
+	}
+}
+
+func TestNewsSitesList(t *testing.T) {
+	sites := NewsSites()
+	if len(sites) != 10 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if s == "" || seen[s] {
+			t.Fatalf("bad site list: %v", sites)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,149 @@
+// Package certs implements BatteryLab's certificate workflow (§3.4): a
+// certificate authority issues the wildcard *.batterylab.dev certificate
+// every vantage point serves its noVNC GUI with, and the access server
+// renews and redeploys it before expiry. The authority stands in for
+// Let's Encrypt; issuance, verification and renewal use real crypto/x509
+// machinery so the deployment jobs exercise genuine PEM plumbing.
+package certs
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// DefaultValidity matches Let's Encrypt's 90-day certificates.
+const DefaultValidity = 90 * 24 * time.Hour
+
+// RenewBefore is how far before expiry the renewal job re-issues.
+const RenewBefore = 30 * 24 * time.Hour
+
+// CA is a certificate authority.
+type CA struct {
+	key  *ecdsa.PrivateKey
+	cert *x509.Certificate
+	// serial increments per issued certificate.
+	serial int64
+}
+
+// NewCA creates a self-signed authority valid for ten years from now.
+func NewCA(commonName string, now time.Time) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("certs: generating CA key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: commonName},
+		NotBefore:             now.Add(-time.Hour),
+		NotAfter:              now.Add(10 * 365 * 24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("certs: self-signing CA: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{key: key, cert: cert, serial: 1}, nil
+}
+
+// CertPEM returns the CA certificate in PEM form (the trust root vantage
+// points pin).
+func (ca *CA) CertPEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: ca.cert.Raw})
+}
+
+// Certificate is an issued leaf with its key.
+type Certificate struct {
+	CertPEM []byte
+	KeyPEM  []byte
+	Leaf    *x509.Certificate
+}
+
+// IssueWildcard issues a certificate for *.domain and domain itself,
+// valid from now for validity (DefaultValidity if zero).
+func (ca *CA) IssueWildcard(domain string, validity time.Duration, now time.Time) (*Certificate, error) {
+	if domain == "" {
+		return nil, errors.New("certs: empty domain")
+	}
+	if validity == 0 {
+		validity = DefaultValidity
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	ca.serial++
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(ca.serial),
+		Subject:      pkix.Name{CommonName: "*." + domain},
+		DNSNames:     []string{"*." + domain, domain},
+		NotBefore:    now.Add(-5 * time.Minute),
+		NotAfter:     now.Add(validity),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return nil, fmt.Errorf("certs: issuing for %s: %w", domain, err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Certificate{
+		CertPEM: pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}),
+		KeyPEM:  pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}),
+		Leaf:    leaf,
+	}, nil
+}
+
+// ParseCertPEM decodes a PEM leaf.
+func ParseCertPEM(certPEM []byte) (*x509.Certificate, error) {
+	block, _ := pem.Decode(certPEM)
+	if block == nil || block.Type != "CERTIFICATE" {
+		return nil, errors.New("certs: no CERTIFICATE block")
+	}
+	return x509.ParseCertificate(block.Bytes)
+}
+
+// Verify checks that certPEM chains to rootPEM, covers dnsName and is
+// valid at now.
+func Verify(certPEM, rootPEM []byte, dnsName string, now time.Time) error {
+	leaf, err := ParseCertPEM(certPEM)
+	if err != nil {
+		return err
+	}
+	roots := x509.NewCertPool()
+	if !roots.AppendCertsFromPEM(rootPEM) {
+		return errors.New("certs: bad root PEM")
+	}
+	_, err = leaf.Verify(x509.VerifyOptions{
+		Roots:       roots,
+		DNSName:     dnsName,
+		CurrentTime: now,
+	})
+	return err
+}
+
+// NeedsRenewal reports whether the certificate expires within RenewBefore
+// of now — the access server's renewal-job predicate.
+func NeedsRenewal(leaf *x509.Certificate, now time.Time) bool {
+	return now.Add(RenewBefore).After(leaf.NotAfter)
+}

@@ -1,0 +1,101 @@
+package certs
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2019, 11, 13, 9, 0, 0, 0, time.UTC)
+
+func newCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA("BatteryLab Root", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func TestIssueAndVerifyWildcard(t *testing.T) {
+	ca := newCA(t)
+	cert, err := ca.IssueWildcard("batterylab.dev", 0, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"node1.batterylab.dev", "node42.batterylab.dev", "batterylab.dev"} {
+		if err := Verify(cert.CertPEM, ca.CertPEM(), name, t0.Add(24*time.Hour)); err != nil {
+			t.Fatalf("verify %s: %v", name, err)
+		}
+	}
+}
+
+func TestVerifyWrongName(t *testing.T) {
+	ca := newCA(t)
+	cert, _ := ca.IssueWildcard("batterylab.dev", 0, t0)
+	if err := Verify(cert.CertPEM, ca.CertPEM(), "evil.example.com", t0); err == nil {
+		t.Fatal("wrong DNS name verified")
+	}
+	// Wildcards only cover one label.
+	if err := Verify(cert.CertPEM, ca.CertPEM(), "a.b.batterylab.dev", t0); err == nil {
+		t.Fatal("multi-label wildcard verified")
+	}
+}
+
+func TestVerifyExpired(t *testing.T) {
+	ca := newCA(t)
+	cert, _ := ca.IssueWildcard("batterylab.dev", 0, t0)
+	if err := Verify(cert.CertPEM, ca.CertPEM(), "node1.batterylab.dev", t0.Add(91*24*time.Hour)); err == nil {
+		t.Fatal("expired cert verified")
+	}
+}
+
+func TestVerifyWrongRoot(t *testing.T) {
+	ca := newCA(t)
+	other := newCA(t)
+	cert, _ := ca.IssueWildcard("batterylab.dev", 0, t0)
+	if err := Verify(cert.CertPEM, other.CertPEM(), "node1.batterylab.dev", t0); err == nil {
+		t.Fatal("cert verified against wrong root")
+	}
+}
+
+func TestNeedsRenewal(t *testing.T) {
+	ca := newCA(t)
+	cert, _ := ca.IssueWildcard("batterylab.dev", 0, t0)
+	if NeedsRenewal(cert.Leaf, t0) {
+		t.Fatal("fresh cert needs renewal")
+	}
+	if !NeedsRenewal(cert.Leaf, t0.Add(61*24*time.Hour)) {
+		t.Fatal("cert 29 days from expiry does not need renewal")
+	}
+}
+
+func TestSerialIncrements(t *testing.T) {
+	ca := newCA(t)
+	a, _ := ca.IssueWildcard("batterylab.dev", 0, t0)
+	b, _ := ca.IssueWildcard("batterylab.dev", 0, t0)
+	if a.Leaf.SerialNumber.Cmp(b.Leaf.SerialNumber) == 0 {
+		t.Fatal("serials collide")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseCertPEM([]byte("not pem")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+	ca := newCA(t)
+	cert, _ := ca.IssueWildcard("x.dev", 0, t0)
+	if err := Verify(cert.CertPEM, []byte("junk"), "a.x.dev", t0); err == nil {
+		t.Fatal("junk root accepted")
+	}
+	if _, err := ca.IssueWildcard("", 0, t0); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+}
+
+func TestKeyPEMPresent(t *testing.T) {
+	ca := newCA(t)
+	cert, _ := ca.IssueWildcard("batterylab.dev", 0, t0)
+	if len(cert.KeyPEM) == 0 {
+		t.Fatal("no key PEM")
+	}
+}

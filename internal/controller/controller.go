@@ -1,0 +1,498 @@
+// Package controller assembles a BatteryLab vantage point (§3.2): the
+// Raspberry-Pi-class controller with its GPIO-driven relay switch, USB
+// hub, WiFi access point, Bluetooth keyboard, the Monsoon power monitor
+// behind its WiFi power socket, one or more test devices, a VPN client
+// for network-location emulation, and the secure channel the access
+// server manages it through.
+//
+// The controller exposes BatteryLab's API (Table 1): list_devices,
+// device_mirroring, power_monitor, set_voltage, start_monitor,
+// stop_monitor, batt_switch and execute_adb.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"batterylab/internal/adb"
+	"batterylab/internal/bluetooth"
+	"batterylab/internal/device"
+	"batterylab/internal/gpio"
+	"batterylab/internal/mirror"
+	"batterylab/internal/monsoon"
+	"batterylab/internal/netem"
+	"batterylab/internal/powersocket"
+	"batterylab/internal/relay"
+	"batterylab/internal/rng"
+	"batterylab/internal/simclock"
+	"batterylab/internal/trace"
+	"batterylab/internal/usb"
+	"batterylab/internal/vpn"
+	"batterylab/internal/wifi"
+)
+
+// MaxDevices is the relay board's channel count (and the hub's port
+// budget for test devices).
+const MaxDevices = 4
+
+// Config describes a vantage point.
+type Config struct {
+	// Name is the human-readable identifier registered in DNS
+	// ("node1").
+	Name string
+	// Seed drives all the vantage point's stochastic models.
+	Seed uint64
+	// UplinkMbps/UplinkRTT describe the site's ISP path.
+	UplinkMbps float64
+	UplinkRTT  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "node1"
+	}
+	if c.UplinkMbps == 0 {
+		c.UplinkMbps = 180 // a university uplink
+	}
+	if c.UplinkRTT == 0 {
+		c.UplinkRTT = 8 * time.Millisecond
+	}
+	return c
+}
+
+// Controller is one vantage point.
+type Controller struct {
+	cfg   Config
+	clock simclock.Clock
+	rnd   *rng.RNG
+
+	host   *HostModel
+	bank   *gpio.Bank
+	hub    *usb.Hub
+	sw     *relay.Switch
+	mon    *monsoon.Monsoon
+	socket *powersocket.Socket
+	ap     *wifi.AP
+	kb     *bluetooth.HIDKeyboard
+	adbSrv *adb.Server
+	vpnCl  *vpn.Client
+
+	mu        sync.Mutex
+	devices   map[string]*slot // serial -> slot
+	order     []string
+	measuring string // serial under measurement, "" if none
+	certPEM   []byte
+	keyPEM    []byte
+}
+
+type slot struct {
+	dev     *device.Device
+	channel int // relay channel == usb port
+	session *mirror.Session
+	// usbWasOn remembers the port state across a measurement so
+	// StopMonitor can restore it.
+	usbWasOn bool
+}
+
+// New assembles a vantage point.
+func New(clock simclock.Clock, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:     cfg,
+		clock:   clock,
+		rnd:     rng.New(cfg.Seed).Fork("controller/" + cfg.Name),
+		host:    NewHostModel(cfg.Seed),
+		bank:    gpio.NewBank(26),
+		hub:     usb.NewHub(MaxDevices),
+		socket:  powersocket.New("meross-" + cfg.Name),
+		ap:      wifi.NewAP("batterylab-"+cfg.Name, wifi.ModeNAT),
+		kb:      bluetooth.NewHIDKeyboard(clock),
+		devices: make(map[string]*slot),
+	}
+	var err error
+	c.sw, err = relay.NewSwitch(clock, c.bank, 2, MaxDevices)
+	if err != nil {
+		return nil, err
+	}
+	c.mon = monsoon.New(clock, "HV-"+cfg.Name, cfg.Seed)
+	c.socket.OnChange(c.mon.SetMains)
+	// A socket flip changes whether the bypass actually supplies power;
+	// registered after SetMains so the monitor state is current.
+	c.socket.OnChange(func(bool) { c.updateMonitorSupply() })
+	c.adbSrv = adb.NewServer(c.hub, c.ap)
+
+	base, err := netem.NewPath(netem.Link{
+		Name:     "isp/" + cfg.Name,
+		DownMbps: cfg.UplinkMbps, UpMbps: cfg.UplinkMbps,
+		RTT: cfg.UplinkRTT,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.vpnCl = vpn.NewClient(base, c.rnd)
+	c.ap.SetUplink(c.vpnCl.Path)
+
+	// Monsoon polling is a controller-CPU load while sampling.
+	c.host.AddSource(&monsoonPollLoad{active: c.mon.Sampling})
+	return c, nil
+}
+
+// Name reports the vantage point identifier.
+func (c *Controller) Name() string { return c.cfg.Name }
+
+// Host exposes the Pi resource model.
+func (c *Controller) Host() *HostModel { return c.host }
+
+// Monsoon exposes the power monitor (benches wire ablations through it).
+func (c *Controller) Monsoon() *monsoon.Monsoon { return c.mon }
+
+// Socket exposes the WiFi power socket.
+func (c *Controller) Socket() *powersocket.Socket { return c.socket }
+
+// AP exposes the WiFi access point.
+func (c *Controller) AP() *wifi.AP { return c.ap }
+
+// Keyboard exposes the Bluetooth HID keyboard.
+func (c *Controller) Keyboard() *bluetooth.HIDKeyboard { return c.kb }
+
+// ADB exposes the ADB server.
+func (c *Controller) ADB() *adb.Server { return c.adbSrv }
+
+// VPN exposes the VPN client.
+func (c *Controller) VPN() *vpn.Client { return c.vpnCl }
+
+// Region reports the network-visible country code, used by the browser
+// models ("GB" at the first vantage point unless a tunnel is up).
+func (c *Controller) Region() string {
+	if e := c.vpnCl.Active(); e != nil {
+		return e.CountryCode
+	}
+	return "GB"
+}
+
+// AttachDevice wires a test device into the next free slot: USB port,
+// relay channel, WiFi association, Bluetooth pairing and ADB
+// registration.
+func (c *Controller) AttachDevice(d *device.Device) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.devices[d.Serial()]; dup {
+		return fmt.Errorf("controller: device %s already attached", d.Serial())
+	}
+	ch := len(c.order)
+	if ch >= MaxDevices {
+		return fmt.Errorf("controller: all %d device slots occupied", MaxDevices)
+	}
+	if err := c.hub.Attach(ch, d); err != nil {
+		return err
+	}
+	if err := c.ap.Connect(d); err != nil {
+		return err
+	}
+	if err := c.kb.Pair(d); err != nil {
+		return err
+	}
+	// ADB only speaks to Android; an iOS device is still reachable via
+	// the Bluetooth keyboard (§3.3) and still measurable through the
+	// relay — only ADB-dependent features (mirroring, execute_adb) are
+	// unavailable for it.
+	if d.Config().OS == "android" {
+		if err := c.adbSrv.Register(d); err != nil {
+			return err
+		}
+	}
+	if err := c.sw.OnSwitch(ch, func(pos relay.Position) {
+		d.SetRelayPosition(pos == relay.PosBattery)
+	}); err != nil {
+		return err
+	}
+	c.devices[d.Serial()] = &slot{
+		dev:     d,
+		channel: ch,
+		session: mirror.NewSession(d, c.adbSrv, c.cfg.Seed+uint64(ch)),
+	}
+	c.order = append(c.order, d.Serial())
+	c.host.AddSource(&sessionLoad{s: c.devices[d.Serial()].session})
+	// The device must see the monitor's actual supply state from the
+	// start: switching onto an unpowered monitor is a hard power cut.
+	d.SetMonitorSupply(c.socket.On() && c.mon.Vout() > 0)
+	return nil
+}
+
+// sessionLoad adapts a mirroring session to the host model.
+type sessionLoad struct{ s *mirror.Session }
+
+func (sl *sessionLoad) HostCPUPercent(now time.Time) float64 {
+	return sl.s.VNC().LoadPercent(now)
+}
+func (sl *sessionLoad) HostMemoryMB() float64 { return sl.s.VNC().MemoryMB() }
+
+func (c *Controller) slotOf(serial string) (*slot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.devices[serial]
+	if !ok {
+		return nil, fmt.Errorf("controller: no device %s", serial)
+	}
+	return s, nil
+}
+
+// Device returns an attached device by serial.
+func (c *Controller) Device(serial string) (*device.Device, error) {
+	s, err := c.slotOf(serial)
+	if err != nil {
+		return nil, err
+	}
+	return s.dev, nil
+}
+
+// ---- The Table 1 API ----
+
+// ListDevices returns the ADB ids of the test devices (API:
+// list_devices).
+func (c *Controller) ListDevices() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]string{}, c.order...)
+	sort.Strings(out)
+	return out
+}
+
+// DeviceMirroring toggles mirroring for a device (API:
+// device_mirroring). It reports the resulting state.
+func (c *Controller) DeviceMirroring(serial string) (bool, error) {
+	s, err := c.slotOf(serial)
+	if err != nil {
+		return false, err
+	}
+	if s.session.Active() {
+		s.session.Stop()
+		return false, nil
+	}
+	if err := s.session.Start(0); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// MirrorSession exposes a device's mirroring session.
+func (c *Controller) MirrorSession(serial string) (*mirror.Session, error) {
+	s, err := c.slotOf(serial)
+	if err != nil {
+		return nil, err
+	}
+	return s.session, nil
+}
+
+// PowerMonitor toggles the Monsoon's mains power through the WiFi
+// socket (API: power_monitor) and reports the resulting state.
+func (c *Controller) PowerMonitor() bool {
+	c.socket.Set(!c.socket.On())
+	return c.socket.On()
+}
+
+// SetVoltage programs the Monsoon output voltage (API: set_voltage).
+func (c *Controller) SetVoltage(v float64) error {
+	if err := c.mon.SetVout(v); err != nil {
+		return err
+	}
+	c.updateMonitorSupply()
+	return nil
+}
+
+// updateMonitorSupply propagates the monitor's live state to every
+// attached device: the bypass only powers a device while the socket is
+// on and Vout is programmed.
+func (c *Controller) updateMonitorSupply() {
+	live := c.socket.On() && c.mon.Vout() > 0
+	c.mu.Lock()
+	devs := make([]*device.Device, 0, len(c.devices))
+	for _, s := range c.devices {
+		devs = append(devs, s.dev)
+	}
+	c.mu.Unlock()
+	for _, d := range devs {
+		d.SetMonitorSupply(live)
+	}
+}
+
+// StartMonitor begins a battery measurement of the device (API:
+// start_monitor): it flips the device's relay channel to the battery
+// bypass, waits for the contacts to settle, wires the channel into the
+// Monsoon and starts sampling. Only one device can be measured at a time
+// (the monitor has one input).
+func (c *Controller) StartMonitor(serial string, sampleRate int) error {
+	s, err := c.slotOf(serial)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.measuring != "" {
+		busy := c.measuring
+		c.mu.Unlock()
+		return fmt.Errorf("controller: already measuring %s", busy)
+	}
+	c.measuring = serial
+	c.mu.Unlock()
+
+	fail := func(err error) error {
+		c.mu.Lock()
+		c.measuring = ""
+		c.mu.Unlock()
+		return err
+	}
+	if !c.mon.Powered() {
+		return fail(errors.New("controller: power monitor is off (use power_monitor)"))
+	}
+	if c.mon.Vout() == 0 {
+		return fail(errors.New("controller: Vout not set (use set_voltage)"))
+	}
+	// Cut USB port power: the micro-controller activation current would
+	// corrupt the measurement (§3.3). Restored by StopMonitor.
+	s.usbWasOn, _ = c.hub.Powered(s.channel)
+	if err := c.hub.SetPower(s.channel, false); err != nil {
+		return fail(err)
+	}
+	if err := c.sw.Set(s.channel, relay.PosMonitor); err != nil {
+		return fail(err)
+	}
+	c.clock.Sleep(relay.SettleTime)
+	c.mon.WireSource(c.sw.MeasuredSource(s.channel, s.dev.MonitorVisibleSource()))
+	if err := c.mon.StartSampling(sampleRate); err != nil {
+		// Roll the relay back so the device is not stranded on a dead
+		// bypass.
+		c.sw.Set(s.channel, relay.PosBattery)
+		return fail(err)
+	}
+	return nil
+}
+
+// StopMonitor ends the measurement, returns the relay to the battery
+// position and hands back the current trace (API: stop_monitor).
+func (c *Controller) StopMonitor() (*trace.Series, error) {
+	c.mu.Lock()
+	serial := c.measuring
+	c.mu.Unlock()
+	if serial == "" {
+		return nil, errors.New("controller: no measurement in progress")
+	}
+	s, err := c.slotOf(serial)
+	if err != nil {
+		return nil, err
+	}
+	series, err := c.mon.StopSampling()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.sw.Set(s.channel, relay.PosBattery); err != nil {
+		return nil, err
+	}
+	if s.usbWasOn {
+		if err := c.hub.SetPower(s.channel, true); err != nil {
+			return nil, err
+		}
+	}
+	c.mu.Lock()
+	c.measuring = ""
+	c.mu.Unlock()
+	return series, nil
+}
+
+// USBPower switches a device's USB port VBUS — the uhubctl operation
+// (§3.2). Measurements do this automatically; it is exposed for
+// experiment setup (e.g. charging between runs).
+func (c *Controller) USBPower(serial string, on bool) error {
+	s, err := c.slotOf(serial)
+	if err != nil {
+		return err
+	}
+	return c.hub.SetPower(s.channel, on)
+}
+
+// Measuring reports the serial under measurement, or "".
+func (c *Controller) Measuring() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.measuring
+}
+
+// BattSwitch toggles a device between its battery and the bypass (API:
+// batt_switch) and reports whether the device is now on its battery.
+func (c *Controller) BattSwitch(serial string) (onBattery bool, err error) {
+	s, err := c.slotOf(serial)
+	if err != nil {
+		return false, err
+	}
+	pos, err := c.sw.Get(s.channel)
+	if err != nil {
+		return false, err
+	}
+	next := relay.PosMonitor
+	if pos == relay.PosMonitor {
+		next = relay.PosBattery
+	}
+	if err := c.sw.Set(s.channel, next); err != nil {
+		return false, err
+	}
+	return next == relay.PosBattery, nil
+}
+
+// ExecuteADB runs an adb shell command on a device (API: execute_adb).
+func (c *Controller) ExecuteADB(serial, cmd string) (string, error) {
+	return c.adbSrv.Shell(serial, cmd)
+}
+
+// DeployCert installs the wildcard certificate (pushed by the access
+// server's renewal job).
+func (c *Controller) DeployCert(certPEM, keyPEM []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.certPEM = append([]byte{}, certPEM...)
+	c.keyPEM = append([]byte{}, keyPEM...)
+}
+
+// CertPEM reports the deployed certificate (nil if none).
+func (c *Controller) CertPEM() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.certPEM
+}
+
+// SafetyCheck turns the power monitor off if no measurement is running —
+// the access server's periodic safety job (§3.1).
+func (c *Controller) SafetyCheck() (turnedOff bool) {
+	c.mu.Lock()
+	measuring := c.measuring != ""
+	c.mu.Unlock()
+	if !measuring && c.socket.On() {
+		c.socket.Set(false)
+		return true
+	}
+	return false
+}
+
+// FactoryReset wipes a device (the maintenance job between
+// experimenters).
+func (c *Controller) FactoryReset(serial string) error {
+	s, err := c.slotOf(serial)
+	if err != nil {
+		return err
+	}
+	if s.session.Active() {
+		s.session.Stop()
+	}
+	return s.dev.FactoryReset()
+}
+
+// MonitorCPU records the controller's CPU into a series at the given
+// period until stop is called — the Fig. 5 instrumentation.
+func (c *Controller) MonitorCPU(period time.Duration) (series *trace.Series, stop func()) {
+	s := trace.NewSeries("controller-cpu", "percent")
+	t := simclock.NewTicker(c.clock, period, func(now time.Time) {
+		s.MustAppend(now, c.host.CPUPercent(now))
+	})
+	return s, t.Stop
+}

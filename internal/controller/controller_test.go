@@ -1,0 +1,415 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"batterylab/internal/adb"
+	"batterylab/internal/device"
+	"batterylab/internal/simclock"
+)
+
+func newVP(t *testing.T, nDevices int) (*Controller, *simclock.Virtual, []*device.Device) {
+	t.Helper()
+	clk := simclock.NewVirtual()
+	c, err := New(clk, Config{Name: "node1", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devs []*device.Device
+	for i := 0; i < nDevices; i++ {
+		d, err := device.New(clk, device.Config{
+			Seed:   uint64(i + 1),
+			Serial: "J7DUO00000" + string(rune('1'+i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AttachDevice(d); err != nil {
+			t.Fatal(err)
+		}
+		devs = append(devs, d)
+	}
+	return c, clk, devs
+}
+
+func armMonitor(t *testing.T, c *Controller) {
+	t.Helper()
+	if !c.PowerMonitor() {
+		t.Fatal("power_monitor did not turn on")
+	}
+	if err := c.SetVoltage(3.85); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListDevices(t *testing.T) {
+	c, _, _ := newVP(t, 2)
+	ids := c.ListDevices()
+	if len(ids) != 2 || ids[0] != "J7DUO000001" || ids[1] != "J7DUO000002" {
+		t.Fatalf("list = %v", ids)
+	}
+}
+
+func TestAttachLimits(t *testing.T) {
+	c, clk, _ := newVP(t, MaxDevices)
+	extra, _ := device.New(clk, device.Config{Seed: 99, Serial: "EXTRA"})
+	if err := c.AttachDevice(extra); err == nil {
+		t.Fatal("attach beyond slot budget accepted")
+	}
+	dup, _ := device.New(clk, device.Config{Seed: 98, Serial: "J7DUO000001"})
+	if err := c.AttachDevice(dup); err == nil {
+		t.Fatal("duplicate serial accepted")
+	}
+}
+
+func TestStartMonitorPreconditions(t *testing.T) {
+	c, _, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	if err := c.StartMonitor(serial, 0); err == nil {
+		t.Fatal("start without monitor power accepted")
+	}
+	c.PowerMonitor() // on
+	if err := c.StartMonitor(serial, 0); err == nil {
+		t.Fatal("start without voltage accepted")
+	}
+	c.SetVoltage(3.85)
+	if err := c.StartMonitor("nosuch", 0); err == nil {
+		t.Fatal("unknown serial accepted")
+	}
+	if err := c.StartMonitor(serial, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Measuring() != serial {
+		t.Fatalf("measuring = %q", c.Measuring())
+	}
+}
+
+func TestMeasurementLifecycle(t *testing.T) {
+	c, clk, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	// Measurement configuration: the device must not charge over USB.
+	if err := c.USBPower(serial, false); err != nil {
+		t.Fatal(err)
+	}
+	armMonitor(t, c)
+	if err := c.StartMonitor(serial, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Device switched to bypass: powered by the monitor.
+	if devs[0].Path() != device.PathMonitor {
+		t.Fatalf("device path = %v during measurement", devs[0].Path())
+	}
+	clk.Advance(10 * time.Second)
+	series, err := c.StopMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Len() != 10*1000 {
+		t.Fatalf("samples = %d", series.Len())
+	}
+	// Idle draw ~150 mA through the relay.
+	mean := series.Summary().Mean
+	if mean < 100 || mean > 220 {
+		t.Fatalf("mean = %.1f mA", mean)
+	}
+	// Back on battery.
+	if devs[0].Path() != device.PathBattery {
+		t.Fatalf("device path = %v after stop", devs[0].Path())
+	}
+	if c.Measuring() != "" {
+		t.Fatal("still measuring after stop")
+	}
+}
+
+func TestSingleMeasurementAtATime(t *testing.T) {
+	c, _, devs := newVP(t, 2)
+	armMonitor(t, c)
+	if err := c.StartMonitor(devs[0].Serial(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartMonitor(devs[1].Serial(), 0); err == nil {
+		t.Fatal("concurrent measurement accepted")
+	}
+}
+
+func TestStopMonitorWithoutStart(t *testing.T) {
+	c, _, _ := newVP(t, 1)
+	if _, err := c.StopMonitor(); err == nil {
+		t.Fatal("stop without start accepted")
+	}
+}
+
+func TestBattSwitchToggle(t *testing.T) {
+	c, _, devs := newVP(t, 1)
+	c.USBPower(devs[0].Serial(), false)
+	armMonitor(t, c) // the bypass needs a live Vout to supply the device
+	onBatt, err := c.BattSwitch(devs[0].Serial())
+	if err != nil || onBatt {
+		t.Fatalf("first toggle: onBatt=%v err=%v", onBatt, err)
+	}
+	if devs[0].Path() != device.PathMonitor {
+		t.Fatal("device not on bypass after toggle")
+	}
+	onBatt, _ = c.BattSwitch(devs[0].Serial())
+	if !onBatt {
+		t.Fatal("second toggle should return to battery")
+	}
+}
+
+func TestBattSwitchOntoDeadMonitorKillsDevice(t *testing.T) {
+	c, _, devs := newVP(t, 1)
+	c.USBPower(devs[0].Serial(), false)
+	// Monitor off: the bypass has no supply behind it.
+	if _, err := c.BattSwitch(devs[0].Serial()); err != nil {
+		t.Fatal(err)
+	}
+	if devs[0].Booted() {
+		t.Fatal("device survived switching onto a dead monitor")
+	}
+}
+
+func TestDeviceMirroringToggle(t *testing.T) {
+	c, _, devs := newVP(t, 1)
+	on, err := c.DeviceMirroring(devs[0].Serial())
+	if err != nil || !on {
+		t.Fatalf("mirroring on: %v, %v", on, err)
+	}
+	sess, _ := c.MirrorSession(devs[0].Serial())
+	if !sess.Active() {
+		t.Fatal("session inactive")
+	}
+	on, _ = c.DeviceMirroring(devs[0].Serial())
+	if on || sess.Active() {
+		t.Fatal("mirroring off failed")
+	}
+}
+
+func TestExecuteADB(t *testing.T) {
+	c, _, devs := newVP(t, 1)
+	out, err := c.ExecuteADB(devs[0].Serial(), "getprop ro.product.model")
+	if err != nil || out != "Samsung J7 Duo" {
+		t.Fatalf("execute_adb = %q, %v", out, err)
+	}
+}
+
+func TestSafetyCheckPowersOffIdleMonitor(t *testing.T) {
+	c, _, _ := newVP(t, 1)
+	c.PowerMonitor() // on, no measurement
+	if !c.SafetyCheck() {
+		t.Fatal("safety check left idle monitor on")
+	}
+	if c.Socket().On() {
+		t.Fatal("socket still on")
+	}
+	// During a measurement it must not cut power.
+	armMonitor(t, c)
+	c.StartMonitor(c.ListDevices()[0], 0)
+	if c.SafetyCheck() {
+		t.Fatal("safety check cut power mid-measurement")
+	}
+}
+
+func TestControllerCPUBaseline(t *testing.T) {
+	c, clk, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	armMonitor(t, c)
+	c.StartMonitor(serial, 500)
+	series, stop := c.MonitorCPU(time.Second)
+	clk.Advance(30 * time.Second)
+	stop()
+	// Monsoon polling only: flat ~25 %.
+	sum := series.Summary()
+	if sum.Median < 20 || sum.Median > 30 {
+		t.Fatalf("controller CPU median = %.1f, want ~25", sum.Median)
+	}
+}
+
+func TestControllerCPUWithMirroring(t *testing.T) {
+	c, clk, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	// Mirroring during a measurement needs ADB over WiFi (USB is cut).
+	if err := c.ADB().EnableTCPIP(serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ADB().SetTransport(serial, adb.TransportWiFi); err != nil {
+		t.Fatal(err)
+	}
+	armMonitor(t, c)
+	if err := c.StartMonitor(serial, 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeviceMirroring(serial); err != nil {
+		t.Fatal(err)
+	}
+	devs[0].Framebuffer().SetActivity(20, 0.8) // browsing-like activity
+	series, stop := c.MonitorCPU(time.Second)
+	clk.Advance(60 * time.Second)
+	stop()
+	sum := series.Summary()
+	if sum.Median < 60 || sum.Median > 92 {
+		t.Fatalf("mirroring CPU median = %.1f, want ~75", sum.Median)
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	c, _, devs := newVP(t, 1)
+	base := c.Host().MemoryPercent()
+	c.DeviceMirroring(devs[0].Serial())
+	with := c.Host().MemoryPercent()
+	extra := with - base
+	if extra < 3 || extra > 9 {
+		t.Fatalf("mirroring memory extra = %.1f%%, paper ~6%%", extra)
+	}
+	if with > 20 {
+		t.Fatalf("total memory %.1f%% exceeds the paper's <20%%", with)
+	}
+}
+
+func TestRegionFollowsVPN(t *testing.T) {
+	c, _, _ := newVP(t, 1)
+	if c.Region() != "GB" {
+		t.Fatalf("region = %s", c.Region())
+	}
+	c.VPN().Connect("Bunkyo")
+	if c.Region() != "JP" {
+		t.Fatalf("region = %s", c.Region())
+	}
+	c.VPN().Disconnect()
+	if c.Region() != "GB" {
+		t.Fatalf("region = %s", c.Region())
+	}
+}
+
+func TestDeployCert(t *testing.T) {
+	c, _, _ := newVP(t, 1)
+	if c.CertPEM() != nil {
+		t.Fatal("cert before deploy")
+	}
+	c.DeployCert([]byte("CERT"), []byte("KEY"))
+	if string(c.CertPEM()) != "CERT" {
+		t.Fatal("cert not stored")
+	}
+}
+
+func TestFactoryResetStopsMirroring(t *testing.T) {
+	c, _, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	c.DeviceMirroring(serial)
+	devs[0].Storage().Push("/sdcard/x", []byte("1"))
+	if err := c.FactoryReset(serial); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := c.MirrorSession(serial)
+	if sess.Active() {
+		t.Fatal("mirroring survived factory reset")
+	}
+	if devs[0].Storage().Exists("/sdcard/x") {
+		t.Fatal("storage survived factory reset")
+	}
+}
+
+func TestMonitorFailureRollsBackRelay(t *testing.T) {
+	c, _, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	armMonitor(t, c)
+	// Sabotage: cut monitor power between arm and start by toggling
+	// twice (off) — but keep Vout check passing is impossible then, so
+	// instead start twice: second start fails with relay untouched.
+	if err := c.StartMonitor(serial, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartMonitor(serial, 0); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if devs[0].Path() != device.PathMonitor {
+		t.Fatal("first measurement disturbed by failed second start")
+	}
+}
+
+func TestUSBCutAndRestoredAroundMeasurement(t *testing.T) {
+	c, clk, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	armMonitor(t, c)
+	if devs[0].Path() != device.PathUSB {
+		t.Fatalf("pre-measurement path = %v, want usb (hub powered)", devs[0].Path())
+	}
+	if err := c.StartMonitor(serial, 100); err != nil {
+		t.Fatal(err)
+	}
+	if devs[0].Path() != device.PathMonitor {
+		t.Fatalf("path during measurement = %v, want monitor", devs[0].Path())
+	}
+	clk.Advance(time.Second)
+	if _, err := c.StopMonitor(); err != nil {
+		t.Fatal(err)
+	}
+	if devs[0].Path() != device.PathUSB {
+		t.Fatalf("path after stop = %v, want usb restored", devs[0].Path())
+	}
+}
+
+func TestSSHSurface(t *testing.T) {
+	c, _, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	hostKey := mustKeypair(t)
+	srv := c.NewSSHServer(hostKey)
+	clientKey := mustKeypair(t)
+	cl := newSSHClient(t, srv, clientKey)
+
+	out, err := cl.Exec("ping")
+	if err != nil || !strings.Contains(out, "node1") {
+		t.Fatalf("ping = %q, %v", out, err)
+	}
+	out, err = cl.Exec("list_devices")
+	if err != nil || out != serial {
+		t.Fatalf("list_devices = %q, %v", out, err)
+	}
+	if _, err := cl.Exec("power_monitor"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("set_voltage", "3.85"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("set_voltage", "99"); err == nil {
+		t.Fatal("bad voltage accepted over SSH")
+	}
+	// The measurement workflow: arm ADB-over-WiFi before USB is cut.
+	if _, err := cl.Exec("adb_tcpip", serial); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("adb_transport", serial, "wifi"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("start_monitor", serial, "100"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = cl.Exec("execute_adb", serial, "dumpsys", "battery")
+	if err != nil || !strings.Contains(out, "level:") {
+		t.Fatalf("execute_adb = %q, %v", out, err)
+	}
+	out, err = cl.Exec("stop_monitor")
+	if err != nil || !strings.Contains(out, "elapsed_s") {
+		t.Fatalf("stop_monitor = %q, %v", out, err)
+	}
+	out, err = cl.Exec("status")
+	if err != nil || !strings.Contains(out, "name=node1") {
+		t.Fatalf("status = %q, %v", out, err)
+	}
+	if _, err := cl.Exec("vpn_connect", "Hong_Kong"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Region() != "HK" {
+		t.Fatal("vpn_connect did not take effect")
+	}
+	if _, err := cl.Exec("vpn_disconnect"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("device_mirroring", serial); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec("factory_reset", serial); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"batterylab/internal/device"
+)
+
+// Failure-injection tests: the platform must degrade cleanly when the
+// physical world misbehaves mid-measurement.
+
+func TestMainsCutMidMeasurement(t *testing.T) {
+	c, clk, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	c.USBPower(serial, false)
+	armMonitor(t, c)
+	if err := c.StartMonitor(serial, 500); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	// Someone (or a buggy job) flips the wall socket off.
+	c.Socket().Set(false)
+	if c.Monsoon().Sampling() {
+		t.Fatal("monsoon kept sampling without mains")
+	}
+	// The device is stranded on a dead bypass: hard power loss.
+	if devs[0].Booted() {
+		t.Fatal("device survived a dead bypass")
+	}
+	// StopMonitor reports the failure rather than inventing a trace.
+	if _, err := c.StopMonitor(); err == nil {
+		t.Fatal("StopMonitor succeeded after mains cut")
+	}
+	// Recovery: relay back to battery, reboot, measurement slot free
+	// after the failed stop.
+	if _, err := c.BattSwitch(serial); err != nil {
+		t.Fatal(err)
+	}
+	if devs[0].Path() != device.PathBattery {
+		t.Fatalf("path = %v", devs[0].Path())
+	}
+	if err := devs[0].Boot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatteryPulledDuringBypassIsFine(t *testing.T) {
+	// The whole point of the bypass: the battery can be absent while
+	// the monitor supplies the device.
+	c, clk, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	c.USBPower(serial, false)
+	armMonitor(t, c)
+	if err := c.StartMonitor(serial, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := devs[0].Battery().Detach(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	if !devs[0].Booted() {
+		t.Fatal("device died on bypass with battery removed")
+	}
+	series, err := c.StopMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Summary().Mean < 100 {
+		t.Fatalf("measurement degraded: %v", series.Summary())
+	}
+	// But returning the relay to the battery position killed it (no
+	// battery!) — StopMonitor moved the relay; the device is now off.
+	if devs[0].Booted() {
+		t.Fatal("device survived switch to an absent battery")
+	}
+	// Reseat and reboot.
+	devs[0].Battery().Attach()
+	devs[0].SetRelayPosition(true)
+	if err := devs[0].Boot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceShutdownMidMeasurementReadsZero(t *testing.T) {
+	c, clk, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	c.USBPower(serial, false)
+	armMonitor(t, c)
+	if err := c.StartMonitor(serial, 500); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	if err := devs[0].Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	series, err := c.StopMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First half live, second half near zero.
+	first := series.Window(series.At(0).T, series.At(0).T.Add(2*time.Second))
+	second := series.Window(series.At(0).T.Add(2*time.Second), series.At(series.Len()-1).T)
+	if first.Summary().Mean < 100 {
+		t.Fatalf("live half = %v", first.Summary())
+	}
+	if second.Summary().Mean > 10 {
+		t.Fatalf("dead half = %v", second.Summary())
+	}
+}
+
+func TestSamplingOverrunBounded(t *testing.T) {
+	// A forgotten monitor must not grow without bound: the safety cron
+	// is the backstop; this test pins the failure it prevents.
+	c, clk, devs := newVP(t, 1)
+	serial := devs[0].Serial()
+	armMonitor(t, c)
+	if err := c.StartMonitor(serial, 100); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Minute)
+	if !c.Monsoon().Sampling() {
+		t.Fatal("sampling stopped by itself")
+	}
+	if c.SafetyCheck() {
+		t.Fatal("safety check must not cut a running measurement")
+	}
+	series, err := c.StopMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Len() != 60000 {
+		t.Fatalf("samples = %d", series.Len())
+	}
+	// Now idle: safety succeeds.
+	if !c.SafetyCheck() {
+		t.Fatal("safety check left the idle monitor powered")
+	}
+}

@@ -1,0 +1,110 @@
+package controller
+
+import (
+	"sync"
+	"time"
+
+	"batterylab/internal/rng"
+)
+
+// HostModel is the Raspberry Pi 3B+ resource model: 4 cores and 1 GB of
+// memory. Its CPU utilization is what Fig. 5 plots — a flat ~25 % while
+// the Monsoon is being polled at full rate, jumping to a ~75 % median
+// when a mirroring session's transcode stack runs.
+type HostModel struct {
+	noise *rng.RNG
+
+	mu      sync.Mutex
+	sources []LoadSource
+}
+
+// MemoryTotalMB is the Pi 3B+'s RAM.
+const MemoryTotalMB = 1024
+
+// baseCPUPercent is the OS idle load (kernel, sshd, dhcpcd...).
+const baseCPUPercent = 5.5
+
+// baseMemoryMB is Raspbian's resting footprint.
+const baseMemoryMB = 128
+
+// LoadSource contributes CPU and memory to the host — the Monsoon
+// polling loop and each mirroring session implement this.
+type LoadSource interface {
+	// HostCPUPercent is the instantaneous CPU share consumed.
+	HostCPUPercent(now time.Time) float64
+	// HostMemoryMB is the resident memory consumed.
+	HostMemoryMB() float64
+}
+
+// NewHostModel returns an idle host.
+func NewHostModel(seed uint64) *HostModel {
+	return &HostModel{noise: rng.New(seed).Fork("host")}
+}
+
+// AddSource attaches a load source.
+func (h *HostModel) AddSource(s LoadSource) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sources = append(h.sources, s)
+}
+
+// CPUPercent reports total utilization in [0, 100] — what
+// /proc/stat-based monitoring would sample.
+func (h *HostModel) CPUPercent(now time.Time) float64 {
+	h.mu.Lock()
+	sources := append([]LoadSource{}, h.sources...)
+	h.mu.Unlock()
+	const epoch = 200 * time.Millisecond
+	e := now.UnixNano() / int64(epoch)
+	total := baseCPUPercent + h.noise.At("cpu", e).Normal(0, 1.2)
+	for _, s := range sources {
+		total += s.HostCPUPercent(now)
+	}
+	if total < 0 {
+		total = 0
+	}
+	if total > 100 {
+		total = 100
+	}
+	return total
+}
+
+// MemoryMB reports resident memory.
+func (h *HostModel) MemoryMB() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := float64(baseMemoryMB)
+	for _, s := range h.sources {
+		total += s.HostMemoryMB()
+	}
+	if total > MemoryTotalMB {
+		total = MemoryTotalMB
+	}
+	return total
+}
+
+// MemoryPercent reports memory utilization in [0, 100].
+func (h *HostModel) MemoryPercent() float64 {
+	return 100 * h.MemoryMB() / MemoryTotalMB
+}
+
+// monsoonPollLoad is the controller process that pulls battery readings
+// from the Monsoon "at highest frequency" — the paper's constant 25 %
+// CPU while a measurement runs.
+type monsoonPollLoad struct {
+	active func() bool
+}
+
+func (m *monsoonPollLoad) HostCPUPercent(time.Time) float64 {
+	if m.active() {
+		return 19.5
+	}
+	return 0
+}
+
+func (m *monsoonPollLoad) HostMemoryMB() float64 {
+	if m.active() {
+		return 14
+	}
+	return 0
+}

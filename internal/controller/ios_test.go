@@ -1,0 +1,83 @@
+package controller
+
+import (
+	"testing"
+
+	"batterylab/internal/device"
+	"batterylab/internal/simclock"
+)
+
+// The paper treats iOS as near-term future work (§5): no ADB and no
+// scrcpy, but the Bluetooth keyboard automation, the relay and the
+// monitor all still apply. These tests pin that capability surface.
+
+func newIOSVP(t *testing.T) (*Controller, *device.Device, *simclock.Virtual) {
+	t.Helper()
+	clk := simclock.NewVirtual()
+	c, err := New(clk, Config{Name: "node-ios", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.New(clk, device.Config{
+		Seed:   9,
+		Serial: "IPHONE8-001",
+		Model:  "iPhone 8",
+		OS:     "ios",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachDevice(d); err != nil {
+		t.Fatal(err)
+	}
+	return c, d, clk
+}
+
+func TestIOSAttachWithoutADB(t *testing.T) {
+	c, d, _ := newIOSVP(t)
+	// Listed as a test device...
+	if got := c.ListDevices(); len(got) != 1 || got[0] != d.Serial() {
+		t.Fatalf("devices = %v", got)
+	}
+	// ...but unknown to the ADB server.
+	if _, err := c.ExecuteADB(d.Serial(), "echo hi"); err == nil {
+		t.Fatal("execute_adb reached an iOS device")
+	}
+}
+
+func TestIOSMirroringUnsupported(t *testing.T) {
+	c, d, _ := newIOSVP(t)
+	if _, err := c.DeviceMirroring(d.Serial()); err == nil {
+		t.Fatal("scrcpy mirroring started on iOS")
+	}
+}
+
+func TestIOSBluetoothKeyboardWorks(t *testing.T) {
+	c, d, _ := newIOSVP(t)
+	if !c.Keyboard().Paired(d.Serial()) {
+		t.Fatal("iOS device not paired to the HID keyboard")
+	}
+	if _, err := c.Keyboard().SendKey(d.Serial(), "KEYCODE_ENTER"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOSMeasurable(t *testing.T) {
+	c, d, clk := newIOSVP(t)
+	c.USBPower(d.Serial(), false)
+	c.PowerMonitor()
+	if err := c.SetVoltage(d.Battery().NominalVoltage()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartMonitor(d.Serial(), 500); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * 1e9) // 5 s
+	series, err := c.StopMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Len() == 0 || series.Summary().Mean < 50 {
+		t.Fatalf("iOS measurement: %v", series.Summary())
+	}
+}

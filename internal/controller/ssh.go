@@ -1,0 +1,232 @@
+package controller
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"batterylab/internal/adb"
+	"batterylab/internal/sshx"
+)
+
+// Exec dispatches one management command — the controller's remote
+// command surface. It backs both the sshx endpoint (NewSSHServer) and
+// in-process node handles at the access server, so local and remote
+// vantage points behave identically. Every Table 1 API call is
+// available.
+func (c *Controller) Exec(cmd string, args ...string) (string, error) {
+	switch cmd {
+	case "ping":
+		return "pong " + c.cfg.Name, nil
+
+	case "list_devices":
+		return strings.Join(c.ListDevices(), "\n"), nil
+
+	case "device_mirroring":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: device_mirroring <serial>")
+		}
+		on, err := c.DeviceMirroring(args[0])
+		if err != nil {
+			return "", err
+		}
+		if on {
+			return "mirroring on", nil
+		}
+		return "mirroring off", nil
+
+	case "power_monitor":
+		if c.PowerMonitor() {
+			return "monitor on", nil
+		}
+		return "monitor off", nil
+
+	case "set_voltage":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: set_voltage <volts>")
+		}
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return "", fmt.Errorf("bad voltage %q", args[0])
+		}
+		if err := c.SetVoltage(v); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("vout %.2f", v), nil
+
+	case "start_monitor":
+		if len(args) < 1 || len(args) > 2 {
+			return "", fmt.Errorf("usage: start_monitor <serial> [rate]")
+		}
+		rate := 0
+		if len(args) == 2 {
+			var err error
+			rate, err = strconv.Atoi(args[1])
+			if err != nil {
+				return "", fmt.Errorf("bad rate %q", args[1])
+			}
+		}
+		if err := c.StartMonitor(args[0], rate); err != nil {
+			return "", err
+		}
+		return "sampling", nil
+
+	case "stop_monitor":
+		series, err := c.StopMonitor()
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		if err := series.WriteCSV(&b); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+
+	case "batt_switch":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: batt_switch <serial>")
+		}
+		onBattery, err := c.BattSwitch(args[0])
+		if err != nil {
+			return "", err
+		}
+		if onBattery {
+			return "battery", nil
+		}
+		return "bypass", nil
+
+	case "execute_adb":
+		if len(args) < 2 {
+			return "", fmt.Errorf("usage: execute_adb <serial> <command...>")
+		}
+		return c.ExecuteADB(args[0], strings.Join(args[1:], " "))
+
+	case "deploy_cert":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: deploy_cert <cert-b64> <key-b64>")
+		}
+		cert, err := base64.StdEncoding.DecodeString(args[0])
+		if err != nil {
+			return "", fmt.Errorf("bad cert encoding: %w", err)
+		}
+		key, err := base64.StdEncoding.DecodeString(args[1])
+		if err != nil {
+			return "", fmt.Errorf("bad key encoding: %w", err)
+		}
+		c.DeployCert(cert, key)
+		return "deployed", nil
+
+	case "cert_fingerprint":
+		pem := c.CertPEM()
+		if pem == nil {
+			return "", fmt.Errorf("no certificate deployed")
+		}
+		return fmt.Sprintf("%d bytes", len(pem)), nil
+
+	case "safety_check":
+		if c.SafetyCheck() {
+			return "monitor powered off", nil
+		}
+		return "ok", nil
+
+	case "factory_reset":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: factory_reset <serial>")
+		}
+		if err := c.FactoryReset(args[0]); err != nil {
+			return "", err
+		}
+		return "reset", nil
+
+	case "vpn_connect":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: vpn_connect <location>")
+		}
+		exit, err := c.vpnCl.Connect(strings.ReplaceAll(args[0], "_", " "))
+		if err != nil {
+			return "", err
+		}
+		return "connected " + exit.Location, nil
+
+	case "vpn_disconnect":
+		c.vpnCl.Disconnect()
+		return "disconnected", nil
+
+	case "adb_tcpip":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: adb_tcpip <serial>")
+		}
+		if err := c.adbSrv.EnableTCPIP(args[0]); err != nil {
+			return "", err
+		}
+		return "tcpip enabled", nil
+
+	case "adb_transport":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: adb_transport <serial> <usb|wifi|bluetooth>")
+		}
+		var kind adb.TransportKind
+		switch args[1] {
+		case "usb":
+			kind = adb.TransportUSB
+		case "wifi":
+			kind = adb.TransportWiFi
+		case "bluetooth":
+			kind = adb.TransportBluetooth
+		default:
+			return "", fmt.Errorf("unknown transport %q", args[1])
+		}
+		if err := c.adbSrv.SetTransport(args[0], kind); err != nil {
+			return "", err
+		}
+		return "transport " + args[1], nil
+
+	case "usb_power":
+		if len(args) != 2 || (args[1] != "on" && args[1] != "off") {
+			return "", fmt.Errorf("usage: usb_power <serial> <on|off>")
+		}
+		if err := c.USBPower(args[0], args[1] == "on"); err != nil {
+			return "", err
+		}
+		return "usb " + args[1], nil
+
+	case "status":
+		now := c.clock.Now()
+		return fmt.Sprintf("name=%s devices=%d measuring=%q cpu=%.1f%% mem=%.1f%%",
+			c.cfg.Name, len(c.ListDevices()), c.Measuring(),
+			c.host.CPUPercent(now), c.host.MemoryPercent()), nil
+
+	default:
+		return "", fmt.Errorf("controller: unknown command %q", cmd)
+	}
+}
+
+// Commands lists the remote command names, for discovery/help.
+func Commands() []string {
+	return []string{
+		"ping", "list_devices", "device_mirroring", "power_monitor",
+		"set_voltage", "start_monitor", "stop_monitor", "batt_switch",
+		"execute_adb", "deploy_cert", "cert_fingerprint", "safety_check",
+		"factory_reset", "vpn_connect", "vpn_disconnect", "adb_tcpip",
+		"adb_transport", "usb_power", "status",
+	}
+}
+
+// NewSSHServer builds the controller's secure command endpoint — the
+// channel the access server manages vantage points through (§3.1). The
+// caller authorizes the access server's key and starts listening:
+//
+//	srv := ctl.NewSSHServer(hostKey)
+//	srv.AuthorizeKey(accessServerPub)
+//	addr, _ := srv.Listen("0.0.0.0:2222")
+func (c *Controller) NewSSHServer(ident sshx.Keypair) *sshx.Server {
+	srv := sshx.NewServer(ident)
+	for _, cmd := range Commands() {
+		cmd := cmd
+		srv.Handle(cmd, func(_ string, args []string) (string, error) {
+			return c.Exec(cmd, args...)
+		})
+	}
+	return srv
+}

@@ -1,0 +1,33 @@
+package controller
+
+import (
+	"testing"
+
+	"batterylab/internal/sshx"
+)
+
+func mustKeypair(t *testing.T) sshx.Keypair {
+	t.Helper()
+	kp, err := sshx.GenerateKeypair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+// newSSHClient spins up the server on loopback and returns a connected
+// client.
+func newSSHClient(t *testing.T, srv *sshx.Server, clientKey sshx.Keypair) *sshx.Client {
+	t.Helper()
+	cl := sshx.NewClient(clientKey)
+	srv.AuthorizeKey(cl.PublicKey())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); cl.Close() })
+	if err := cl.Dial(addr, srv.HostKey()); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}

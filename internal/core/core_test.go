@@ -1,0 +1,277 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"batterylab/internal/automation"
+	"batterylab/internal/browser"
+	"batterylab/internal/certs"
+	"batterylab/internal/controller"
+	"batterylab/internal/device"
+	"batterylab/internal/simclock"
+	"batterylab/internal/video"
+)
+
+type rig struct {
+	clk    *simclock.Virtual
+	plat   *Platform
+	ctl    *controller.Controller
+	dev    *device.Device
+	serial string
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clk := simclock.NewVirtual()
+	plat, err := NewPlatform(clk, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := controller.New(clk, controller.Config{Name: "node1", Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.New(clk, device.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.AttachDevice(dev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plat.Join(ctl, "198.51.100.7:2222"); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{clk: clk, plat: plat, ctl: ctl, dev: dev, serial: dev.Serial()}
+}
+
+func TestJoinWorkflow(t *testing.T) {
+	r := newRig(t)
+	// DNS record present.
+	addr, err := r.plat.Zone.Resolve("node1." + Domain)
+	if err != nil || addr != "198.51.100.7:2222" {
+		t.Fatalf("resolve = %q, %v", addr, err)
+	}
+	if got := r.plat.VantagePoints(); len(got) != 1 || got[0] != "node1."+Domain {
+		t.Fatalf("vps = %v", got)
+	}
+	// Node registered at the access server.
+	if nodes := r.plat.Access.Nodes.List(); len(nodes) != 1 || nodes[0] != "node1" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	// Certificate deployed and valid for the node's FQDN.
+	if r.ctl.CertPEM() == nil {
+		t.Fatal("no certificate deployed")
+	}
+	err = certs.Verify(r.ctl.CertPEM(), r.plat.CA.CertPEM(), "node1."+Domain, r.clk.Now())
+	if err != nil {
+		t.Fatalf("deployed cert invalid: %v", err)
+	}
+}
+
+func TestJoinDuplicate(t *testing.T) {
+	r := newRig(t)
+	ctl2, _ := controller.New(r.clk, controller.Config{Name: "node1", Seed: 2})
+	if _, err := r.plat.Join(ctl2, "198.51.100.8:2222"); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+}
+
+func TestCertRenewalJob(t *testing.T) {
+	r := newRig(t)
+	before, _ := r.plat.DeployedCert("node1")
+	// Inside validity: nothing renews.
+	if n := r.plat.RenewCertificates(); n != 0 {
+		t.Fatalf("renewed %d fresh certs", n)
+	}
+	// Advance into the renewal window (90d validity - 30d window).
+	r.clk.Advance(65 * 24 * time.Hour)
+	if n := r.plat.RenewCertificates(); n != 1 {
+		t.Fatalf("renewed %d, want 1", n)
+	}
+	after, _ := r.plat.DeployedCert("node1")
+	if before.Leaf.SerialNumber.Cmp(after.Leaf.SerialNumber) == 0 {
+		t.Fatal("certificate not rotated")
+	}
+	if err := certs.Verify(r.ctl.CertPEM(), r.plat.CA.CertPEM(), "node1."+Domain, r.clk.Now()); err != nil {
+		t.Fatalf("renewed cert invalid: %v", err)
+	}
+}
+
+func TestMaintenanceJobs(t *testing.T) {
+	r := newRig(t)
+	stop := r.plat.InstallMaintenanceJobs()
+	defer stop()
+	// Leave the monitor on with no measurement: the safety cron powers
+	// it off.
+	r.ctl.PowerMonitor()
+	if !r.ctl.Socket().On() {
+		t.Fatal("socket should be on")
+	}
+	r.clk.Advance(11 * time.Minute)
+	if r.ctl.Socket().On() {
+		t.Fatal("safety cron left the monitor on")
+	}
+	if r.plat.Access.CronRuns("monsoon-safety") == 0 {
+		t.Fatal("safety cron never ran")
+	}
+}
+
+func TestRunExperimentVideo(t *testing.T) {
+	r := newRig(t)
+	r.dev.Storage().Push("/sdcard/video.mp4", video.SampleMP4(1<<20))
+	r.dev.Install(video.NewPlayer("/sdcard/video.mp4"))
+
+	res, err := r.plat.RunExperiment(ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 500,
+		Workload: func(drv automation.Driver) *automation.Script {
+			s := automation.NewScript("video")
+			s.Add("launch", 30*time.Second, func() error {
+				_, err := drv.LaunchApp(video.PackageName)
+				return err
+			})
+			return s
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Current.Len() < 10_000 {
+		t.Fatalf("current samples = %d", res.Current.Len())
+	}
+	med, _ := res.Current.CDF()
+	// Video playback without mirroring: median around 160 mA (Fig. 2).
+	if m := med.Median(); m < 135 || m > 190 {
+		t.Fatalf("median current = %.1f mA, want ~160", m)
+	}
+	if res.EnergyMAH <= 0 {
+		t.Fatal("no energy measured")
+	}
+	if res.DeviceCPU.Len() == 0 || res.ControllerCPU.Len() == 0 {
+		t.Fatal("missing CPU traces")
+	}
+	if res.MirrorUploadBytes != 0 {
+		t.Fatal("mirror bytes without mirroring")
+	}
+	// The monitor is released for the next experimenter.
+	if r.ctl.Measuring() != "" {
+		t.Fatal("monitor still held")
+	}
+}
+
+func TestRunExperimentMirroringRaisesCurrent(t *testing.T) {
+	r := newRig(t)
+	r.dev.Storage().Push("/sdcard/video.mp4", video.SampleMP4(1<<20))
+	r.dev.Install(video.NewPlayer("/sdcard/video.mp4"))
+	workload := func(drv automation.Driver) *automation.Script {
+		s := automation.NewScript("video")
+		s.Add("launch", 60*time.Second, func() error {
+			_, err := drv.LaunchApp(video.PackageName)
+			return err
+		})
+		return s
+	}
+	plain, err := r.plat.RunExperiment(ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 200, Workload: workload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirrored, err := r.plat.RunExperiment(ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 200, Mirroring: true, Workload: workload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, _ := plain.Current.CDF()
+	mm, _ := mirrored.Current.CDF()
+	gap := mm.Median() - pm.Median()
+	// Fig. 2: mirroring lifts the median from ~160 to ~220 mA.
+	if gap < 30 || gap > 100 {
+		t.Fatalf("mirroring gap = %.1f mA, want ~60", gap)
+	}
+	if mirrored.MirrorUploadBytes == 0 {
+		t.Fatal("no mirror upload accounted")
+	}
+}
+
+func TestRunExperimentRejectsUSB(t *testing.T) {
+	r := newRig(t)
+	_, err := r.plat.RunExperiment(ExperimentSpec{
+		Node: "node1", Device: r.serial, Transport: TransportUSB,
+		Workload: func(drv automation.Driver) *automation.Script {
+			return automation.NewScript("x")
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "USB") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunExperimentVPN(t *testing.T) {
+	r := newRig(t)
+	prof, _ := browser.FindProfile("Chrome")
+	b := browser.New(prof, r.ctl.AP(), func() string { return r.ctl.Region() })
+	r.dev.Install(b)
+
+	res, err := r.plat.RunExperiment(ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 100, VPNLocation: "Bunkyo",
+		Workload: func(drv automation.Driver) *automation.Script {
+			return browser.BuildWorkload(drv, prof.Package, browser.WorkloadOptions{
+				Pages:   []string{"bbc.com", "cnn.com"},
+				Scrolls: 2,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyMAH <= 0 {
+		t.Fatal("no energy")
+	}
+	// Tunnel torn down after the run.
+	if r.ctl.VPN().Active() != nil {
+		t.Fatal("VPN left connected")
+	}
+}
+
+func TestRunExperimentWorkloadError(t *testing.T) {
+	r := newRig(t)
+	_, err := r.plat.RunExperiment(ExperimentSpec{
+		Node: "node1", Device: r.serial,
+		Workload: func(drv automation.Driver) *automation.Script {
+			s := automation.NewScript("bad")
+			s.Add("boom", time.Second, func() error {
+				_, err := drv.LaunchApp("com.not.installed")
+				return err
+			})
+			return s
+		},
+	})
+	if err == nil {
+		t.Fatal("workload error swallowed")
+	}
+	// Monitor released even on failure.
+	if r.ctl.Measuring() != "" {
+		t.Fatal("monitor leaked after failure")
+	}
+}
+
+func TestRunExperimentValidation(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.plat.RunExperiment(ExperimentSpec{Node: "node1", Device: r.serial}); err == nil {
+		t.Fatal("missing workload accepted")
+	}
+	spec := ExperimentSpec{
+		Node: "nowhere", Device: r.serial,
+		Workload: func(drv automation.Driver) *automation.Script { return automation.NewScript("x") },
+	}
+	if _, err := r.plat.RunExperiment(spec); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	spec.Node, spec.Device = "node1", "nodevice"
+	if _, err := r.plat.RunExperiment(spec); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}

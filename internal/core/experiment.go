@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"batterylab/internal/adb"
+	"batterylab/internal/automation"
+	"batterylab/internal/simclock"
+	"batterylab/internal/trace"
+)
+
+// Transport selects the measurement-time ADB channel. The zero value is
+// WiFi — the measurement-safe default the paper uses. USB is listed only
+// to be rejected with an explanatory error.
+type Transport int
+
+// Transports.
+const (
+	TransportWiFi Transport = iota
+	TransportBluetooth
+	TransportUSB
+)
+
+// ExperimentSpec describes one battery measurement run — the programmatic
+// equivalent of a Jenkins job built from the Table 1 API.
+type ExperimentSpec struct {
+	// Node and Device select the vantage point and test device.
+	Node   string
+	Device string
+	// SampleRate is the monitor's sampling rate in Hz (0 = hardware
+	// maximum, 5 kHz). Long sweeps use lower rates to bound memory.
+	SampleRate int
+	// VoltageV is the monitor output voltage (0 = the device battery's
+	// nominal voltage).
+	VoltageV float64
+	// Mirroring activates the device-mirroring pipeline for the run —
+	// the knob whose cost §4.1/4.2 quantify.
+	Mirroring bool
+	// VPNLocation tunnels the vantage point's traffic through a
+	// ProtonVPN exit ("" = direct) — the §4.3 knob.
+	VPNLocation string
+	// Transport is the ADB channel used during the measurement.
+	// Defaults to WiFi, the paper's measurement-safe choice.
+	Transport Transport
+	// Workload builds the automation script given the run's driver.
+	Workload func(drv automation.Driver) *automation.Script
+	// CPUSamplePeriod controls the device/controller CPU monitors
+	// (default 1 s).
+	CPUSamplePeriod time.Duration
+	// Padding holds the monitor running after the script completes
+	// (settle tail; default 1 s).
+	Padding time.Duration
+}
+
+// Result carries everything a run measured.
+type Result struct {
+	// Current is the power monitor's trace (mA).
+	Current *trace.Series
+	// DeviceCPU and ControllerCPU are 1 Hz utilization traces (%).
+	DeviceCPU     *trace.Series
+	ControllerCPU *trace.Series
+	// EnergyMAH is the discharge over the run.
+	EnergyMAH float64
+	// MirrorUploadBytes is the device→controller stream volume.
+	MirrorUploadBytes int64
+	// Duration is the measured window.
+	Duration time.Duration
+}
+
+// RunExperiment executes a measurement end to end on a joined vantage
+// point. On a Virtual clock it drives simulated time itself, so a
+// 7-minute workload returns in milliseconds; on the Real clock it blocks
+// for the workload's actual duration.
+func (p *Platform) RunExperiment(spec ExperimentSpec) (*Result, error) {
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	scripted, err := p.StartExperiment(spec, func(res *Result, err error) {
+		ch <- outcome{res, err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := p.clock.(*simclock.Virtual); ok {
+		// Drive simulated time until the experiment completes, bounded
+		// by a generous budget so a stuck workload cannot hang us.
+		deadline := v.Now().Add(scripted*2 + time.Minute)
+		for {
+			select {
+			case o := <-ch:
+				return o.res, o.err
+			default:
+			}
+			if !v.Now().Before(deadline) {
+				return nil, fmt.Errorf("core: workload did not finish within %v", scripted*2+time.Minute)
+			}
+			v.Advance(100 * time.Millisecond)
+		}
+	}
+	o := <-ch
+	return o.res, o.err
+}
+
+// StartExperiment sets a measurement up and schedules its workload,
+// returning immediately with the scripted duration. When the run
+// completes (or fails), done receives the result; it is invoked exactly
+// once, from a clock callback. This is the form access-server jobs use:
+// the build's RunFunc must not block or drive the clock itself.
+func (p *Platform) StartExperiment(spec ExperimentSpec, done func(*Result, error)) (time.Duration, error) {
+	if spec.Workload == nil {
+		return 0, errors.New("core: experiment needs a workload")
+	}
+	if done == nil {
+		done = func(*Result, error) {}
+	}
+	ctl, err := p.Controller(spec.Node)
+	if err != nil {
+		return 0, err
+	}
+	dev, err := ctl.Device(spec.Device)
+	if err != nil {
+		return 0, err
+	}
+	if spec.CPUSamplePeriod == 0 {
+		spec.CPUSamplePeriod = time.Second
+	}
+	if spec.Padding == 0 {
+		spec.Padding = time.Second
+	}
+	if spec.VoltageV == 0 {
+		spec.VoltageV = dev.Battery().NominalVoltage()
+	}
+
+	// 1. Network location (§4.3).
+	vpnConnected := false
+	if spec.VPNLocation != "" {
+		if _, err := ctl.VPN().Connect(spec.VPNLocation); err != nil {
+			return 0, err
+		}
+		vpnConnected = true
+	}
+	teardownNetwork := func() {
+		if vpnConnected {
+			ctl.VPN().Disconnect()
+		}
+	}
+
+	// 2. Automation channel (§3.3): arm the measurement-safe transport
+	// while USB is still up.
+	switch spec.Transport {
+	case TransportUSB:
+		teardownNetwork()
+		return 0, errors.New("core: USB transport corrupts measurements; use WiFi or Bluetooth")
+	case TransportBluetooth:
+		if err := ctl.ADB().SetTransport(spec.Device, adb.TransportBluetooth); err != nil {
+			teardownNetwork()
+			return 0, err
+		}
+	default: // WiFi
+		if err := ctl.ADB().EnableTCPIP(spec.Device); err != nil {
+			teardownNetwork()
+			return 0, err
+		}
+		if err := ctl.ADB().SetTransport(spec.Device, adb.TransportWiFi); err != nil {
+			teardownNetwork()
+			return 0, err
+		}
+	}
+
+	// 3. Mirroring (§3.2), before the monitor so its cost is measured.
+	mirrorActive := false
+	if spec.Mirroring {
+		sess, err := ctl.MirrorSession(spec.Device)
+		if err != nil {
+			teardownNetwork()
+			return 0, err
+		}
+		if err := sess.Start(0); err != nil {
+			teardownNetwork()
+			return 0, err
+		}
+		mirrorActive = true
+	}
+	teardownMirror := func() {
+		if mirrorActive {
+			if sess, err := ctl.MirrorSession(spec.Device); err == nil {
+				sess.Stop()
+			}
+		}
+	}
+
+	// 4. Arm and start the monitor.
+	if !ctl.Monsoon().Powered() {
+		ctl.PowerMonitor()
+	}
+	if err := ctl.SetVoltage(spec.VoltageV); err != nil {
+		teardownMirror()
+		teardownNetwork()
+		return 0, err
+	}
+	if err := ctl.StartMonitor(spec.Device, spec.SampleRate); err != nil {
+		teardownMirror()
+		teardownNetwork()
+		return 0, err
+	}
+
+	// 5. CPU instrumentation.
+	devCPU := trace.NewSeries("device-cpu", "percent")
+	devTicker := simclock.NewTicker(p.clock, spec.CPUSamplePeriod, func(now time.Time) {
+		devCPU.MustAppend(now, dev.CPU().UtilAt(now))
+	})
+	ctlCPU, stopCtlCPU := ctl.MonitorCPU(spec.CPUSamplePeriod)
+
+	// 6. Run the workload; completion flows through finish exactly once.
+	drv := automation.NewADBDriver(ctl.ADB(), spec.Device)
+	script := spec.Workload(drv)
+	start := p.clock.Now()
+
+	finish := func(scriptErr error) {
+		devTicker.Stop()
+		stopCtlCPU()
+		var mirrorBytes int64
+		if mirrorActive {
+			if sess, err := ctl.MirrorSession(spec.Device); err == nil {
+				mirrorBytes = sess.BytesSent()
+			}
+		}
+		current, stopErr := ctl.StopMonitor()
+		teardownMirror()
+		teardownNetwork()
+		if scriptErr != nil {
+			done(nil, fmt.Errorf("core: workload: %w", scriptErr))
+			return
+		}
+		if stopErr != nil {
+			done(nil, stopErr)
+			return
+		}
+		done(&Result{
+			Current:           current,
+			DeviceCPU:         devCPU,
+			ControllerCPU:     ctlCPU,
+			EnergyMAH:         current.EnergyMAH(),
+			Duration:          p.clock.Now().Sub(start),
+			MirrorUploadBytes: mirrorBytes,
+		}, nil)
+	}
+
+	exec := automation.NewExecutor(p.clock)
+	exec.Run(script, func(scriptErr error) {
+		if scriptErr != nil {
+			finish(scriptErr)
+			return
+		}
+		// Hold the monitor through the padding tail, then collect.
+		p.clock.AfterFunc(spec.Padding, func() { finish(nil) })
+	})
+	return script.TotalWait() + spec.Padding, nil
+}

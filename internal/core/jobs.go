@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"batterylab/internal/accessserver"
+)
+
+// This file bridges the experiment runner into the access server's job
+// queue — the paper's actual workflow (§3.1): experimenters create jobs,
+// an admin approves the pipeline, the queue dispatches when the target
+// device is free, and the power-meter logs land in the job's workspace.
+
+// MeasurementJob wraps an ExperimentSpec as an access-server pipeline
+// body. The build succeeds when the measurement completes; the current
+// trace is stored as "current.csv" and the CPU traces as
+// "device-cpu.csv" / "controller-cpu.csv" in the build workspace.
+func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
+	return func(ctx *accessserver.BuildContext, done func(error)) {
+		scripted, err := p.StartExperiment(spec, func(res *Result, err error) {
+			if err != nil {
+				ctx.Logf("measurement failed: %v", err)
+				done(err)
+				return
+			}
+			saveSeries := func(name string, write func(*strings.Builder) error) error {
+				var b strings.Builder
+				if err := write(&b); err != nil {
+					return err
+				}
+				ctx.Build.Workspace().Save(name, []byte(b.String()))
+				return nil
+			}
+			if err := saveSeries("current.csv", func(b *strings.Builder) error { return res.Current.WriteCSV(b) }); err != nil {
+				done(err)
+				return
+			}
+			if err := saveSeries("device-cpu.csv", func(b *strings.Builder) error { return res.DeviceCPU.WriteCSV(b) }); err != nil {
+				done(err)
+				return
+			}
+			if err := saveSeries("controller-cpu.csv", func(b *strings.Builder) error { return res.ControllerCPU.WriteCSV(b) }); err != nil {
+				done(err)
+				return
+			}
+			ctx.Logf("measured %s: %.2f mAh over %s (%d samples)",
+				spec.Device, res.EnergyMAH, res.Duration, res.Current.Len())
+			done(nil)
+		})
+		if err != nil {
+			done(err)
+			return
+		}
+		ctx.Logf("experiment scheduled: ~%s of device time", scripted)
+	}
+}
+
+// SubmitExperiment creates, and for admins immediately approves and
+// queues, a measurement job for spec. Experimenter-created jobs are left
+// awaiting the §3.1 admin approval; the returned build is nil in that
+// case.
+func (p *Platform) SubmitExperiment(user *accessserver.User, jobName string, spec ExperimentSpec) (*accessserver.Build, error) {
+	cons := accessserver.Constraints{Node: spec.Node, Device: spec.Device}
+	if _, err := p.Access.CreateJob(user, jobName, cons, p.MeasurementJob(spec)); err != nil {
+		return nil, err
+	}
+	job, err := p.Access.Job(jobName)
+	if err != nil {
+		return nil, err
+	}
+	if !job.Approved() {
+		return nil, nil // awaiting admin approval
+	}
+	b, err := p.Access.Submit(user, jobName)
+	if err != nil {
+		return nil, fmt.Errorf("core: submitting %s: %w", jobName, err)
+	}
+	return b, nil
+}

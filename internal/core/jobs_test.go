@@ -1,0 +1,159 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"batterylab/internal/accessserver"
+	"batterylab/internal/automation"
+	"batterylab/internal/browser"
+	"batterylab/internal/trace"
+)
+
+func browserSpec(r *rig, name string, pages int) ExperimentSpec {
+	prof, _ := browser.FindProfile(name)
+	return ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 200,
+		Workload: func(drv automation.Driver) *automation.Script {
+			return browser.BuildWorkload(drv, prof.Package, browser.WorkloadOptions{
+				Pages:   browser.NewsSites()[:pages],
+				Scrolls: 2,
+			})
+		},
+	}
+}
+
+func installStudyBrowsers(t *testing.T, r *rig) {
+	t.Helper()
+	for _, prof := range browser.Profiles() {
+		b := browser.New(prof, r.ctl.AP(), func() string { return r.ctl.Region() })
+		if err := r.dev.Install(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSubmitExperimentThroughQueue(t *testing.T) {
+	r := newRig(t)
+	installStudyBrowsers(t, r)
+	admin, err := r.plat.Access.Users.Add("admin", accessserver.RoleAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.plat.SubmitExperiment(admin, "brave-study", browserSpec(r, "Brave", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == nil {
+		t.Fatal("admin submission should queue immediately")
+	}
+	// The build runs asynchronously on clock callbacks; drive time.
+	deadline := r.clk.Now().Add(10 * time.Minute)
+	for b.State() == accessserver.StateRunning && r.clk.Now().Before(deadline) {
+		r.clk.Advance(time.Second)
+	}
+	if b.State() != accessserver.StateSuccess {
+		t.Fatalf("state = %v err = %v log:\n%s", b.State(), b.Err(), b.Log())
+	}
+	// Artifacts: all three traces in the workspace.
+	for _, name := range []string{"current.csv", "device-cpu.csv", "controller-cpu.csv"} {
+		raw, err := b.Workspace().Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		series, err := trace.ReadCSV(strings.NewReader(string(raw)), "x", "u", r.clk.Now())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if series.Len() == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+	if !strings.Contains(b.Log(), "measured "+r.serial) {
+		t.Fatalf("log:\n%s", b.Log())
+	}
+}
+
+func TestSubmitExperimentNeedsApproval(t *testing.T) {
+	r := newRig(t)
+	installStudyBrowsers(t, r)
+	exp, err := r.plat.Access.Users.Add("bob", accessserver.RoleExperimenter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.plat.SubmitExperiment(exp, "bob-study", browserSpec(r, "Chrome", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != nil {
+		t.Fatal("experimenter job ran without admin approval")
+	}
+	// Admin approves, experimenter submits.
+	admin, _ := r.plat.Access.Users.Add("alice", accessserver.RoleAdmin)
+	if err := r.plat.Access.ApproveJob(admin, "bob-study"); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.plat.Access.Submit(exp, "bob-study")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := r.clk.Now().Add(10 * time.Minute)
+	for b2.State() == accessserver.StateRunning && r.clk.Now().Before(deadline) {
+		r.clk.Advance(time.Second)
+	}
+	if b2.State() != accessserver.StateSuccess {
+		t.Fatalf("state = %v err = %v", b2.State(), b2.Err())
+	}
+}
+
+func TestQueuedExperimentsSerializeOnDevice(t *testing.T) {
+	r := newRig(t)
+	installStudyBrowsers(t, r)
+	admin, _ := r.plat.Access.Users.Add("admin", accessserver.RoleAdmin)
+
+	b1, err := r.plat.SubmitExperiment(admin, "first", browserSpec(r, "Brave", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.plat.SubmitExperiment(admin, "second", browserSpec(r, "Chrome", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The device lock keeps the second build queued while the first
+	// owns the monitor — "one job at the time per device" (§3.1).
+	if b1.State() != accessserver.StateRunning {
+		t.Fatalf("b1 = %v", b1.State())
+	}
+	if b2.State() != accessserver.StateQueued {
+		t.Fatalf("b2 = %v, want queued behind device lock", b2.State())
+	}
+	deadline := r.clk.Now().Add(30 * time.Minute)
+	for b2.State() != accessserver.StateSuccess && r.clk.Now().Before(deadline) {
+		r.clk.Advance(time.Second)
+	}
+	if b1.State() != accessserver.StateSuccess || b2.State() != accessserver.StateSuccess {
+		t.Fatalf("states = %v, %v (b2 err %v)", b1.State(), b2.State(), b2.Err())
+	}
+}
+
+func TestMeasurementJobFailurePropagates(t *testing.T) {
+	r := newRig(t)
+	// No browsers installed: the workload's launch step fails, the build
+	// records the failure and the monitor is released.
+	admin, _ := r.plat.Access.Users.Add("admin", accessserver.RoleAdmin)
+	b, err := r.plat.SubmitExperiment(admin, "doomed", browserSpec(r, "Brave", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := r.clk.Now().Add(10 * time.Minute)
+	for b.State() == accessserver.StateRunning && r.clk.Now().Before(deadline) {
+		r.clk.Advance(time.Second)
+	}
+	if b.State() != accessserver.StateFailure {
+		t.Fatalf("state = %v", b.State())
+	}
+	if r.ctl.Measuring() != "" {
+		t.Fatal("monitor leaked after failed build")
+	}
+}

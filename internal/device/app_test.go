@@ -1,0 +1,153 @@
+package device
+
+import (
+	"testing"
+)
+
+// stubApp is a minimal App for lifecycle tests.
+type stubApp struct {
+	pkg      string
+	launched int
+	stopped  int
+	cleared  int
+	inputs   []InputEvent
+}
+
+func (s *stubApp) PackageName() string { return s.pkg }
+func (s *stubApp) Launch(d *Device) error {
+	s.launched++
+	return nil
+}
+func (s *stubApp) Stop(d *Device) error {
+	s.stopped++
+	return nil
+}
+func (s *stubApp) ClearData(d *Device) error {
+	s.cleared++
+	return nil
+}
+func (s *stubApp) HandleInput(d *Device, ev InputEvent) error {
+	s.inputs = append(s.inputs, ev)
+	return nil
+}
+
+func TestInstallLaunchStop(t *testing.T) {
+	d, _ := newDev(t)
+	app := &stubApp{pkg: "com.example"}
+	if err := d.Install(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(app); err == nil {
+		t.Fatal("duplicate install accepted")
+	}
+	if err := d.LaunchApp("com.example"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Foreground() != "com.example" || app.launched != 1 {
+		t.Fatal("launch state wrong")
+	}
+	if err := d.StopApp("com.example"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Foreground() != "" || app.stopped != 1 {
+		t.Fatal("stop state wrong")
+	}
+}
+
+func TestLaunchUnknown(t *testing.T) {
+	d, _ := newDev(t)
+	if err := d.LaunchApp("com.none"); err == nil {
+		t.Fatal("launching missing app accepted")
+	}
+}
+
+func TestLaunchSwitchStopsPrevious(t *testing.T) {
+	d, _ := newDev(t)
+	a := &stubApp{pkg: "a"}
+	b := &stubApp{pkg: "b"}
+	d.Install(a)
+	d.Install(b)
+	d.LaunchApp("a")
+	d.LaunchApp("b")
+	if a.stopped != 1 {
+		t.Fatal("previous foreground app not stopped")
+	}
+	if d.Foreground() != "b" {
+		t.Fatal("foreground wrong")
+	}
+}
+
+func TestInputRoutesToForeground(t *testing.T) {
+	d, _ := newDev(t)
+	app := &stubApp{pkg: "a"}
+	d.Install(app)
+	d.LaunchApp("a")
+	ev := InputEvent{Kind: InputScroll, ScrollDown: true}
+	if err := d.Input(ev); err != nil {
+		t.Fatal(err)
+	}
+	if len(app.inputs) != 1 || app.inputs[0].Kind != InputScroll {
+		t.Fatalf("inputs = %+v", app.inputs)
+	}
+}
+
+func TestInputWakesDarkScreen(t *testing.T) {
+	d, _ := newDev(t)
+	app := &stubApp{pkg: "a"}
+	d.Install(app)
+	d.LaunchApp("a")
+	d.Screen().SetOn(false)
+	d.Input(InputEvent{Kind: InputTap})
+	if !d.Screen().On() {
+		t.Fatal("input did not wake screen")
+	}
+	if len(app.inputs) != 0 {
+		t.Fatal("wake event leaked to app")
+	}
+}
+
+func TestInputNotBooted(t *testing.T) {
+	d, _ := newDev(t)
+	d.Shutdown()
+	if err := d.Input(InputEvent{Kind: InputTap}); err == nil {
+		t.Fatal("input on powered-off device accepted")
+	}
+}
+
+func TestClearAppData(t *testing.T) {
+	d, _ := newDev(t)
+	app := &stubApp{pkg: "a"}
+	d.Install(app)
+	if err := d.ClearAppData("a"); err != nil {
+		t.Fatal(err)
+	}
+	if app.cleared != 1 {
+		t.Fatal("ClearData not delegated")
+	}
+	if err := d.ClearAppData("zz"); err == nil {
+		t.Fatal("clear of missing package accepted")
+	}
+}
+
+func TestUninstallForeground(t *testing.T) {
+	d, _ := newDev(t)
+	app := &stubApp{pkg: "a"}
+	d.Install(app)
+	d.LaunchApp("a")
+	if err := d.Uninstall("a"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Foreground() != "" || app.stopped != 1 {
+		t.Fatal("uninstall of foreground app did not stop it")
+	}
+	if err := d.Uninstall("a"); err == nil {
+		t.Fatal("double uninstall accepted")
+	}
+}
+
+func TestInstallNil(t *testing.T) {
+	d, _ := newDev(t)
+	if err := d.Install(nil); err == nil {
+		t.Fatal("nil install accepted")
+	}
+}

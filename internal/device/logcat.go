@@ -1,0 +1,109 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"batterylab/internal/simclock"
+)
+
+// Level is a logcat priority.
+type Level int
+
+// Log levels, matching logcat's V/D/I/W/E.
+const (
+	Verbose Level = iota
+	Debug
+	Info
+	Warn
+	Error
+)
+
+func (l Level) String() string {
+	switch l {
+	case Verbose:
+		return "V"
+	case Debug:
+		return "D"
+	case Info:
+		return "I"
+	case Warn:
+		return "W"
+	default:
+		return "E"
+	}
+}
+
+// Entry is one log line.
+type Entry struct {
+	T     time.Time
+	Tag   string
+	Level Level
+	Msg   string
+}
+
+// Format renders the entry in logcat's "time" format.
+func (e Entry) Format() string {
+	return fmt.Sprintf("%s %s/%s: %s", e.T.Format("01-02 15:04:05.000"), e.Level, e.Tag, e.Msg)
+}
+
+// Logcat is a bounded ring buffer of log entries, the backing store for
+// the `adb logcat` surface experiments request via execute_adb.
+type Logcat struct {
+	clock simclock.Clock
+	max   int
+
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// NewLogcat returns a buffer retaining at most max entries.
+func NewLogcat(clock simclock.Clock, max int) *Logcat {
+	if max < 1 {
+		max = 1
+	}
+	return &Logcat{clock: clock, max: max}
+}
+
+// Append adds an entry stamped with the current time.
+func (l *Logcat) Append(tag string, level Level, msg string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, Entry{T: l.clock.Now(), Tag: tag, Level: level, Msg: msg})
+	if len(l.entries) > l.max {
+		l.entries = l.entries[len(l.entries)-l.max:]
+	}
+}
+
+// Dump returns all buffered entries.
+func (l *Logcat) Dump() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry{}, l.entries...)
+}
+
+// DumpText renders the buffer as logcat text output.
+func (l *Logcat) DumpText() string {
+	var b strings.Builder
+	for _, e := range l.Dump() {
+		b.WriteString(e.Format())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Clear empties the buffer (logcat -c).
+func (l *Logcat) Clear() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = nil
+}
+
+// Len reports the number of buffered entries.
+func (l *Logcat) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

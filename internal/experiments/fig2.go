@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"batterylab/internal/mirror"
+	"batterylab/internal/stats"
+	"batterylab/internal/video"
+)
+
+// Fig2Row is one CDF series of the paper's Figure 2: the current drawn
+// during 5 minutes of mp4 playback under one wiring/mirroring scenario.
+type Fig2Row struct {
+	Scenario string
+	CDF      *stats.CDF
+}
+
+// Fig2Scenarios lists the four curves of the figure.
+func Fig2Scenarios() []string {
+	return []string{"direct", "relay", "direct-mirroring", "relay-mirroring"}
+}
+
+// Fig2Accuracy reproduces Figure 2 (§4.1): the accuracy comparison
+// between the Monsoon-recommended direct wiring and BatteryLab's relay
+// wiring, with and without device mirroring. The expected shape: direct
+// and relay nearly coincide; mirroring lifts the median by ~60 mA in
+// both wirings.
+func Fig2Accuracy(opts Options) ([]Fig2Row, error) {
+	opts = opts.withDefaults()
+	var rows []Fig2Row
+	for i, scenario := range Fig2Scenarios() {
+		env, err := NewEnv(opts.Seed + uint64(i)*1000)
+		if err != nil {
+			return nil, err
+		}
+		cdf, err := fig2Scenario(env, scenario, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s: %w", scenario, err)
+		}
+		rows = append(rows, Fig2Row{Scenario: scenario, CDF: cdf})
+	}
+	return rows, nil
+}
+
+func fig2Scenario(env *Env, scenario string, opts Options) (*stats.CDF, error) {
+	direct := scenario == "direct" || scenario == "direct-mirroring"
+	mirroring := scenario == "direct-mirroring" || scenario == "relay-mirroring"
+
+	// The automation channel must be measurement-safe before USB goes
+	// away.
+	if err := env.Ctl.ADB().EnableTCPIP(env.Serial); err != nil {
+		return nil, err
+	}
+	if _, err := env.Ctl.Exec("adb_transport", env.Serial, "wifi"); err != nil {
+		return nil, err
+	}
+	// Start playback, then measure steady state.
+	if err := env.Dev.LaunchApp(video.PackageName); err != nil {
+		return nil, err
+	}
+
+	var sess *mirror.Session
+	if mirroring {
+		var err error
+		sess, err = env.Ctl.MirrorSession(env.Serial)
+		if err != nil {
+			return nil, err
+		}
+		if err := sess.Start(0); err != nil {
+			return nil, err
+		}
+		defer sess.Stop()
+	}
+
+	if !env.Ctl.Monsoon().Powered() {
+		env.Ctl.PowerMonitor()
+	}
+	if err := env.Ctl.SetVoltage(env.Dev.Battery().NominalVoltage()); err != nil {
+		return nil, err
+	}
+
+	if direct {
+		// Direct wiring: the phone's V+ goes straight to the Monsoon's
+		// Vout — no relay in the loop, following the Monsoon's cabling
+		// instructions. The device is manually placed on the monitor
+		// supply and the hub's port is left unpowered.
+		if err := env.Ctl.USBPower(env.Serial, false); err != nil {
+			return nil, err
+		}
+		env.Dev.SetRelayPosition(false)
+		env.Ctl.Monsoon().WireSource(env.Dev.Rail())
+		if err := env.Ctl.Monsoon().StartSampling(opts.SampleRate); err != nil {
+			return nil, err
+		}
+		env.Clk.Advance(opts.VideoDuration)
+		series, err := env.Ctl.Monsoon().StopSampling()
+		if err != nil {
+			return nil, err
+		}
+		env.Dev.SetRelayPosition(true)
+		return series.CDF()
+	}
+
+	// Relay wiring: the platform's own measurement path.
+	if err := env.Ctl.StartMonitor(env.Serial, opts.SampleRate); err != nil {
+		return nil, err
+	}
+	env.Clk.Advance(opts.VideoDuration)
+	series, err := env.Ctl.StopMonitor()
+	if err != nil {
+		return nil, err
+	}
+	return series.CDF()
+}
+
+// Fig2Gap summarizes the figure's two findings: the direct↔relay KS
+// distance (should be negligible) and the mirroring median lift.
+type Fig2Gap struct {
+	DirectRelayKS    float64
+	MedianNoMirror   float64
+	MedianMirrorring float64
+	MirrorLiftMA     float64
+}
+
+// SummarizeFig2 computes the gap metrics from the four rows.
+func SummarizeFig2(rows []Fig2Row) (Fig2Gap, error) {
+	byName := map[string]*stats.CDF{}
+	for _, r := range rows {
+		byName[r.Scenario] = r.CDF
+	}
+	for _, want := range Fig2Scenarios() {
+		if byName[want] == nil {
+			return Fig2Gap{}, fmt.Errorf("fig2: missing scenario %s", want)
+		}
+	}
+	g := Fig2Gap{
+		DirectRelayKS:    stats.KSDistance(byName["direct"], byName["relay"]),
+		MedianNoMirror:   byName["relay"].Median(),
+		MedianMirrorring: byName["relay-mirroring"].Median(),
+	}
+	g.MirrorLiftMA = g.MedianMirrorring - g.MedianNoMirror
+	return g, nil
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"batterylab/internal/device"
+)
+
+// newSecondDevice attaches another J7 Duo to the env's vantage point —
+// the multi-device configuration the relay switch exists for.
+func newSecondDevice(env *Env) (*device.Device, error) {
+	d, err := device.New(env.Clk, device.Config{
+		Seed:   env.Dev.Config().Seed + 71,
+		Serial: "J7DUO000002",
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Ctl.AttachDevice(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,53 @@
+package mirror
+
+import (
+	"time"
+
+	"batterylab/internal/rng"
+)
+
+// Latency components of the mirroring control loop (§4.2): the time from
+// a click in the experimenter's browser to the first changed frame
+// arriving back. The paper measures 1.44 ± 0.12 s with a co-located
+// client (1 ms network RTT) via audio/video annotation over 40 trials.
+const (
+	latInputDispatch = 290 * time.Millisecond // browser→GUI→ADB→device input injection
+	latAppRender     = 380 * time.Millisecond // app reacts and redraws
+	latCaptureEncode = 260 * time.Millisecond // scrcpy capture + encode + buffer
+	latTranscode     = 330 * time.Millisecond // controller VNC transcode + noVNC
+	latClientRender  = 170 * time.Millisecond // browser decodes and paints
+	latSigma         = 115 * time.Millisecond // end-to-end jitter
+)
+
+// LatencyProbe models the click-to-photon measurement.
+type LatencyProbe struct {
+	rnd *rng.RNG
+	// NetworkRTT is the experimenter-browser↔controller round trip,
+	// added twice (event in, frame out).
+	NetworkRTT time.Duration
+}
+
+// NewLatencyProbe returns a probe with the given client RTT.
+func NewLatencyProbe(seed uint64, networkRTT time.Duration) *LatencyProbe {
+	return &LatencyProbe{rnd: rng.New(seed).Fork("latency"), NetworkRTT: networkRTT}
+}
+
+// Sample draws one end-to-end latency measurement.
+func (p *LatencyProbe) Sample() time.Duration {
+	base := latInputDispatch + latAppRender + latCaptureEncode + latTranscode + latClientRender + 2*p.NetworkRTT
+	d := time.Duration(p.rnd.Normal(float64(base), float64(latSigma)))
+	if min := base / 2; d < min {
+		d = min
+	}
+	return d
+}
+
+// Measure runs n trials and returns the samples in seconds — the data
+// behind the paper's "1.44 (±0.12) sec over 40 repetitions".
+func (p *LatencyProbe) Measure(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Sample().Seconds()
+	}
+	return out
+}

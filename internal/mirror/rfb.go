@@ -1,0 +1,283 @@
+package mirror
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file implements the wire protocol between noVNC clients and the
+// controller's VNC server: a compact subset of RFB 3.8 (the protocol
+// tigervnc speaks) sufficient for BatteryLab's GUI — framebuffer update
+// segments flowing to the client and pointer/key events flowing back.
+// The framing is real and runs over any net.Conn; the payload bytes are
+// the (simulated) encoded stream.
+
+// ProtocolVersion is the RFB handshake banner.
+const ProtocolVersion = "RFB 003.008\n"
+
+// Client→server message types (RFB §6.4).
+const (
+	msgSetEncodings      = 2
+	msgFramebufferUpdReq = 3
+	MsgKeyEvent          = 4
+	MsgPointerEvent      = 5
+)
+
+// Server→client message types.
+const msgFramebufferUpdate = 0
+
+// ServerInit describes the mirrored display.
+type ServerInit struct {
+	Width  uint16
+	Height uint16
+	Name   string
+}
+
+// Handshake performs the server side of the RFB handshake on rw: version
+// exchange, "none" security, ServerInit.
+func Handshake(rw io.ReadWriter, init ServerInit) error {
+	if _, err := io.WriteString(rw, ProtocolVersion); err != nil {
+		return err
+	}
+	buf := make([]byte, len(ProtocolVersion))
+	if _, err := io.ReadFull(rw, buf); err != nil {
+		return fmt.Errorf("rfb: reading client version: %w", err)
+	}
+	if string(buf[:4]) != "RFB " {
+		return fmt.Errorf("rfb: bad client version %q", buf)
+	}
+	// Security: offer exactly "none" (1), read the client's choice,
+	// answer OK.
+	if _, err := rw.Write([]byte{1, 1}); err != nil {
+		return err
+	}
+	choice := make([]byte, 1)
+	if _, err := io.ReadFull(rw, choice); err != nil {
+		return err
+	}
+	if choice[0] != 1 {
+		return fmt.Errorf("rfb: client chose unsupported security %d", choice[0])
+	}
+	if err := binary.Write(rw, binary.BigEndian, uint32(0)); err != nil { // SecurityResult OK
+		return err
+	}
+	// ClientInit: shared flag.
+	if _, err := io.ReadFull(rw, choice); err != nil {
+		return err
+	}
+	// ServerInit: width, height, a zeroed 16-byte pixel format, name.
+	var hdr [20]byte
+	binary.BigEndian.PutUint16(hdr[0:], init.Width)
+	binary.BigEndian.PutUint16(hdr[2:], init.Height)
+	if _, err := rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(rw, binary.BigEndian, uint32(len(init.Name))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(rw, init.Name)
+	return err
+}
+
+// ClientHandshake performs the client side and returns the ServerInit.
+func ClientHandshake(rw io.ReadWriter) (ServerInit, error) {
+	var si ServerInit
+	buf := make([]byte, len(ProtocolVersion))
+	if _, err := io.ReadFull(rw, buf); err != nil {
+		return si, err
+	}
+	if _, err := io.WriteString(rw, ProtocolVersion); err != nil {
+		return si, err
+	}
+	// Security list.
+	n := make([]byte, 1)
+	if _, err := io.ReadFull(rw, n); err != nil {
+		return si, err
+	}
+	types := make([]byte, n[0])
+	if _, err := io.ReadFull(rw, types); err != nil {
+		return si, err
+	}
+	if _, err := rw.Write([]byte{1}); err != nil { // choose none
+		return si, err
+	}
+	var result uint32
+	if err := binary.Read(rw, binary.BigEndian, &result); err != nil {
+		return si, err
+	}
+	if result != 0 {
+		return si, fmt.Errorf("rfb: security failed (%d)", result)
+	}
+	if _, err := rw.Write([]byte{1}); err != nil { // ClientInit: shared
+		return si, err
+	}
+	var hdr [20]byte
+	if _, err := io.ReadFull(rw, hdr[:]); err != nil {
+		return si, err
+	}
+	si.Width = binary.BigEndian.Uint16(hdr[0:])
+	si.Height = binary.BigEndian.Uint16(hdr[2:])
+	var nameLen uint32
+	if err := binary.Read(rw, binary.BigEndian, &nameLen); err != nil {
+		return si, err
+	}
+	if nameLen > 1<<16 {
+		return si, fmt.Errorf("rfb: absurd name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(rw, name); err != nil {
+		return si, err
+	}
+	si.Name = string(name)
+	return si, nil
+}
+
+// Update is one framebuffer update segment.
+type Update struct {
+	X, Y, W, H uint16
+	Payload    []byte
+}
+
+// WriteUpdate sends a FramebufferUpdate with one rectangle carrying a
+// length-prefixed encoded payload (pseudo-encoding -240, BatteryLab
+// stream).
+func WriteUpdate(w io.Writer, u Update) error {
+	var hdr [4]byte
+	hdr[0] = msgFramebufferUpdate
+	binary.BigEndian.PutUint16(hdr[2:], 1) // one rectangle
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rect [12]byte
+	binary.BigEndian.PutUint16(rect[0:], u.X)
+	binary.BigEndian.PutUint16(rect[2:], u.Y)
+	binary.BigEndian.PutUint16(rect[4:], u.W)
+	binary.BigEndian.PutUint16(rect[6:], u.H)
+	enc := int32(-240)
+	binary.BigEndian.PutUint32(rect[8:], uint32(enc))
+	if _, err := w.Write(rect[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(len(u.Payload))); err != nil {
+		return err
+	}
+	_, err := w.Write(u.Payload)
+	return err
+}
+
+// ReadUpdate reads a FramebufferUpdate written by WriteUpdate.
+func ReadUpdate(r io.Reader) (Update, error) {
+	var u Update
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return u, err
+	}
+	if hdr[0] != msgFramebufferUpdate {
+		return u, fmt.Errorf("rfb: unexpected message type %d", hdr[0])
+	}
+	if n := binary.BigEndian.Uint16(hdr[2:]); n != 1 {
+		return u, fmt.Errorf("rfb: expected 1 rectangle, got %d", n)
+	}
+	var rect [12]byte
+	if _, err := io.ReadFull(r, rect[:]); err != nil {
+		return u, err
+	}
+	u.X = binary.BigEndian.Uint16(rect[0:])
+	u.Y = binary.BigEndian.Uint16(rect[2:])
+	u.W = binary.BigEndian.Uint16(rect[4:])
+	u.H = binary.BigEndian.Uint16(rect[6:])
+	var plen uint32
+	if err := binary.Read(r, binary.BigEndian, &plen); err != nil {
+		return u, err
+	}
+	if plen > 1<<24 {
+		return u, fmt.Errorf("rfb: absurd payload length %d", plen)
+	}
+	u.Payload = make([]byte, plen)
+	_, err := io.ReadFull(r, u.Payload)
+	return u, err
+}
+
+// Event is a client input event.
+type Event struct {
+	Type    byte // MsgKeyEvent or MsgPointerEvent
+	Down    bool
+	Key     uint32 // keysym for key events
+	Buttons byte   // button mask for pointer events
+	X, Y    uint16
+}
+
+// WriteEvent sends a client event.
+func WriteEvent(w io.Writer, e Event) error {
+	switch e.Type {
+	case MsgKeyEvent:
+		var msg [8]byte
+		msg[0] = MsgKeyEvent
+		if e.Down {
+			msg[1] = 1
+		}
+		binary.BigEndian.PutUint32(msg[4:], e.Key)
+		_, err := w.Write(msg[:])
+		return err
+	case MsgPointerEvent:
+		var msg [6]byte
+		msg[0] = MsgPointerEvent
+		msg[1] = e.Buttons
+		binary.BigEndian.PutUint16(msg[2:], e.X)
+		binary.BigEndian.PutUint16(msg[4:], e.Y)
+		_, err := w.Write(msg[:])
+		return err
+	default:
+		return fmt.Errorf("rfb: unsupported event type %d", e.Type)
+	}
+}
+
+// ReadEvent reads the next client event, skipping SetEncodings and
+// FramebufferUpdateRequest bookkeeping messages.
+func ReadEvent(r io.Reader) (Event, error) {
+	for {
+		var t [1]byte
+		if _, err := io.ReadFull(r, t[:]); err != nil {
+			return Event{}, err
+		}
+		switch t[0] {
+		case MsgKeyEvent:
+			var rest [7]byte
+			if _, err := io.ReadFull(r, rest[:]); err != nil {
+				return Event{}, err
+			}
+			return Event{
+				Type: MsgKeyEvent,
+				Down: rest[0] == 1,
+				Key:  binary.BigEndian.Uint32(rest[3:]),
+			}, nil
+		case MsgPointerEvent:
+			var rest [5]byte
+			if _, err := io.ReadFull(r, rest[:]); err != nil {
+				return Event{}, err
+			}
+			return Event{
+				Type:    MsgPointerEvent,
+				Buttons: rest[0],
+				X:       binary.BigEndian.Uint16(rest[1:]),
+				Y:       binary.BigEndian.Uint16(rest[3:]),
+			}, nil
+		case msgSetEncodings:
+			var rest [3]byte
+			if _, err := io.ReadFull(r, rest[:]); err != nil {
+				return Event{}, err
+			}
+			n := binary.BigEndian.Uint16(rest[1:])
+			if _, err := io.CopyN(io.Discard, r, int64(n)*4); err != nil {
+				return Event{}, err
+			}
+		case msgFramebufferUpdReq:
+			if _, err := io.CopyN(io.Discard, r, 9); err != nil {
+				return Event{}, err
+			}
+		default:
+			return Event{}, fmt.Errorf("rfb: unknown client message %d", t[0])
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package mirror
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// RFBServer serves a mirroring session to noVNC-style clients over real
+// TCP: the RFB handshake, a stream of FramebufferUpdate segments carrying
+// the agent's encoded output, and client pointer/key events forwarded to
+// the device through the session's ADB path — the §3.2 remote-control
+// loop end to end.
+type RFBServer struct {
+	sess *Session
+	ln   net.Listener
+
+	mu      sync.Mutex
+	conns   map[int64]*rfbConn
+	nextID  int64
+	dropped atomic.Int64
+}
+
+type rfbConn struct {
+	conn net.Conn
+	out  chan Update
+}
+
+// streamQueueDepth bounds per-client buffering; a slow viewer drops
+// segments rather than stalling the pipeline (streaming semantics).
+const streamQueueDepth = 64
+
+// ServeRFB starts serving the session's stream on addr and returns the
+// server with its bound address.
+func ServeRFB(sess *Session, addr string) (*RFBServer, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	s := &RFBServer{sess: sess, ln: ln, conns: make(map[int64]*rfbConn)}
+	sess.VNC().setForward(s.broadcast)
+	go s.acceptLoop()
+	return s, ln.Addr().String(), nil
+}
+
+// Close stops the listener and disconnects all viewers.
+func (s *RFBServer) Close() error {
+	s.sess.VNC().setForward(nil)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for _, c := range s.conns {
+		c.conn.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// DroppedSegments reports segments discarded due to slow viewers.
+func (s *RFBServer) DroppedSegments() int64 { return s.dropped.Load() }
+
+func (s *RFBServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *RFBServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	if err := Handshake(conn, ServerInit{
+		Width: 720, Height: 1280, Name: s.sess.Device().Serial(),
+	}); err != nil {
+		return
+	}
+	rc := &rfbConn{conn: conn, out: make(chan Update, streamQueueDepth)}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.conns[id] = rc
+	s.mu.Unlock()
+	s.sess.VNC().AddClient(fmt.Sprintf("rfb-%d", id))
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, id)
+		s.mu.Unlock()
+		s.sess.VNC().RemoveClient(fmt.Sprintf("rfb-%d", id))
+	}()
+
+	// Writer: pump queued updates to the socket.
+	writeDone := make(chan struct{})
+	go func() {
+		defer close(writeDone)
+		for u := range rc.out {
+			if err := WriteUpdate(conn, u); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Reader: translate client events into device input.
+	s.readEvents(conn)
+	close(rc.out)
+	<-writeDone
+}
+
+// readEvents forwards client input until the connection drops.
+func (s *RFBServer) readEvents(r io.Reader) {
+	for {
+		ev, err := ReadEvent(r)
+		if err != nil {
+			return
+		}
+		switch ev.Type {
+		case MsgPointerEvent:
+			if ev.Buttons&1 != 0 { // left button press = tap
+				s.sess.Tap(int(ev.X), int(ev.Y))
+			}
+		case MsgKeyEvent:
+			if !ev.Down {
+				continue
+			}
+			if key, ok := keysymToAndroid(ev.Key); ok {
+				s.sess.Key(key)
+			}
+		}
+	}
+}
+
+// keysymToAndroid maps the X11 keysyms noVNC sends to Android key codes
+// — the subset the BatteryLab GUI needs.
+func keysymToAndroid(sym uint32) (string, bool) {
+	switch sym {
+	case 0xff0d:
+		return "KEYCODE_ENTER", true
+	case 0xff08:
+		return "KEYCODE_DEL", true
+	case 0xff1b:
+		return "KEYCODE_BACK", true
+	case 0xff52:
+		return "KEYCODE_DPAD_UP", true
+	case 0xff54:
+		return "KEYCODE_DPAD_DOWN", true
+	case 0xff51:
+		return "KEYCODE_DPAD_LEFT", true
+	case 0xff53:
+		return "KEYCODE_DPAD_RIGHT", true
+	case 0xff09:
+		return "KEYCODE_TAB", true
+	case ' ':
+		return "KEYCODE_SPACE", true
+	}
+	// Printable ASCII letters/digits map directly.
+	if sym >= '0' && sym <= '9' {
+		return fmt.Sprintf("KEYCODE_%c", sym), true
+	}
+	if sym >= 'a' && sym <= 'z' {
+		return fmt.Sprintf("KEYCODE_%c", sym-32), true
+	}
+	if sym >= 'A' && sym <= 'Z' {
+		return fmt.Sprintf("KEYCODE_%c", sym), true
+	}
+	return "", false
+}
+
+// broadcast fans one encoded segment out to every connected viewer.
+func (s *RFBServer) broadcast(updateRate float64, payload []byte) {
+	u := Update{X: 0, Y: 0, W: 720, H: 1280, Payload: payload}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		select {
+		case c.out <- u:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}

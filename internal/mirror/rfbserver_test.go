@@ -1,0 +1,134 @@
+package mirror
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"batterylab/internal/device"
+)
+
+func rfbRig(t *testing.T) (*rig, *Session, *RFBServer, net.Conn) {
+	t.Helper()
+	r := newRig(t, 26)
+	sess := NewSession(r.dev, r.srv, 5)
+	if err := sess.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := ServeRFB(sess, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); sess.Stop() })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return r, sess, srv, conn
+}
+
+func TestRFBServerHandshakeAndStream(t *testing.T) {
+	r, sess, _, conn := rfbRig(t)
+	si, err := ClientHandshake(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Name != r.dev.Serial() || si.Width != 720 {
+		t.Fatalf("ServerInit = %+v", si)
+	}
+	// Client registered.
+	waitFor(t, func() bool { return sess.VNC().Clients() == 1 })
+
+	// Generate screen activity; the agent ticks on the virtual clock.
+	r.dev.Framebuffer().SetActivity(30, 1)
+	go func() {
+		for i := 0; i < 50; i++ {
+			r.clk.Advance(250 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	u, err := ReadUpdate(conn)
+	if err != nil {
+		t.Fatalf("reading update: %v", err)
+	}
+	if len(u.Payload) == 0 || u.W != 720 {
+		t.Fatalf("update = %d bytes, w=%d", len(u.Payload), u.W)
+	}
+}
+
+func TestRFBServerInputPath(t *testing.T) {
+	r, _, _, conn := rfbRig(t)
+	if _, err := ClientHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	app := &captureApp{pkg: "com.app"}
+	r.dev.Install(app)
+	r.dev.LaunchApp("com.app")
+
+	// Pointer tap and an Enter keypress.
+	if err := WriteEvent(conn, Event{Type: MsgPointerEvent, Buttons: 1, X: 100, Y: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEvent(conn, Event{Type: MsgKeyEvent, Down: true, Key: 0xff0d}); err != nil {
+		t.Fatal(err)
+	}
+	// Key release must not duplicate.
+	if err := WriteEvent(conn, Event{Type: MsgKeyEvent, Down: false, Key: 0xff0d}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(app.Events()) >= 2 })
+	events := app.Events()
+	if events[0].Kind != device.InputTap || events[0].X != 100 {
+		t.Fatalf("tap = %+v", events[0])
+	}
+	if events[1].Kind != device.InputKey || events[1].Key != "KEYCODE_ENTER" {
+		t.Fatalf("key = %+v", events[1])
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := len(app.Events()); n != 2 {
+		t.Fatalf("key release duplicated input: %d events", n)
+	}
+}
+
+func TestRFBServerClientDisconnect(t *testing.T) {
+	_, sess, _, conn := rfbRig(t)
+	if _, err := ClientHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sess.VNC().Clients() == 1 })
+	conn.Close()
+	waitFor(t, func() bool { return sess.VNC().Clients() == 0 })
+}
+
+func TestKeysymMapping(t *testing.T) {
+	cases := map[uint32]string{
+		0xff0d: "KEYCODE_ENTER",
+		0xff54: "KEYCODE_DPAD_DOWN",
+		'a':    "KEYCODE_A",
+		'Z':    "KEYCODE_Z",
+		'7':    "KEYCODE_7",
+		' ':    "KEYCODE_SPACE",
+	}
+	for sym, want := range cases {
+		got, ok := keysymToAndroid(sym)
+		if !ok || got != want {
+			t.Errorf("keysym %#x = %q, %v; want %q", sym, got, ok, want)
+		}
+	}
+	if _, ok := keysymToAndroid(0xffff); ok {
+		t.Error("unmapped keysym accepted")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

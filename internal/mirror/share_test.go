@@ -1,0 +1,82 @@
+package mirror
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestShareLifecycle(t *testing.T) {
+	r := newRig(t, 26)
+	s := NewSession(r.dev, r.srv, 1)
+	tok, err := s.Share(ShareConfig{Toolbar: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, ok := s.ShareLookup(tok)
+	if !ok || cfg.Toolbar {
+		t.Fatalf("lookup = %+v, %v", cfg, ok)
+	}
+	s.Revoke(tok)
+	if _, ok := s.ShareLookup(tok); ok {
+		t.Fatal("revoked token still valid")
+	}
+}
+
+func TestShareTokensUnique(t *testing.T) {
+	r := newRig(t, 26)
+	s := NewSession(r.dev, r.srv, 1)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		tok, err := s.Share(ShareConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[tok] {
+			t.Fatal("token collision")
+		}
+		seen[tok] = true
+	}
+}
+
+func TestShareViewEndpoint(t *testing.T) {
+	r := newRig(t, 26)
+	s := NewSession(r.dev, r.srv, 1)
+	srv := httptest.NewServer(s.GUIHandler())
+	defer srv.Close()
+
+	// Experimenter share: toolbar on.
+	tok, _ := s.Share(ShareConfig{Toolbar: true})
+	resp, err := http.Get(srv.URL + "/api/view?token=" + tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var view struct {
+		Device  string `json:"device"`
+		Toolbar bool   `json:"toolbar"`
+	}
+	json.NewDecoder(resp.Body).Decode(&view)
+	if view.Device != r.dev.Serial() || !view.Toolbar {
+		t.Fatalf("view = %+v", view)
+	}
+
+	// Bogus token rejected.
+	resp2, _ := http.Get(srv.URL + "/api/view?token=bogus")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusForbidden {
+		t.Fatalf("bogus token status = %d", resp2.StatusCode)
+	}
+
+	// Revoked token rejected.
+	s.Revoke(tok)
+	resp3, _ := http.Get(srv.URL + "/api/view?token=" + tok)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusForbidden {
+		t.Fatalf("revoked token status = %d", resp3.StatusCode)
+	}
+}

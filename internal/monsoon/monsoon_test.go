@@ -1,0 +1,204 @@
+package monsoon
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"batterylab/internal/power"
+	"batterylab/internal/simclock"
+)
+
+func newMon(t *testing.T) (*Monsoon, *simclock.Virtual) {
+	t.Helper()
+	clk := simclock.NewVirtual()
+	m := New(clk, "HV0001", 7)
+	return m, clk
+}
+
+func constSource(ma float64) power.Source {
+	return power.SourceFunc(func(time.Time) float64 { return ma })
+}
+
+func TestRequiresMains(t *testing.T) {
+	m, _ := newMon(t)
+	if err := m.SetVout(3.85); err != ErrUnpowered {
+		t.Fatalf("SetVout unpowered = %v", err)
+	}
+	if err := m.StartSampling(5000); err != ErrUnpowered {
+		t.Fatalf("StartSampling unpowered = %v", err)
+	}
+}
+
+func TestVoutEnvelope(t *testing.T) {
+	m, _ := newMon(t)
+	m.SetMains(true)
+	if err := m.SetVout(0.5); err == nil {
+		t.Fatal("0.5 V accepted")
+	}
+	if err := m.SetVout(14); err == nil {
+		t.Fatal("14 V accepted")
+	}
+	if err := m.SetVout(3.85); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vout() != 3.85 {
+		t.Fatalf("Vout = %v", m.Vout())
+	}
+	if err := m.SetVout(0); err != nil {
+		t.Fatal("disabling Vout rejected")
+	}
+}
+
+func TestStartSamplingPreconditions(t *testing.T) {
+	m, _ := newMon(t)
+	m.SetMains(true)
+	if err := m.StartSampling(5000); err != ErrVoutOff {
+		t.Fatalf("want ErrVoutOff, got %v", err)
+	}
+	m.SetVout(3.85)
+	if err := m.StartSampling(5000); err != ErrNoSource {
+		t.Fatalf("want ErrNoSource, got %v", err)
+	}
+	m.WireSource(constSource(100))
+	if err := m.StartSampling(5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartSampling(5000); err != ErrBusy {
+		t.Fatalf("want ErrBusy, got %v", err)
+	}
+}
+
+func TestSamplingRateAndCount(t *testing.T) {
+	m, clk := newMon(t)
+	m.SetMains(true)
+	m.SetVout(3.85)
+	m.WireSource(constSource(150))
+	if err := m.StartSampling(1000); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	s, err := m.StopSampling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2000 {
+		t.Fatalf("samples = %d, want 2000", s.Len())
+	}
+	if m.Sampling() {
+		t.Fatal("still sampling after stop")
+	}
+}
+
+func TestSamplingAccuracy(t *testing.T) {
+	m, clk := newMon(t)
+	m.SetMains(true)
+	m.SetVout(3.85)
+	m.WireSource(constSource(160))
+	m.StartSampling(5000)
+	clk.Advance(time.Second)
+	s, _ := m.StopSampling()
+	sum := s.Summary()
+	if math.Abs(sum.Mean-160) > 0.5 {
+		t.Fatalf("mean = %v, want ~160", sum.Mean)
+	}
+	if sum.Std == 0 {
+		t.Fatal("ADC noise absent")
+	}
+	if sum.Std > 3 {
+		t.Fatalf("ADC noise too large: std = %v", sum.Std)
+	}
+}
+
+func TestRateClamp(t *testing.T) {
+	m, _ := newMon(t)
+	m.SetMains(true)
+	m.SetVout(3.85)
+	m.WireSource(constSource(1))
+	m.StartSampling(50000)
+	if m.SampleRate() != MaxSampleRate {
+		t.Fatalf("rate = %d, want %d", m.SampleRate(), MaxSampleRate)
+	}
+	m.StopSampling()
+	m.StartSampling(0)
+	if m.SampleRate() != MaxSampleRate {
+		t.Fatalf("rate = %d, want clamped default", m.SampleRate())
+	}
+}
+
+func TestOvercurrentClamp(t *testing.T) {
+	m, clk := newMon(t)
+	m.SetMains(true)
+	m.SetVout(13.5)
+	m.WireSource(constSource(9000))
+	m.StartSampling(100)
+	clk.Advance(time.Second)
+	s, _ := m.StopSampling()
+	if s.Summary().Max > MaxCurrentMA {
+		t.Fatalf("max sample %v exceeds envelope", s.Summary().Max)
+	}
+	if m.OvercurrentEvents() == 0 {
+		t.Fatal("overcurrent not counted")
+	}
+}
+
+func TestMainsCutAbortsSampling(t *testing.T) {
+	m, clk := newMon(t)
+	m.SetMains(true)
+	m.SetVout(3.85)
+	m.WireSource(constSource(100))
+	m.StartSampling(100)
+	clk.Advance(100 * time.Millisecond)
+	m.SetMains(false)
+	if m.Sampling() {
+		t.Fatal("sampling survived mains cut")
+	}
+	if m.Vout() != 0 {
+		t.Fatal("Vout survived mains cut")
+	}
+	if _, err := m.StopSampling(); err != ErrNotSampling {
+		t.Fatalf("StopSampling after cut = %v", err)
+	}
+	// No stray samples after the cut.
+	n := 0
+	clk.Advance(time.Second)
+	_ = n
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	m, _ := newMon(t)
+	if _, err := m.StopSampling(); err != ErrNotSampling {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNoNegativeSamples(t *testing.T) {
+	m, clk := newMon(t)
+	m.SetMains(true)
+	m.SetVout(0.8)
+	m.WireSource(constSource(0)) // relay open: reads ~0 plus noise
+	m.StartSampling(1000)
+	clk.Advance(time.Second)
+	s, _ := m.StopSampling()
+	if s.Summary().Min < 0 {
+		t.Fatalf("negative sample: %v", s.Summary().Min)
+	}
+}
+
+func TestSeriesTimestampsMonotonic(t *testing.T) {
+	m, clk := newMon(t)
+	m.SetMains(true)
+	m.SetVout(3.85)
+	m.WireSource(constSource(10))
+	m.StartSampling(500)
+	clk.Advance(time.Second)
+	s, _ := m.StopSampling()
+	for i := 1; i < s.Len(); i++ {
+		if s.At(i).T.Before(s.At(i - 1).T) {
+			t.Fatal("timestamps not monotonic")
+		}
+	}
+	if s.MeanDt() != 2*time.Millisecond {
+		t.Fatalf("meanDt = %v, want 2ms", s.MeanDt())
+	}
+}

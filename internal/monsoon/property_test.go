@@ -1,0 +1,71 @@
+package monsoon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"batterylab/internal/power"
+	"batterylab/internal/simclock"
+)
+
+// Property: for any constant source within the envelope, the sampled
+// mean converges to the source value (unbiased ADC) and the energy
+// integral matches the analytic value.
+
+func TestPropertySamplingUnbiased(t *testing.T) {
+	f := func(raw float64, seed uint64) bool {
+		level := math.Mod(math.Abs(raw), 5000)
+		if math.IsNaN(level) {
+			return true
+		}
+		clk := simclock.NewVirtual()
+		m := New(clk, "HV", seed)
+		m.SetMains(true)
+		if err := m.SetVout(3.85); err != nil {
+			return false
+		}
+		m.WireSource(power.SourceFunc(func(time.Time) float64 { return level }))
+		if err := m.StartSampling(1000); err != nil {
+			return false
+		}
+		clk.Advance(time.Second)
+		s, err := m.StopSampling()
+		if err != nil {
+			return false
+		}
+		// Unbiased within 5 sigma of the ADC noise's standard error.
+		se := 1.2 / math.Sqrt(float64(s.Len()))
+		return math.Abs(s.Summary().Mean-level) < 5*se+0.06 // +quantization
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnergyMatchesAnalytic(t *testing.T) {
+	f := func(raw float64) bool {
+		level := math.Mod(math.Abs(raw), 3000)
+		if math.IsNaN(level) {
+			return true
+		}
+		clk := simclock.NewVirtual()
+		m := New(clk, "HV", 1)
+		m.SetMains(true)
+		m.SetVout(3.85)
+		m.WireSource(power.SourceFunc(func(time.Time) float64 { return level }))
+		m.StartSampling(500)
+		dur := 30 * time.Second
+		clk.Advance(dur)
+		s, _ := m.StopSampling()
+		want := level * dur.Hours() // mAh
+		got := s.EnergyMAH()
+		return math.Abs(got-want) <= 0.01*want+0.001
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"batterylab/internal/rng"
+)
+
+func link(name string, down, up float64, rtt time.Duration) Link {
+	return Link{Name: name, DownMbps: down, UpMbps: up, RTT: rtt}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Link{
+		{Name: "a", DownMbps: 0, UpMbps: 1},
+		{Name: "b", DownMbps: 1, UpMbps: -1},
+		{Name: "c", DownMbps: 1, UpMbps: 1, RTT: -time.Second},
+		{Name: "d", DownMbps: 1, UpMbps: 1, Loss: 1.0},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Fatalf("link %s validated", l.Name)
+		}
+	}
+	if err := link("ok", 10, 5, time.Millisecond).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPath(t *testing.T) {
+	if _, err := NewPath(); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestBottleneckComposition(t *testing.T) {
+	p, err := NewPath(
+		link("wifi", 40, 40, time.Millisecond),
+		link("isp", 100, 20, 9*time.Millisecond),
+		link("vpn", 8, 10, 200*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DownMbps() != 8 {
+		t.Fatalf("down = %v, want 8", p.DownMbps())
+	}
+	if p.UpMbps() != 10 {
+		t.Fatalf("up = %v, want 10", p.UpMbps())
+	}
+	if p.RTT() != 210*time.Millisecond {
+		t.Fatalf("rtt = %v", p.RTT())
+	}
+	if p.Hops() != 3 {
+		t.Fatalf("hops = %d", p.Hops())
+	}
+}
+
+func TestLossComposition(t *testing.T) {
+	p, _ := NewPath(
+		Link{Name: "a", DownMbps: 1, UpMbps: 1, Loss: 0.1},
+		Link{Name: "b", DownMbps: 1, UpMbps: 1, Loss: 0.1},
+	)
+	want := 1 - 0.9*0.9
+	if got := p.Loss(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("loss = %v, want %v", got, want)
+	}
+}
+
+func TestTransferTimeScalesWithBytes(t *testing.T) {
+	p, _ := NewPath(link("l", 8, 8, 10*time.Millisecond))
+	small := p.TransferTime(1_000_000, true)
+	big := p.TransferTime(10_000_000, true)
+	if big <= small {
+		t.Fatal("transfer time should grow with size")
+	}
+	// 1 MB at 8 Mbps ≈ 1 s + rtts.
+	if small < time.Second || small > 1500*time.Millisecond {
+		t.Fatalf("1MB @ 8Mbps = %v, want ~1s", small)
+	}
+}
+
+func TestTransferTimeZeroBytes(t *testing.T) {
+	p, _ := NewPath(link("l", 8, 8, 10*time.Millisecond))
+	if p.TransferTime(0, true) != 0 {
+		t.Fatal("zero-byte transfer should be instant")
+	}
+}
+
+func TestTransferDirection(t *testing.T) {
+	p, _ := NewPath(link("asym", 100, 1, time.Millisecond))
+	down := p.TransferTime(1_000_000, true)
+	up := p.TransferTime(1_000_000, false)
+	if up <= down {
+		t.Fatal("upload on asymmetric link should be slower")
+	}
+}
+
+func TestLossSlowsTransfer(t *testing.T) {
+	clean, _ := NewPath(link("l", 10, 10, time.Millisecond))
+	lossy, _ := NewPath(Link{Name: "l", DownMbps: 10, UpMbps: 10, RTT: time.Millisecond, Loss: 0.05})
+	if lossy.TransferTime(5_000_000, true) <= clean.TransferTime(5_000_000, true) {
+		t.Fatal("loss should slow transfers")
+	}
+}
+
+func TestEffectiveMbpsBelowCapacity(t *testing.T) {
+	p, _ := NewPath(link("l", 10, 10, 200*time.Millisecond))
+	eff := p.EffectiveMbps(25_000_000, true)
+	if eff >= 10 {
+		t.Fatalf("effective %v should be below 10 (handshake overhead)", eff)
+	}
+	if eff < 7 {
+		t.Fatalf("effective %v too far below capacity", eff)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	p, _ := NewPath(link("a", 10, 10, time.Millisecond))
+	q, err := p.Append(link("b", 5, 5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.DownMbps() != 5 || p.DownMbps() != 10 {
+		t.Fatal("Append should not mutate the original")
+	}
+}
+
+func TestJitteredWithinBounds(t *testing.T) {
+	p, _ := NewPath(link("l", 10, 10, 100*time.Millisecond))
+	r := rng.New(5)
+	for i := 0; i < 100; i++ {
+		j := p.Jittered(r, 0.1)
+		if j.DownMbps() < 9 || j.DownMbps() >= 11 {
+			t.Fatalf("jittered down = %v", j.DownMbps())
+		}
+		if j.RTT() < 90*time.Millisecond || j.RTT() >= 110*time.Millisecond {
+			t.Fatalf("jittered rtt = %v", j.RTT())
+		}
+	}
+}
+
+func TestJitteredDeterministic(t *testing.T) {
+	p, _ := NewPath(link("l", 10, 10, 100*time.Millisecond))
+	a := p.Jittered(rng.New(9), 0.1)
+	b := p.Jittered(rng.New(9), 0.1)
+	if a.DownMbps() != b.DownMbps() || a.RTT() != b.RTT() {
+		t.Fatal("jitter not deterministic for same seed")
+	}
+}

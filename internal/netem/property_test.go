@@ -1,0 +1,111 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property-based tests on path-composition invariants.
+
+func sanitize(mbps float64) float64 {
+	m := math.Abs(mbps)
+	if math.IsNaN(m) || math.IsInf(m, 0) || m == 0 {
+		return 1
+	}
+	return math.Mod(m, 1000) + 0.1
+}
+
+func TestPropertyBottleneckNeverExceedsAnyHop(t *testing.T) {
+	f := func(d1, u1, d2, u2 float64) bool {
+		a := Link{Name: "a", DownMbps: sanitize(d1), UpMbps: sanitize(u1)}
+		b := Link{Name: "b", DownMbps: sanitize(d2), UpMbps: sanitize(u2)}
+		p, err := NewPath(a, b)
+		if err != nil {
+			return false
+		}
+		return p.DownMbps() <= a.DownMbps && p.DownMbps() <= b.DownMbps &&
+			p.UpMbps() <= a.UpMbps && p.UpMbps() <= b.UpMbps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRTTAdditive(t *testing.T) {
+	f := func(r1, r2 uint32) bool {
+		a := Link{Name: "a", DownMbps: 1, UpMbps: 1, RTT: time.Duration(r1 % 1e9)}
+		b := Link{Name: "b", DownMbps: 1, UpMbps: 1, RTT: time.Duration(r2 % 1e9)}
+		p, err := NewPath(a, b)
+		if err != nil {
+			return false
+		}
+		return p.RTT() == a.RTT+b.RTT
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLossComposesAsProbability(t *testing.T) {
+	f := func(l1, l2 float64) bool {
+		s1 := math.Mod(math.Abs(l1), 0.9)
+		s2 := math.Mod(math.Abs(l2), 0.9)
+		a := Link{Name: "a", DownMbps: 1, UpMbps: 1, Loss: s1}
+		b := Link{Name: "b", DownMbps: 1, UpMbps: 1, Loss: s2}
+		p, err := NewPath(a, b)
+		if err != nil {
+			return false
+		}
+		loss := p.Loss()
+		// Composed loss is at least the worst hop and below 1.
+		return loss >= math.Max(s1, s2)-1e-12 && loss < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTransferTimeMonotoneInBytes(t *testing.T) {
+	p, _ := NewPath(Link{Name: "l", DownMbps: 10, UpMbps: 10, RTT: 50 * time.Millisecond})
+	f := func(n1, n2 uint32) bool {
+		a, b := int64(n1%100_000_000), int64(n2%100_000_000)
+		if a > b {
+			a, b = b, a
+		}
+		return p.TransferTime(a, true) <= p.TransferTime(b, true)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAppendPathEquivalentToFlatPath(t *testing.T) {
+	f := func(d1, d2, d3 float64) bool {
+		l1 := Link{Name: "1", DownMbps: sanitize(d1), UpMbps: 1}
+		l2 := Link{Name: "2", DownMbps: sanitize(d2), UpMbps: 1}
+		l3 := Link{Name: "3", DownMbps: sanitize(d3), UpMbps: 1}
+		flat, err := NewPath(l1, l2, l3)
+		if err != nil {
+			return false
+		}
+		head, err := NewPath(l1)
+		if err != nil {
+			return false
+		}
+		tail, err := NewPath(l2, l3)
+		if err != nil {
+			return false
+		}
+		composed, err := head.AppendPath(tail)
+		if err != nil {
+			return false
+		}
+		return flat.DownMbps() == composed.DownMbps() &&
+			flat.RTT() == composed.RTT() && flat.Hops() == composed.Hops()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package powersocket models the Meross-style WiFi power socket that lets
+// the BatteryLab controller switch the Monsoon's mains supply on and off
+// remotely (§3.2). The real socket is driven through a small HTTP/JSON
+// API (the MerossIot library); this model exposes the same surface via
+// net/http so the controller exercises a genuine network round trip.
+package powersocket
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Socket is one switchable outlet. It is safe for concurrent use.
+type Socket struct {
+	name string
+
+	mu        sync.Mutex
+	on        bool
+	toggles   int
+	listeners []func(bool)
+}
+
+// New returns a socket that starts off.
+func New(name string) *Socket {
+	return &Socket{name: name}
+}
+
+// Name reports the socket's identifier.
+func (s *Socket) Name() string { return s.name }
+
+// Set switches the outlet, notifying listeners on changes.
+func (s *Socket) Set(on bool) {
+	s.mu.Lock()
+	changed := s.on != on
+	s.on = on
+	if changed {
+		s.toggles++
+	}
+	listeners := append([]func(bool){}, s.listeners...)
+	s.mu.Unlock()
+	if changed {
+		for _, f := range listeners {
+			f(on)
+		}
+	}
+}
+
+// On reports the outlet state.
+func (s *Socket) On() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.on
+}
+
+// Toggles reports how many state changes occurred (relay wear metric).
+func (s *Socket) Toggles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.toggles
+}
+
+// OnChange registers a listener invoked on every state change — how the
+// Monsoon's SetMains is wired to the socket.
+func (s *Socket) OnChange(f func(bool)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.listeners = append(s.listeners, f)
+}
+
+// Handler returns the socket's HTTP control surface:
+//
+//	GET  /status          -> {"name":..., "on":bool}
+//	POST /control {"on":bool}
+//
+// mirroring the local-LAN API the MerossIot library speaks.
+func (s *Socket) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, map[string]any{"name": s.name, "on": s.On()})
+	})
+	mux.HandleFunc("/control", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var req struct {
+			On *bool `json:"on"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil || req.On == nil {
+			http.Error(w, "want body {\"on\": bool}", http.StatusBadRequest)
+			return
+		}
+		s.Set(*req.On)
+		writeJSON(w, map[string]any{"name": s.name, "on": s.On()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// Client drives a socket over its HTTP API, the controller's side of the
+// conversation.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the socket served at baseURL.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// Status fetches the socket state.
+func (c *Client) Status() (name string, on bool, err error) {
+	resp, err := c.hc.Get(c.base + "/status")
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", false, fmt.Errorf("powersocket: status %s", resp.Status)
+	}
+	var out struct {
+		Name string `json:"name"`
+		On   bool   `json:"on"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", false, err
+	}
+	return out.Name, out.On, nil
+}
+
+// Set switches the socket.
+func (c *Client) Set(on bool) error {
+	body := fmt.Sprintf(`{"on":%v}`, on)
+	resp, err := c.hc.Post(c.base+"/control", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("powersocket: control %s", resp.Status)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

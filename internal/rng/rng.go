@@ -1,0 +1,109 @@
+// Package rng provides seedable, forkable random streams for the
+// simulation. Every stochastic component (CPU noise, network jitter,
+// measurement noise) draws from its own forked stream so that adding a new
+// consumer never perturbs the draws seen by existing ones, keeping
+// experiment traces reproducible.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random stream.
+type RNG struct {
+	seed uint64
+	src  *rand.Rand
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{seed: seed, src: rand.New(rand.NewPCG(splitmix(seed), splitmix(seed^0x9e3779b97f4a7c15)))}
+}
+
+// Fork derives an independent stream labelled by name. Forking is stable:
+// the same parent seed and label always yield the same child stream.
+func (r *RNG) Fork(label string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return New(splitmix(r.seed ^ h.Sum64()))
+}
+
+// At derives the stream for a (label, epoch) pair. Unlike Fork-then-draw,
+// At is stateless: any component can ask for the noise of any epoch in any
+// order and always observe the same values. This is how piecewise-constant
+// noise processes (CPU utilization, supply ripple) stay consistent no
+// matter how often or when they are sampled.
+func (r *RNG) At(label string, epoch int64) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(epoch >> (8 * i))
+	}
+	h.Write(buf[:])
+	return New(splitmix(r.seed ^ h.Sum64()))
+}
+
+// splitmix is the SplitMix64 finalizer, used to decorrelate nearby seeds.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Seed reports the seed this stream was created with.
+func (r *RNG) Seed() uint64 { return r.seed }
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// IntN returns a uniform draw in [0, n). It panics if n <= 0.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Uniform returns a uniform draw in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Normal returns a Gaussian draw with the given mean and standard
+// deviation.
+func (r *RNG) Normal(mean, std float64) float64 {
+	return mean + std*r.src.NormFloat64()
+}
+
+// TruncNormal returns a Gaussian draw clamped to [lo, hi]. It redraws up
+// to 8 times before clamping, which keeps the distribution shape near the
+// bounds reasonable without risking unbounded loops.
+func (r *RNG) TruncNormal(mean, std, lo, hi float64) float64 {
+	for i := 0; i < 8; i++ {
+		x := r.Normal(mean, std)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(hi, math.Max(lo, r.Normal(mean, std)))
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exp returns an exponential draw with the given mean (not rate).
+func (r *RNG) Exp(mean float64) float64 {
+	return r.src.ExpFloat64() * mean
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.src.Float64() < p }
+
+// Jitter returns x scaled by a uniform factor in [1-frac, 1+frac].
+func (r *RNG) Jitter(x, frac float64) float64 {
+	return x * r.Uniform(1-frac, 1+frac)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }

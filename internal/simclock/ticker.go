@@ -1,0 +1,65 @@
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Ticker invokes a callback at a fixed period on any Clock. It is the
+// building block for periodic sampling (Monsoon ADC, CPU monitors, frame
+// pacing). Unlike time.Ticker it never drops ticks on a Virtual clock:
+// each tick reschedules exactly one period after the previous deadline.
+type Ticker struct {
+	clock  Clock
+	period time.Duration
+	fn     func(now time.Time)
+
+	mu      sync.Mutex
+	timer   Timer
+	stopped bool
+}
+
+// NewTicker starts a ticker that calls fn every period, with the first
+// call one period from now. fn receives the tick's nominal deadline.
+func NewTicker(clock Clock, period time.Duration, fn func(now time.Time)) *Ticker {
+	if period <= 0 {
+		panic("simclock: non-positive ticker period")
+	}
+	t := &Ticker{clock: clock, period: period, fn: fn}
+	t.schedule(clock.Now().Add(period))
+	return t
+}
+
+func (t *Ticker) schedule(deadline time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	d := deadline.Sub(t.clock.Now())
+	t.timer = t.clock.AfterFunc(d, func() {
+		t.fire(deadline)
+	})
+}
+
+func (t *Ticker) fire(deadline time.Time) {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	fn := t.fn
+	t.mu.Unlock()
+	fn(deadline)
+	t.schedule(deadline.Add(t.period))
+}
+
+// Stop cancels future ticks. It does not interrupt a tick in flight.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}

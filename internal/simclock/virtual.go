@@ -1,0 +1,166 @@
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Virtual is a discrete-event simulated clock. Time only moves when
+// Advance or Run is called; pending AfterFunc callbacks fire in timestamp
+// order on the advancing goroutine, and each callback observes Now() equal
+// to its own deadline — the discipline of a classic event-driven simulator.
+//
+// The zero value is not usable; construct with NewVirtual.
+type Virtual struct {
+	mu   sync.Mutex
+	now  time.Time
+	heap timerHeap
+	seq  uint64 // tiebreak so equal deadlines fire FIFO
+}
+
+// Epoch is the default start time for virtual clocks: an arbitrary fixed
+// instant so traces are reproducible byte-for-byte.
+var Epoch = time.Date(2019, time.November, 13, 9, 0, 0, 0, time.UTC)
+
+// NewVirtual returns a Virtual clock starting at Epoch.
+func NewVirtual() *Virtual { return NewVirtualAt(Epoch) }
+
+// NewVirtualAt returns a Virtual clock starting at the given instant.
+func NewVirtualAt(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now reports the current simulated time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// AfterFunc schedules f at Now()+d. Non-positive d schedules it for the
+// current instant; it still only runs during a subsequent Advance/Run.
+func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{when: v.now.Add(d), seq: v.seq, fn: f, owner: v}
+	v.seq++
+	heap.Push(&v.heap, ev)
+	return ev
+}
+
+// Sleep advances the clock by d from the calling goroutine's perspective.
+// On a Virtual clock, Sleep is only meaningful from the driving goroutine;
+// it is equivalent to Advance(d).
+func (v *Virtual) Sleep(d time.Duration) { v.Advance(d) }
+
+// Advance moves simulated time forward by d, firing every timer whose
+// deadline falls within the window, in order.
+func (v *Virtual) Advance(d time.Duration) {
+	if d < 0 {
+		panic("simclock: negative Advance")
+	}
+	v.RunUntil(v.Now().Add(d))
+}
+
+// RunUntil moves simulated time forward to t, firing due timers in order.
+// If t is not after the current time, RunUntil is a no-op.
+func (v *Virtual) RunUntil(t time.Time) {
+	for {
+		v.mu.Lock()
+		if len(v.heap) == 0 || v.heap[0].when.After(t) {
+			if t.After(v.now) {
+				v.now = t
+			}
+			v.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&v.heap).(*event)
+		if ev.when.After(v.now) {
+			v.now = ev.when
+		}
+		fn := ev.fn
+		ev.fired = true
+		v.mu.Unlock()
+		fn()
+	}
+}
+
+// RunAll fires every pending timer, advancing time to each deadline. It
+// stops when the queue is empty. Callbacks that schedule new timers keep
+// the run going, so a self-rescheduling ticker would never terminate;
+// prefer RunUntil for periodic work.
+func (v *Virtual) RunAll() {
+	for {
+		v.mu.Lock()
+		if len(v.heap) == 0 {
+			v.mu.Unlock()
+			return
+		}
+		deadline := v.heap[0].when
+		v.mu.Unlock()
+		v.RunUntil(deadline)
+	}
+}
+
+// PendingTimers reports how many timers are queued.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.heap)
+}
+
+type event struct {
+	when  time.Time
+	seq   uint64
+	fn    func()
+	index int
+	fired bool
+	owner *Virtual
+}
+
+// Stop implements Timer. It is safe to call after firing. A stopped event
+// stays in the heap with a no-op callback; it is discarded when its
+// deadline is reached.
+func (e *event) Stop() bool {
+	e.owner.mu.Lock()
+	defer e.owner.mu.Unlock()
+	if e.fired {
+		return false
+	}
+	e.fn = func() {}
+	e.fired = true
+	return true
+}
+
+type timerHeap []*event
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when.Equal(h[j].when) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].when.Before(h[j].when)
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,308 @@
+// Package sshx is the secure control channel between BatteryLab's access
+// server and each vantage point controller — the role OpenSSH plays in
+// the paper (§3.1, §3.4): the access server is granted public-key access
+// to the controller, locked down by an IP allowlist, and uses the channel
+// to run management commands remotely.
+//
+// The protocol is a compact SSH analogue built from stdlib crypto:
+//
+//   - identity and authorization: ed25519 keys; the server (the vantage
+//     point) holds an authorized_keys set and an address allowlist;
+//   - key agreement: X25519 ECDH, with the client signing the transcript
+//     to prove key ownership (and the server signing too, so the client
+//     authenticates the host);
+//   - transport: length-prefixed frames sealed with AES-256-GCM under
+//     keys derived from the shared secret, one nonce counter per
+//     direction;
+//   - application: a request/response exec interface — the subset the
+//     access server needs for job dispatch.
+package sshx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Keypair is an ed25519 identity.
+type Keypair struct {
+	Pub  ed25519.PublicKey
+	Priv ed25519.PrivateKey
+}
+
+// GenerateKeypair creates a fresh identity.
+func GenerateKeypair() (Keypair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return Keypair{}, err
+	}
+	return Keypair{Pub: pub, Priv: priv}, nil
+}
+
+// Fingerprint is the hex SHA-256 of a public key, used in authorized-key
+// sets and logs.
+func Fingerprint(pub ed25519.PublicKey) string {
+	sum := sha256.Sum256(pub)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+const (
+	magicClient = "BLAB-SSHX-C1"
+	magicServer = "BLAB-SSHX-S1"
+	maxFrame    = 1 << 20
+)
+
+// errors
+var (
+	ErrUnauthorizedKey  = errors.New("sshx: public key not authorized")
+	ErrAddressForbidden = errors.New("sshx: peer address not allowlisted")
+	ErrBadSignature     = errors.New("sshx: bad handshake signature")
+)
+
+// transcriptHash binds every handshake field together.
+func transcriptHash(parts ...[]byte) []byte {
+	h := sha256.New()
+	for _, p := range parts {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+// deriveKey expands the ECDH secret into a directional AES key.
+func deriveKey(secret, transcript []byte, label string) []byte {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(transcript)
+	mac.Write([]byte(label))
+	return mac.Sum(nil) // 32 bytes -> AES-256
+}
+
+// secureConn is a sealed framed transport over an io.ReadWriter.
+type secureConn struct {
+	rw      io.ReadWriter
+	sealK   cipher.AEAD
+	openK   cipher.AEAD
+	sealSeq uint64
+	openSeq uint64
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+func (c *secureConn) nonce(seq uint64) []byte {
+	n := make([]byte, 12)
+	binary.BigEndian.PutUint64(n[4:], seq)
+	return n
+}
+
+// writeFrame seals and sends one frame.
+func (c *secureConn) writeFrame(payload []byte) error {
+	sealed := c.sealK.Seal(nil, c.nonce(c.sealSeq), payload, nil)
+	c.sealSeq++
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(sealed)))
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.rw.Write(sealed)
+	return err
+}
+
+// readFrame receives and opens one frame.
+func (c *secureConn) readFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("sshx: frame too large (%d)", n)
+	}
+	sealed := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, sealed); err != nil {
+		return nil, err
+	}
+	plain, err := c.openK.Open(nil, c.nonce(c.openSeq), sealed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("sshx: frame authentication failed: %w", err)
+	}
+	c.openSeq++
+	return plain, nil
+}
+
+// serverHandshake runs the vantage-point side of the handshake and
+// returns the secured transport plus the authenticated client key.
+func serverHandshake(rw io.ReadWriter, ident Keypair, authorized func(ed25519.PublicKey) bool) (*secureConn, ed25519.PublicKey, error) {
+	// 1. Server hello: magic, nonce, X25519 pub, ed25519 pub.
+	curve := ecdh.X25519()
+	eph, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	nonce := make([]byte, 32)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, nil, err
+	}
+	hello := concat([]byte(magicServer), nonce, eph.PublicKey().Bytes(), ident.Pub)
+	if err := writeRaw(rw, hello); err != nil {
+		return nil, nil, err
+	}
+
+	// 2. Client response: magic, ed25519 pub, X25519 pub, signature.
+	resp, err := readRaw(rw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(resp) != len(magicClient)+ed25519.PublicKeySize+32+ed25519.SignatureSize {
+		return nil, nil, fmt.Errorf("sshx: malformed client response (%d bytes)", len(resp))
+	}
+	off := len(magicClient)
+	if string(resp[:off]) != magicClient {
+		return nil, nil, errors.New("sshx: bad client magic")
+	}
+	clientPub := ed25519.PublicKey(resp[off : off+ed25519.PublicKeySize])
+	off += ed25519.PublicKeySize
+	clientX := resp[off : off+32]
+	off += 32
+	sig := resp[off:]
+
+	if !authorized(clientPub) {
+		return nil, nil, ErrUnauthorizedKey
+	}
+	transcript := transcriptHash([]byte(magicServer), nonce, eph.PublicKey().Bytes(), ident.Pub, clientPub, clientX)
+	if !ed25519.Verify(clientPub, transcript, sig) {
+		return nil, nil, ErrBadSignature
+	}
+
+	// 3. Server proves its identity over the same transcript.
+	serverSig := ed25519.Sign(ident.Priv, transcript)
+	if err := writeRaw(rw, serverSig); err != nil {
+		return nil, nil, err
+	}
+
+	clientKey, err := curve.NewPublicKey(clientX)
+	if err != nil {
+		return nil, nil, err
+	}
+	secret, err := eph.ECDH(clientKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	c2s, err := newAEAD(deriveKey(secret, transcript, "c2s"))
+	if err != nil {
+		return nil, nil, err
+	}
+	s2c, err := newAEAD(deriveKey(secret, transcript, "s2c"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &secureConn{rw: rw, sealK: s2c, openK: c2s}, clientPub, nil
+}
+
+// clientHandshake runs the access-server side; expectedHost pins the
+// controller's host key (nil to trust on first use).
+func clientHandshake(rw io.ReadWriter, ident Keypair, expectedHost ed25519.PublicKey) (*secureConn, ed25519.PublicKey, error) {
+	hello, err := readRaw(rw)
+	if err != nil {
+		return nil, nil, err
+	}
+	wantLen := len(magicServer) + 32 + 32 + ed25519.PublicKeySize
+	if len(hello) != wantLen || string(hello[:len(magicServer)]) != magicServer {
+		return nil, nil, errors.New("sshx: bad server hello")
+	}
+	off := len(magicServer)
+	nonce := hello[off : off+32]
+	off += 32
+	serverX := hello[off : off+32]
+	off += 32
+	hostPub := ed25519.PublicKey(hello[off:])
+	if expectedHost != nil && !hostPub.Equal(expectedHost) {
+		return nil, nil, fmt.Errorf("sshx: host key mismatch (got %s)", Fingerprint(hostPub))
+	}
+
+	curve := ecdh.X25519()
+	eph, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	transcript := transcriptHash([]byte(magicServer), nonce, serverX, hostPub, ident.Pub, eph.PublicKey().Bytes())
+	sig := ed25519.Sign(ident.Priv, transcript)
+	resp := concat([]byte(magicClient), ident.Pub, eph.PublicKey().Bytes(), sig)
+	if err := writeRaw(rw, resp); err != nil {
+		return nil, nil, err
+	}
+
+	serverSig, err := readRaw(rw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sshx: handshake rejected: %w", err)
+	}
+	if !ed25519.Verify(hostPub, transcript, serverSig) {
+		return nil, nil, ErrBadSignature
+	}
+
+	serverKey, err := curve.NewPublicKey(serverX)
+	if err != nil {
+		return nil, nil, err
+	}
+	secret, err := eph.ECDH(serverKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	c2s, err := newAEAD(deriveKey(secret, transcript, "c2s"))
+	if err != nil {
+		return nil, nil, err
+	}
+	s2c, err := newAEAD(deriveKey(secret, transcript, "s2c"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &secureConn{rw: rw, sealK: c2s, openK: s2c}, hostPub, nil
+}
+
+func concat(parts ...[]byte) []byte {
+	var out []byte
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// writeRaw sends a length-prefixed plaintext blob (handshake only).
+func writeRaw(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readRaw(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("sshx: raw blob too large (%d)", n)
+	}
+	b := make([]byte, n)
+	_, err := io.ReadFull(r, b)
+	return b, err
+}

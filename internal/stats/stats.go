@@ -1,0 +1,183 @@
+// Package stats provides the summary statistics and empirical CDFs used
+// throughout BatteryLab's evaluation: per-run energy summaries (Fig. 3,
+// Fig. 6), current and CPU distribution CDFs (Fig. 2, 4, 5), and
+// distribution comparisons used by the accuracy analysis.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds moment statistics over a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary. It returns a zero Summary for an empty
+// input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f p50=%.2f max=%.2f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF. The input is copied.
+func NewCDF(xs []float64) (*CDF, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("stats: empty sample")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// N reports the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At reports the fraction of samples <= x.
+func (c *CDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the p-quantile of the sample.
+func (c *CDF) Quantile(p float64) float64 { return quantileSorted(c.sorted, p) }
+
+// Median is shorthand for Quantile(0.5).
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Min and Max report the extreme samples.
+func (c *CDF) Min() float64 { return c.sorted[0] }
+
+// Max reports the largest sample.
+func (c *CDF) Max() float64 { return c.sorted[len(c.sorted)-1] }
+
+// Points returns up to n evenly spaced (x, F(x)) pairs for plotting a CDF
+// series like the paper's figures.
+func (c *CDF) Points(n int) []Point {
+	if n < 2 {
+		n = 2
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.sorted) - 1) / (n - 1)
+		pts = append(pts, Point{
+			X: c.sorted[idx],
+			F: float64(idx+1) / float64(len(c.sorted)),
+		})
+	}
+	return pts
+}
+
+// Point is one (value, cumulative fraction) sample of a CDF curve.
+type Point struct {
+	X float64
+	F float64
+}
+
+// KSDistance computes the Kolmogorov–Smirnov statistic between two
+// empirical CDFs: the supremum of |F1(x) - F2(x)| over the pooled sample
+// points. It is the metric used to assert "negligible difference" between
+// the direct and relay wirings in the accuracy evaluation.
+func KSDistance(a, b *CDF) float64 {
+	var max float64
+	for _, xs := range [][]float64{a.sorted, b.sorted} {
+		for _, x := range xs {
+			d := math.Abs(a.At(x) - b.At(x))
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean of xs, or NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs (0 for n < 2).
+func Std(xs []float64) float64 {
+	return Summarize(xs).Std
+}

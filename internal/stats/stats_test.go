@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if !almostEqual(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("std = %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary N = %d", s.N)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("single summary: %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if q := Quantile(xs, 0.5); q != 5 {
+		t.Fatalf("Quantile(0.5) = %v, want 5", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2.5 {
+		t.Fatalf("Quantile(0.25) = %v, want 2.5", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	xs := []float64{5, 1, 9}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 9 {
+		t.Fatal("extreme quantiles wrong")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Fatalf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	if _, err := NewCDF(nil); err == nil {
+		t.Fatal("NewCDF(nil) succeeded")
+	}
+}
+
+func TestCDFQuantileMonotonic(t *testing.T) {
+	c, _ := NewCDF([]float64{5, 3, 8, 1, 9, 2, 7})
+	if err := quick.Check(func(a, b float64) bool {
+		pa, pb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return c.Quantile(pa) <= c.Quantile(pb)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAtMonotonicProperty(t *testing.T) {
+	c, _ := NewCDF([]float64{1, 4, 4, 6, 10})
+	if err := quick.Check(func(a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c, _ := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].X != 1 || pts[len(pts)-1].X != 10 {
+		t.Fatalf("endpoints wrong: %+v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].F < pts[i-1].F || pts[i].X < pts[i-1].X {
+			t.Fatalf("points not monotonic: %+v", pts)
+		}
+	}
+	if pts[len(pts)-1].F != 1 {
+		t.Fatalf("final F = %v, want 1", pts[len(pts)-1].F)
+	}
+}
+
+func TestKSDistanceIdentical(t *testing.T) {
+	a, _ := NewCDF([]float64{1, 2, 3})
+	b, _ := NewCDF([]float64{1, 2, 3})
+	if d := KSDistance(a, b); d != 0 {
+		t.Fatalf("KS of identical = %v", d)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a, _ := NewCDF([]float64{1, 2, 3})
+	b, _ := NewCDF([]float64{10, 20, 30})
+	if d := KSDistance(a, b); d != 1 {
+		t.Fatalf("KS of disjoint = %v, want 1", d)
+	}
+}
+
+func TestKSDistanceSymmetric(t *testing.T) {
+	a, _ := NewCDF([]float64{1, 5, 9, 12})
+	b, _ := NewCDF([]float64{2, 4, 8, 20, 30})
+	if KSDistance(a, b) != KSDistance(b, a) {
+		t.Fatal("KS not symmetric")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if m := Mean([]float64{2, 4}); m != 3 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) not NaN")
+	}
+	if s := Std([]float64{1, 1, 1}); s != 0 {
+		t.Fatalf("Std of constant = %v", s)
+	}
+}
+
+func TestMedianQuantileAgreement(t *testing.T) {
+	c, _ := NewCDF([]float64{9, 1, 5})
+	if c.Median() != 5 {
+		t.Fatalf("median = %v", c.Median())
+	}
+	if c.Min() != 1 || c.Max() != 9 {
+		t.Fatal("min/max wrong")
+	}
+}

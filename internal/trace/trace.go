@@ -1,0 +1,194 @@
+// Package trace holds timestamped measurement series: the current traces
+// produced by the power monitor, CPU utilization traces from device and
+// controller, and network byte counters. A Series is what an experiment
+// stores in its job workspace and what the evaluation harness reduces to
+// CDFs and energy figures.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"batterylab/internal/stats"
+)
+
+// Sample is one timestamped measurement.
+type Sample struct {
+	T time.Time
+	V float64
+}
+
+// Series is an append-only time series of samples with a name and a unit
+// (for example "current" / "mA"). The zero value is not usable; construct
+// with NewSeries.
+type Series struct {
+	name    string
+	unit    string
+	samples []Sample
+}
+
+// NewSeries returns an empty series.
+func NewSeries(name, unit string) *Series {
+	return &Series{name: name, unit: unit}
+}
+
+// Name reports the series name.
+func (s *Series) Name() string { return s.name }
+
+// Unit reports the measurement unit.
+func (s *Series) Unit() string { return s.unit }
+
+// Append adds a sample. Timestamps must be non-decreasing; out-of-order
+// appends return an error so recorder bugs surface immediately.
+func (s *Series) Append(t time.Time, v float64) error {
+	if n := len(s.samples); n > 0 && t.Before(s.samples[n-1].T) {
+		return fmt.Errorf("trace: out-of-order sample at %v (last %v)", t, s.samples[n-1].T)
+	}
+	s.samples = append(s.samples, Sample{T: t, V: v})
+	return nil
+}
+
+// MustAppend is Append for recorders that already guarantee ordering.
+func (s *Series) MustAppend(t time.Time, v float64) {
+	if err := s.Append(t, v); err != nil {
+		panic(err)
+	}
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Sample { return s.samples[i] }
+
+// Values returns a copy of the sample values.
+func (s *Series) Values() []float64 {
+	vs := make([]float64, len(s.samples))
+	for i, smp := range s.samples {
+		vs[i] = smp.V
+	}
+	return vs
+}
+
+// Duration reports the time spanned by the series.
+func (s *Series) Duration() time.Duration {
+	if len(s.samples) < 2 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1].T.Sub(s.samples[0].T)
+}
+
+// Summary reduces the series values to summary statistics.
+func (s *Series) Summary() stats.Summary { return stats.Summarize(s.Values()) }
+
+// CDF builds the empirical CDF of the series values.
+func (s *Series) CDF() (*stats.CDF, error) { return stats.NewCDF(s.Values()) }
+
+// IntegralSeconds integrates the series over time using the trapezoid
+// rule, yielding unit·seconds (for a mA series: milliamp-seconds).
+func (s *Series) IntegralSeconds() float64 {
+	var total float64
+	for i := 1; i < len(s.samples); i++ {
+		dt := s.samples[i].T.Sub(s.samples[i-1].T).Seconds()
+		total += dt * (s.samples[i].V + s.samples[i-1].V) / 2
+	}
+	return total
+}
+
+// EnergyMAH interprets the series as a current trace in mA and returns
+// the charge drawn in milliamp-hours — the unit of Fig. 3 and Fig. 6.
+func (s *Series) EnergyMAH() float64 {
+	return s.IntegralSeconds() / 3600
+}
+
+// MeanDt reports the average sampling interval.
+func (s *Series) MeanDt() time.Duration {
+	if len(s.samples) < 2 {
+		return 0
+	}
+	return s.Duration() / time.Duration(len(s.samples)-1)
+}
+
+// Decimate returns a new series keeping every k-th sample, used to thin a
+// 5 kHz monitor trace before plotting. k < 1 is treated as 1.
+func (s *Series) Decimate(k int) *Series {
+	if k < 1 {
+		k = 1
+	}
+	out := NewSeries(s.name, s.unit)
+	for i := 0; i < len(s.samples); i += k {
+		out.samples = append(out.samples, s.samples[i])
+	}
+	return out
+}
+
+// Window returns the sub-series with timestamps in [from, to).
+func (s *Series) Window(from, to time.Time) *Series {
+	out := NewSeries(s.name, s.unit)
+	for _, smp := range s.samples {
+		if !smp.T.Before(from) && smp.T.Before(to) {
+			out.samples = append(out.samples, smp)
+		}
+	}
+	return out
+}
+
+// WriteCSV emits "elapsed_seconds,value" rows with a header, the format
+// the access server stores in job workspaces (mirroring the Monsoon
+// Python library's CSV export).
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"elapsed_s", s.name + "_" + s.unit}); err != nil {
+		return err
+	}
+	var t0 time.Time
+	if len(s.samples) > 0 {
+		t0 = s.samples[0].T
+	}
+	for _, smp := range s.samples {
+		rec := []string{
+			strconv.FormatFloat(smp.T.Sub(t0).Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(smp.V, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series previously written by WriteCSV. The base time
+// for reconstructed timestamps is t0.
+func ReadCSV(r io.Reader, name, unit string, t0 time.Time) (*Series, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("trace: empty CSV")
+	}
+	s := NewSeries(name, unit)
+	for _, row := range rows[1:] {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("trace: bad row %v", row)
+		}
+		secs, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Append(t0.Add(time.Duration(secs*float64(time.Second))), v); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2019, 11, 13, 9, 0, 0, 0, time.UTC)
+
+func mk(vals ...float64) *Series {
+	s := NewSeries("current", "mA")
+	for i, v := range vals {
+		s.MustAppend(t0.Add(time.Duration(i)*time.Second), v)
+	}
+	return s
+}
+
+func TestAppendOrdering(t *testing.T) {
+	s := NewSeries("x", "u")
+	if err := s.Append(t0.Add(time.Second), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(t0, 2); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	// Equal timestamps are allowed (burst sampling).
+	if err := s.Append(t0.Add(time.Second), 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegralConstant(t *testing.T) {
+	s := mk(100, 100, 100, 100, 100) // 4 s at 100 mA
+	if got := s.IntegralSeconds(); got != 400 {
+		t.Fatalf("integral = %v, want 400", got)
+	}
+}
+
+func TestIntegralTrapezoid(t *testing.T) {
+	s := mk(0, 100) // ramp over 1 s
+	if got := s.IntegralSeconds(); got != 50 {
+		t.Fatalf("integral = %v, want 50", got)
+	}
+}
+
+func TestEnergyMAH(t *testing.T) {
+	// 3600 s at 200 mA = 200 mAh.
+	s := NewSeries("current", "mA")
+	s.MustAppend(t0, 200)
+	s.MustAppend(t0.Add(time.Hour), 200)
+	if got := s.EnergyMAH(); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("energy = %v mAh, want 200", got)
+	}
+}
+
+func TestDurationAndMeanDt(t *testing.T) {
+	s := mk(1, 2, 3)
+	if s.Duration() != 2*time.Second {
+		t.Fatalf("duration = %v", s.Duration())
+	}
+	if s.MeanDt() != time.Second {
+		t.Fatalf("meanDt = %v", s.MeanDt())
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	s := mk(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	d := s.Decimate(3)
+	want := []float64{0, 3, 6, 9}
+	if d.Len() != len(want) {
+		t.Fatalf("decimated len = %d", d.Len())
+	}
+	for i, w := range want {
+		if d.At(i).V != w {
+			t.Fatalf("decimated[%d] = %v, want %v", i, d.At(i).V, w)
+		}
+	}
+}
+
+func TestDecimateKBelowOne(t *testing.T) {
+	s := mk(1, 2, 3)
+	if d := s.Decimate(0); d.Len() != 3 {
+		t.Fatalf("Decimate(0) len = %d", d.Len())
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := mk(0, 1, 2, 3, 4)
+	w := s.Window(t0.Add(time.Second), t0.Add(3*time.Second))
+	if w.Len() != 2 || w.At(0).V != 1 || w.At(1).V != 2 {
+		t.Fatalf("window wrong: len=%d", w.Len())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := mk(10.5, 20.25, 30.125)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "current", "mA", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("round trip len = %d, want %d", got.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if got.At(i).V != s.At(i).V {
+			t.Fatalf("sample %d = %v, want %v", i, got.At(i).V, s.At(i).V)
+		}
+		if !got.At(i).T.Equal(s.At(i).T) {
+			t.Fatalf("timestamp %d = %v, want %v", i, got.At(i).T, s.At(i).T)
+		}
+	}
+}
+
+func TestCSVEmptySeries(t *testing.T) {
+	s := NewSeries("current", "mA")
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "current", "mA", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("expected empty, got %d", got.Len())
+	}
+}
+
+func TestSummaryAndCDF(t *testing.T) {
+	s := mk(1, 2, 3, 4)
+	sum := s.Summary()
+	if sum.N != 4 || sum.Mean != 2.5 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	cdf, err := s.CDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdf.Median() != 2.5 {
+		t.Fatalf("median = %v", cdf.Median())
+	}
+}
+
+func TestIntegralNonNegativeProperty(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		s := NewSeries("x", "u")
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.MustAppend(t0.Add(time.Duration(i)*time.Millisecond), math.Abs(v))
+		}
+		return s.IntegralSeconds() >= 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesCopy(t *testing.T) {
+	s := mk(1, 2)
+	vs := s.Values()
+	vs[0] = 99
+	if s.At(0).V != 1 {
+		t.Fatal("Values() returned aliasing slice")
+	}
+}

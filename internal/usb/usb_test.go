@@ -1,0 +1,107 @@
+package usb
+
+import "testing"
+
+type fakeDev struct {
+	serial string
+	events []bool
+}
+
+func (f *fakeDev) USBSerial() string            { return f.serial }
+func (f *fakeDev) USBPowerChanged(powered bool) { f.events = append(f.events, powered) }
+
+func TestAttachNotifiesCurrentPower(t *testing.T) {
+	h := NewHub(2)
+	d := &fakeDev{serial: "J7DUO1"}
+	if err := h.Attach(0, d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.events) != 1 || d.events[0] != true {
+		t.Fatalf("events = %v, want [true]", d.events)
+	}
+}
+
+func TestAttachOccupied(t *testing.T) {
+	h := NewHub(1)
+	h.Attach(0, &fakeDev{serial: "a"})
+	if err := h.Attach(0, &fakeDev{serial: "b"}); err == nil {
+		t.Fatal("double attach accepted")
+	}
+}
+
+func TestAttachNil(t *testing.T) {
+	h := NewHub(1)
+	if err := h.Attach(0, nil); err == nil {
+		t.Fatal("nil peripheral accepted")
+	}
+}
+
+func TestSetPowerNotifies(t *testing.T) {
+	h := NewHub(1)
+	d := &fakeDev{serial: "x"}
+	h.Attach(0, d)
+	h.SetPower(0, false)
+	h.SetPower(0, false) // no change
+	h.SetPower(0, true)
+	want := []bool{true, false, true}
+	if len(d.events) != len(want) {
+		t.Fatalf("events = %v, want %v", d.events, want)
+	}
+	for i := range want {
+		if d.events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", d.events, want)
+		}
+	}
+}
+
+func TestDetachNotifiesPowerLoss(t *testing.T) {
+	h := NewHub(1)
+	d := &fakeDev{serial: "x"}
+	h.Attach(0, d)
+	h.Detach(0)
+	if last := d.events[len(d.events)-1]; last != false {
+		t.Fatal("detach did not notify power loss")
+	}
+	if got := h.PortOf("x"); got != -1 {
+		t.Fatalf("PortOf after detach = %d", got)
+	}
+}
+
+func TestPortOfAndList(t *testing.T) {
+	h := NewHub(3)
+	h.Attach(2, &fakeDev{serial: "b"})
+	h.Attach(0, &fakeDev{serial: "a"})
+	if h.PortOf("b") != 2 || h.PortOf("a") != 0 || h.PortOf("zz") != -1 {
+		t.Fatal("PortOf wrong")
+	}
+	list := h.List()
+	if len(list) != 2 || list[0].Serial != "a" || list[1].Serial != "b" {
+		t.Fatalf("List = %+v", list)
+	}
+}
+
+func TestPowered(t *testing.T) {
+	h := NewHub(1)
+	on, err := h.Powered(0)
+	if err != nil || !on {
+		t.Fatalf("Powered = %v, %v", on, err)
+	}
+	h.SetPower(0, false)
+	on, _ = h.Powered(0)
+	if on {
+		t.Fatal("still powered after SetPower(false)")
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	h := NewHub(1)
+	if err := h.SetPower(9, true); err == nil {
+		t.Fatal("out-of-range SetPower accepted")
+	}
+	if _, err := h.Powered(-1); err == nil {
+		t.Fatal("negative port accepted")
+	}
+	if err := h.Detach(4); err == nil {
+		t.Fatal("out-of-range detach accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Package video models the mp4 playback workload of the paper's accuracy
+// evaluation (§4.1): a video pre-loaded on the device sdcard is played
+// for the duration of the test, forcing the display pipeline to update
+// continuously — the worst case for the screen-mirroring encoder.
+package video
+
+import (
+	"fmt"
+
+	"batterylab/internal/device"
+)
+
+// PackageName is the player app's package id.
+const PackageName = "com.batterylab.videoplayer"
+
+// Player is a minimal media player app. It plays one file from the
+// device sdcard in a loop once launched.
+type Player struct {
+	path string
+
+	proc *device.Process
+}
+
+// NewPlayer returns a player bound to the given sdcard path.
+func NewPlayer(path string) *Player {
+	return &Player{path: path}
+}
+
+// PackageName implements device.App.
+func (p *Player) PackageName() string { return PackageName }
+
+// Launch implements device.App: it verifies the media file exists and
+// starts looping playback — hardware decoder on, 30 full frames per
+// second through the framebuffer, a light decode-thread CPU load.
+func (p *Player) Launch(d *device.Device) error {
+	if !d.Storage().Exists(p.path) {
+		return fmt.Errorf("video: %s: no such file on sdcard", p.path)
+	}
+	p.proc = d.CPU().StartProcess(PackageName)
+	p.proc.SetLoad(3.2, 1.1)
+	p.proc.SetMemMB(95)
+	d.Framebuffer().Decoder().SetOn(true)
+	d.Framebuffer().SetActivity(30, 1.0)
+	d.Logcat().Append("VideoPlayer", device.Info, "playing "+p.path)
+	return nil
+}
+
+// Stop implements device.App.
+func (p *Player) Stop(d *device.Device) error {
+	if p.proc != nil {
+		d.CPU().KillByName(PackageName)
+		p.proc = nil
+	}
+	d.Framebuffer().Decoder().SetOn(false)
+	d.Framebuffer().SetActivity(0, 0)
+	d.Logcat().Append("VideoPlayer", device.Info, "stopped")
+	return nil
+}
+
+// ClearData implements device.App; the player is stateless.
+func (p *Player) ClearData(*device.Device) error { return nil }
+
+// HandleInput implements device.App: any tap toggles pause.
+func (p *Player) HandleInput(d *device.Device, ev device.InputEvent) error {
+	if ev.Kind != device.InputTap {
+		return nil
+	}
+	fps, _ := d.Framebuffer().Activity()
+	if fps > 0 {
+		d.Framebuffer().SetActivity(0, 0)
+		d.Framebuffer().Decoder().SetOn(false)
+		d.Logcat().Append("VideoPlayer", device.Info, "paused")
+	} else {
+		d.Framebuffer().SetActivity(30, 1.0)
+		d.Framebuffer().Decoder().SetOn(true)
+		d.Logcat().Append("VideoPlayer", device.Info, "resumed")
+	}
+	return nil
+}
+
+// SampleMP4 generates a placeholder mp4 payload of n bytes for pushing
+// to the sdcard in tests and experiments.
+func SampleMP4(n int) []byte {
+	data := make([]byte, n)
+	copy(data, "\x00\x00\x00\x18ftypmp42") // mp4 magic
+	return data
+}

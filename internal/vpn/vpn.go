@@ -1,0 +1,198 @@
+// Package vpn models the ProtonVPN client the paper installs at the
+// controller to emulate vantage points in different countries (§4.3),
+// plus the speedtest used to characterize each tunnel (Table 2).
+//
+// Exit profiles carry true path capacities slightly above the paper's
+// measured numbers; running the speedtest through a tunnel reproduces
+// Table 2's download/upload/latency rows (modulo jitter), because the
+// speedtest — like the real one — pays handshake and slow-start overhead.
+package vpn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"batterylab/internal/netem"
+	"batterylab/internal/rng"
+)
+
+// Exit describes one VPN egress location.
+type Exit struct {
+	// Location is the city of the VPN node.
+	Location string
+	// Country is the ISO-ish country name used in the paper's Table 2.
+	Country string
+	// CountryCode is a two-letter code; the browser models key
+	// region-dependent behaviour (ad payload size) off it.
+	CountryCode string
+	// SpeedtestKm is the distance to the closest speedtest server.
+	SpeedtestKm float64
+	// Link is the tunnel's network characteristics from the controller.
+	Link netem.Link
+}
+
+// Exits returns the five ProtonVPN locations of the paper, sorted by
+// measured download bandwidth as in Table 2 (South Africa slowest,
+// California fastest). Capacities are the underlying path capacity; the
+// speedtest measures slightly below them.
+func Exits() []Exit {
+	return []Exit{
+		{
+			Location: "Johannesburg", Country: "South Africa", CountryCode: "ZA", SpeedtestKm: 3.21,
+			Link: netem.Link{Name: "vpn-johannesburg", DownMbps: 6.55, UpMbps: 10.2, RTT: 214 * time.Millisecond, Loss: 0.002},
+		},
+		{
+			Location: "Hong Kong", Country: "China", CountryCode: "HK", SpeedtestKm: 4.86,
+			Link: netem.Link{Name: "vpn-hongkong", DownMbps: 8.0, UpMbps: 8.1, RTT: 278 * time.Millisecond, Loss: 0.002},
+		},
+		{
+			Location: "Bunkyo", Country: "Japan", CountryCode: "JP", SpeedtestKm: 2.21,
+			Link: netem.Link{Name: "vpn-bunkyo", DownMbps: 10.1, UpMbps: 8.1, RTT: 231 * time.Millisecond, Loss: 0.002},
+		},
+		{
+			Location: "Sao Paulo", Country: "Brazil", CountryCode: "BR", SpeedtestKm: 8.84,
+			Link: netem.Link{Name: "vpn-saopaulo", DownMbps: 10.2, UpMbps: 9.2, RTT: 227 * time.Millisecond, Loss: 0.002},
+		},
+		{
+			Location: "Santa Clara", Country: "CA, USA", CountryCode: "US", SpeedtestKm: 7.99,
+			Link: netem.Link{Name: "vpn-santaclara", DownMbps: 11.1, UpMbps: 15.6, RTT: 207 * time.Millisecond, Loss: 0.002},
+		},
+	}
+}
+
+// FindExit looks an exit up by location name (case-sensitive).
+func FindExit(location string) (Exit, error) {
+	for _, e := range Exits() {
+		if e.Location == location {
+			return e, nil
+		}
+	}
+	return Exit{}, fmt.Errorf("vpn: no exit %q", location)
+}
+
+// Client is a VPN client installed at the controller. At most one tunnel
+// is up at a time, like the real client.
+type Client struct {
+	base *netem.Path // controller's direct ISP path
+	rnd  *rng.RNG
+
+	mu     sync.Mutex
+	active *Exit
+}
+
+// NewClient returns a client whose untunneled path is base.
+func NewClient(base *netem.Path, rnd *rng.RNG) *Client {
+	return &Client{base: base, rnd: rnd.Fork("vpn")}
+}
+
+// Connect brings up the tunnel to the named exit, replacing any previous
+// tunnel.
+func (c *Client) Connect(location string) (Exit, error) {
+	exit, err := FindExit(location)
+	if err != nil {
+		return Exit{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.active = &exit
+	return exit, nil
+}
+
+// Disconnect tears the tunnel down. Disconnecting with no tunnel is a
+// no-op, like `protonvpn disconnect`.
+func (c *Client) Disconnect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.active = nil
+}
+
+// Active reports the current exit, or nil.
+func (c *Client) Active() *Exit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.active == nil {
+		return nil
+	}
+	e := *c.active
+	return &e
+}
+
+// Path returns the effective network path: the base path, extended with
+// the tunnel hop when connected, with a fresh jitter realization.
+func (c *Client) Path() (*netem.Path, error) {
+	c.mu.Lock()
+	active := c.active
+	c.mu.Unlock()
+	p := c.base
+	if active != nil {
+		var err error
+		p, err = p.Append(active.Link)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p.Jittered(c.rnd, 0.04), nil
+}
+
+// SpeedtestResult is one row of Table 2.
+type SpeedtestResult struct {
+	Location    string
+	Country     string
+	SpeedtestKm float64
+	DownMbps    float64
+	UpMbps      float64
+	LatencyMS   float64
+}
+
+// Speedtest measures the current path the way speedtest.net does: a
+// 25 MB download, a 25 MB upload and an RTT probe, all through the active
+// tunnel (or the direct path when disconnected).
+func (c *Client) Speedtest() (SpeedtestResult, error) {
+	p, err := c.Path()
+	if err != nil {
+		return SpeedtestResult{}, err
+	}
+	const probeBytes = 25_000_000
+	res := SpeedtestResult{
+		DownMbps:  p.EffectiveMbps(probeBytes, true),
+		UpMbps:    p.EffectiveMbps(probeBytes, false),
+		LatencyMS: float64(p.RTT()) / float64(time.Millisecond),
+	}
+	if e := c.Active(); e != nil {
+		res.Location = e.Location
+		res.Country = e.Country
+		res.SpeedtestKm = e.SpeedtestKm
+	} else {
+		res.Location = "direct"
+	}
+	return res, nil
+}
+
+// Table2 runs the speedtest through every exit and returns the rows
+// sorted by download bandwidth ascending — the layout of the paper's
+// Table 2.
+func (c *Client) Table2() ([]SpeedtestResult, error) {
+	prev := c.Active()
+	defer func() {
+		if prev != nil {
+			c.Connect(prev.Location)
+		} else {
+			c.Disconnect()
+		}
+	}()
+	var rows []SpeedtestResult
+	for _, e := range Exits() {
+		if _, err := c.Connect(e.Location); err != nil {
+			return nil, err
+		}
+		row, err := c.Speedtest()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].DownMbps < rows[j].DownMbps })
+	return rows, nil
+}

@@ -1,0 +1,165 @@
+package vpn
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"batterylab/internal/netem"
+	"batterylab/internal/rng"
+)
+
+func basePath(t *testing.T) *netem.Path {
+	t.Helper()
+	// Imperial College's fast campus uplink.
+	p, err := netem.NewPath(
+		netem.Link{Name: "wifi-ap", DownMbps: 45, UpMbps: 45, RTT: 2 * time.Millisecond},
+		netem.Link{Name: "campus", DownMbps: 200, UpMbps: 200, RTT: 3 * time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newClient(t *testing.T) *Client {
+	return NewClient(basePath(t), rng.New(11))
+}
+
+func TestExitsSortedByPaperOrder(t *testing.T) {
+	exits := Exits()
+	if len(exits) != 5 {
+		t.Fatalf("exits = %d, want 5", len(exits))
+	}
+	if exits[0].Country != "South Africa" || exits[4].Country != "CA, USA" {
+		t.Fatalf("order wrong: %v ... %v", exits[0].Country, exits[4].Country)
+	}
+}
+
+func TestFindExit(t *testing.T) {
+	e, err := FindExit("Bunkyo")
+	if err != nil || e.CountryCode != "JP" {
+		t.Fatalf("FindExit = %+v, %v", e, err)
+	}
+	if _, err := FindExit("Atlantis"); err == nil {
+		t.Fatal("unknown exit found")
+	}
+}
+
+func TestConnectDisconnect(t *testing.T) {
+	c := newClient(t)
+	if c.Active() != nil {
+		t.Fatal("starts connected")
+	}
+	e, err := c.Connect("Hong Kong")
+	if err != nil || e.Country != "China" {
+		t.Fatalf("Connect = %+v, %v", e, err)
+	}
+	if c.Active() == nil || c.Active().Location != "Hong Kong" {
+		t.Fatal("Active wrong")
+	}
+	// Switching replaces.
+	c.Connect("Bunkyo")
+	if c.Active().Location != "Bunkyo" {
+		t.Fatal("tunnel switch failed")
+	}
+	c.Disconnect()
+	if c.Active() != nil {
+		t.Fatal("still active after disconnect")
+	}
+	c.Disconnect() // no-op
+}
+
+func TestPathIncludesTunnel(t *testing.T) {
+	c := newClient(t)
+	direct, err := c.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Connect("Johannesburg")
+	tunneled, err := c.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tunneled.DownMbps() >= direct.DownMbps() {
+		t.Fatal("tunnel should be the bottleneck")
+	}
+	if tunneled.RTT() <= direct.RTT() {
+		t.Fatal("tunnel should add latency")
+	}
+}
+
+func TestSpeedtestNearTable2(t *testing.T) {
+	c := newClient(t)
+	// Paper's Table 2 values.
+	want := map[string][3]float64{
+		"Johannesburg": {6.26, 9.77, 222.04},
+		"Hong Kong":    {7.64, 7.77, 286.32},
+		"Bunkyo":       {9.68, 7.76, 239.38},
+		"Sao Paulo":    {9.75, 8.82, 235.05},
+		"Santa Clara":  {10.63, 14.87, 215.16},
+	}
+	for loc, w := range want {
+		c.Connect(loc)
+		res, err := c.Speedtest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.DownMbps-w[0])/w[0] > 0.15 {
+			t.Errorf("%s: down %.2f, paper %.2f", loc, res.DownMbps, w[0])
+		}
+		if math.Abs(res.UpMbps-w[1])/w[1] > 0.15 {
+			t.Errorf("%s: up %.2f, paper %.2f", loc, res.UpMbps, w[1])
+		}
+		if math.Abs(res.LatencyMS-w[2])/w[2] > 0.15 {
+			t.Errorf("%s: rtt %.1f, paper %.1f", loc, res.LatencyMS, w[2])
+		}
+	}
+}
+
+func TestSpeedtestDirect(t *testing.T) {
+	c := newClient(t)
+	res, err := c.Speedtest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Location != "direct" {
+		t.Fatalf("location = %q", res.Location)
+	}
+	if res.DownMbps < 20 {
+		t.Fatalf("direct path too slow: %v", res.DownMbps)
+	}
+}
+
+func TestTable2SortedByDownload(t *testing.T) {
+	c := newClient(t)
+	rows, err := c.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DownMbps < rows[i-1].DownMbps {
+			t.Fatalf("rows not sorted by download: %+v", rows)
+		}
+	}
+	if rows[0].Country != "South Africa" {
+		t.Fatalf("slowest = %s, want South Africa", rows[0].Country)
+	}
+	if rows[4].Country != "CA, USA" {
+		t.Fatalf("fastest = %s, want CA, USA", rows[4].Country)
+	}
+}
+
+func TestTable2RestoresTunnel(t *testing.T) {
+	c := newClient(t)
+	c.Connect("Bunkyo")
+	if _, err := c.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	if a := c.Active(); a == nil || a.Location != "Bunkyo" {
+		t.Fatal("Table2 did not restore the active tunnel")
+	}
+}
