@@ -5,17 +5,31 @@
 // devices, Raspberry Pi controller, Meross socket, ProtonVPN tunnels)
 // simulated faithfully.
 //
-// The typical flow mirrors the paper's architecture:
+// The typical flow mirrors the paper's architecture. The v2 experiment
+// API is session-based: StartExperiment returns a handle with Wait,
+// Cancel and observer hooks, and RunExperiment is the blocking shorthand
+// — both context-aware, so callers can cancel a run and have the VPN,
+// mirroring session and monitor torn down cleanly:
 //
 //	clock := batterylab.VirtualClock()                  // or RealClock()
 //	dep, _ := batterylab.NewDeployment(clock, batterylab.DeploymentConfig{Seed: 1})
-//	res, _ := dep.Platform.RunExperiment(batterylab.ExperimentSpec{
+//	sess, _ := dep.Platform.StartExperiment(ctx, batterylab.ExperimentSpec{
 //	    Node:      dep.NodeName,
 //	    Device:    dep.DeviceSerial,
 //	    Mirroring: true,
 //	    Workload:  func(drv batterylab.Driver) *batterylab.Script { ... },
+//	}, batterylab.ObserverFuncs{
+//	    Phase: func(e batterylab.PhaseChange) { fmt.Println(e.Phase) },
 //	})
+//	res, _ := sess.Wait(ctx) // or sess.Cancel()
 //	fmt.Println(res.EnergyMAH)
+//
+// Measurement campaigns — many specs across many vantage points — are
+// first-class: RunCampaign schedules them concurrently across nodes
+// (serialized per device, since one Monsoon powers one device) and
+// returns aggregated per-run outcomes:
+//
+//	runs, _ := dep.Platform.RunCampaign(ctx, batterylab.Campaign{Specs: specs})
 //
 // A Deployment is one vantage point (controller + device + monitor)
 // joined to a platform (access server + DNS + CA) — the paper's Imperial
@@ -49,6 +63,26 @@ type (
 	Result = core.Result
 	// Transport selects the measurement-time automation channel.
 	Transport = core.Transport
+
+	// Session is a handle to one in-flight experiment (Wait, Cancel,
+	// Phase, observer hooks).
+	Session = core.Session
+	// Campaign is a batch of experiments with a parallelism policy.
+	Campaign = core.Campaign
+	// CampaignRun is one spec's outcome within a campaign.
+	CampaignRun = core.CampaignRun
+	// CampaignSession is a handle to an in-flight campaign.
+	CampaignSession = core.CampaignSession
+	// Observer receives a session's phase transitions and live samples.
+	Observer = core.Observer
+	// ObserverFuncs adapts plain functions to Observer.
+	ObserverFuncs = core.ObserverFuncs
+	// PhaseChange is one phase-transition event.
+	PhaseChange = core.PhaseChange
+	// Sample is one live current reading.
+	Sample = core.Sample
+	// Phase is where a running experiment currently is.
+	Phase = core.Phase
 
 	// Controller is a vantage point controller.
 	Controller = controller.Controller
@@ -98,6 +132,27 @@ const (
 	TransportWiFi      = core.TransportWiFi
 	TransportBluetooth = core.TransportBluetooth
 	TransportUSB       = core.TransportUSB
+)
+
+// Experiment phases, in execution order.
+const (
+	PhasePending        = core.PhasePending
+	PhaseVPNUp          = core.PhaseVPNUp
+	PhaseTransportArmed = core.PhaseTransportArmed
+	PhaseMirrorOn       = core.PhaseMirrorOn
+	PhaseMonitorArmed   = core.PhaseMonitorArmed
+	PhaseWorkload       = core.PhaseWorkload
+	PhaseSettle         = core.PhaseSettle
+	PhaseDone           = core.PhaseDone
+)
+
+// Typed sentinel errors of the v2 experiment API; test with errors.Is.
+var (
+	ErrUnknownNode   = core.ErrUnknownNode
+	ErrUnknownDevice = core.ErrUnknownDevice
+	ErrUSBTransport  = core.ErrUSBTransport
+	ErrNoWorkload    = core.ErrNoWorkload
+	ErrCanceled      = core.ErrCanceled
 )
 
 // VirtualClock returns a deterministic simulated clock starting at the

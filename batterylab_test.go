@@ -1,6 +1,7 @@
 package batterylab
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -18,7 +19,7 @@ func TestDeploymentQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dep.Platform.RunExperiment(ExperimentSpec{
+	res, err := dep.Platform.RunExperiment(context.Background(), ExperimentSpec{
 		Node:       dep.NodeName,
 		Device:     dep.DeviceSerial,
 		SampleRate: 100,

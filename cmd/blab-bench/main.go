@@ -30,6 +30,9 @@ func main() {
 		tab       = flag.Int("table", 0, "table number to reproduce (2)")
 		sys       = flag.Bool("sys", false, "system performance (§4.2)")
 		ablations = flag.Bool("ablations", false, "design-choice ablations")
+		campaign  = flag.Bool("campaign", false, "concurrent campaign sweep across vantage points")
+		nodes     = flag.Int("nodes", 2, "vantage points for -campaign")
+		perNode   = flag.Int("per-node", 3, "runs per vantage point for -campaign")
 
 		seed    = flag.Uint64("seed", 2019, "simulation seed")
 		reps    = flag.Int("reps", 5, "repetitions per configuration")
@@ -175,6 +178,16 @@ func main() {
 				return "", err
 			}
 			return experiments.FormatScheduler(rows), nil
+		})
+	}
+
+	if *all || *campaign {
+		run("campaign sweep", func() (string, error) {
+			rep, err := experiments.CampaignSweep(opts, *nodes, *perNode)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatCampaign(rep), nil
 		})
 	}
 

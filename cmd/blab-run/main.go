@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"batterylab"
@@ -28,8 +30,14 @@ func main() {
 		rate        = flag.Int("rate", 1000, "monitor sample rate (Hz)")
 		seed        = flag.Uint64("seed", 2019, "simulation seed")
 		out         = flag.String("out", "", "write the current trace CSV here")
+		progress    = flag.Bool("progress", false, "print session phase transitions")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the session: the VPN, mirroring pipeline and monitor
+	// are torn down in order before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	clock := batterylab.VirtualClock()
 	dep, err := batterylab.NewDeployment(clock, batterylab.DeploymentConfig{
@@ -71,8 +79,25 @@ func main() {
 		}
 	}
 
+	var obs []batterylab.Observer
+	if *progress {
+		obs = append(obs, batterylab.ObserverFuncs{
+			Phase: func(e batterylab.PhaseChange) {
+				if e.Step != "" {
+					fmt.Printf("  [%s] step %s\n", e.At.Format("15:04:05"), e.Step)
+					return
+				}
+				fmt.Printf("  [%s] %s\n", e.At.Format("15:04:05"), e.Phase)
+			},
+		})
+	}
+
 	start := time.Now()
-	res, err := dep.Platform.RunExperiment(spec)
+	sess, err := dep.Platform.StartExperiment(ctx, spec, obs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Wait(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -43,7 +44,7 @@ func main() {
 		for _, mirroring := range []bool{false, true} {
 			var energies []float64
 			for rep := 0; rep < repetitions; rep++ {
-				res, err := dep.Platform.RunExperiment(batterylab.ExperimentSpec{
+				res, err := dep.Platform.RunExperiment(context.Background(), batterylab.ExperimentSpec{
 					Node:       dep.NodeName,
 					Device:     dep.DeviceSerial,
 					SampleRate: 250,

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,7 +29,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := dep.Platform.RunExperiment(batterylab.ExperimentSpec{
+	// The v2 session API: StartExperiment returns a handle immediately;
+	// an observer watches the run reach each phase of the §3 pipeline.
+	ctx := context.Background()
+	sess, err := dep.Platform.StartExperiment(ctx, batterylab.ExperimentSpec{
 		Node:       dep.NodeName,
 		Device:     dep.DeviceSerial,
 		SampleRate: 1000,
@@ -39,7 +43,17 @@ func main() {
 					Scrolls: 6,
 				})
 		},
+	}, batterylab.ObserverFuncs{
+		Phase: func(e batterylab.PhaseChange) {
+			if e.Step == "" {
+				fmt.Printf("  phase: %s\n", e.Phase)
+			}
+		},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Wait(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := dep.Platform.RunExperiment(batterylab.ExperimentSpec{
+			res, err := dep.Platform.RunExperiment(context.Background(), batterylab.ExperimentSpec{
 				Node:        dep.NodeName,
 				Device:      dep.DeviceSerial,
 				SampleRate:  250,

@@ -1,6 +1,7 @@
 package batterylab
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -36,7 +37,7 @@ func TestManualAssembly(t *testing.T) {
 	if err := dev.Install(NewBrowser(prof, ctl)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := plat.RunExperiment(ExperimentSpec{
+	res, err := plat.RunExperiment(context.Background(), ExperimentSpec{
 		Node: "node9", Device: "CUSTOM01", SampleRate: 100,
 		Workload: func(drv Driver) *Script {
 			return BuildBrowserWorkload(drv, prof.Package,
@@ -59,7 +60,7 @@ func TestVideoPlayerViaFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dep.Platform.RunExperiment(ExperimentSpec{
+	res, err := dep.Platform.RunExperiment(context.Background(), ExperimentSpec{
 		Node: dep.NodeName, Device: dep.DeviceSerial, SampleRate: 200,
 		Workload: func(drv Driver) *Script {
 			s := NewScript("video")

@@ -1,0 +1,3 @@
+module batterylab
+
+go 1.24

@@ -9,6 +9,7 @@ package automation
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"batterylab/internal/simclock"
@@ -52,6 +53,13 @@ func (s *Script) Sleep(d time.Duration) *Script {
 	return s.Add("sleep", d, nil)
 }
 
+// Steps returns a copy of the script's steps, in order. Callers that
+// need to observe or wrap step execution (the session API's workload
+// step events) rebuild a script from these.
+func (s *Script) Steps() []Step {
+	return append([]Step{}, s.steps...)
+}
+
 // TotalWait reports the script's scripted duration.
 func (s *Script) TotalWait() time.Duration {
 	var total time.Duration
@@ -89,12 +97,14 @@ func (e *Executor) Run(s *Script, done func(error)) *Run {
 	return r
 }
 
-// Run is a handle to an in-flight script. Its state is only touched from
-// the clock's dispatch context plus the starting goroutine, matching the
-// executor's single-driver model.
+// Run is a handle to an in-flight script. Steps fire on the clock's
+// dispatch context; Abort may be called from any goroutine (a session
+// cancelling a workload on the real clock).
 type Run struct {
-	clock   simclock.Clock
-	finish  func(error)
+	clock  simclock.Clock
+	finish func(error)
+
+	mu      sync.Mutex
 	aborted bool
 	done    bool
 	timer   simclock.Timer
@@ -106,7 +116,10 @@ func (r *Run) advance(s *Script, idx int) {
 		return
 	}
 	step := s.steps[idx]
-	if r.aborted {
+	r.mu.Lock()
+	aborted := r.aborted
+	r.mu.Unlock()
+	if aborted {
 		r.complete(ErrAborted)
 		return
 	}
@@ -116,24 +129,33 @@ func (r *Run) advance(s *Script, idx int) {
 			return
 		}
 	}
-	r.timer = r.clock.AfterFunc(step.Wait, func() {
+	t := r.clock.AfterFunc(step.Wait, func() {
 		r.advance(s, idx+1)
 	})
+	r.mu.Lock()
+	r.timer = t
+	r.mu.Unlock()
 }
 
 func (r *Run) complete(err error) {
+	r.mu.Lock()
 	if r.done {
+		r.mu.Unlock()
 		return
 	}
 	r.done = true
+	r.mu.Unlock()
 	r.finish(err)
 }
 
 // Abort cancels the remaining steps; the done callback receives
 // ErrAborted at the next step boundary (or immediately if idle).
 func (r *Run) Abort() {
+	r.mu.Lock()
 	r.aborted = true
-	if r.timer != nil && r.timer.Stop() {
+	t := r.timer
+	r.mu.Unlock()
+	if t != nil && t.Stop() {
 		r.complete(ErrAborted)
 	}
 }

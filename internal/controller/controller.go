@@ -319,55 +319,106 @@ func (c *Controller) updateMonitorSupply() {
 	}
 }
 
-// StartMonitor begins a battery measurement of the device (API:
-// start_monitor): it flips the device's relay channel to the battery
-// bypass, waits for the contacts to settle, wires the channel into the
-// Monsoon and starts sampling. Only one device can be measured at a time
-// (the monitor has one input).
-func (c *Controller) StartMonitor(serial string, sampleRate int) error {
+// ArmMonitor is StartMonitor's event-driven form: it flips the device's
+// relay channel to the battery bypass synchronously, then schedules the
+// Monsoon wiring and sampling start for when the relay contacts have
+// settled — without ever advancing the shared clock, so concurrent
+// measurements on other vantage points keep their own timelines. ready
+// is invoked exactly once, at the settle instant, with the arming
+// outcome. The returned abort cancels a still-pending arming, restoring
+// the relay, USB power and device lock; it reports whether it won the
+// race against ready.
+func (c *Controller) ArmMonitor(serial string, sampleRate int, ready func(error)) (abort func() bool, err error) {
 	s, err := c.slotOf(serial)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if ready == nil {
+		ready = func(error) {}
 	}
 	c.mu.Lock()
 	if c.measuring != "" {
 		busy := c.measuring
 		c.mu.Unlock()
-		return fmt.Errorf("controller: already measuring %s", busy)
+		return nil, fmt.Errorf("controller: already measuring %s", busy)
 	}
 	c.measuring = serial
 	c.mu.Unlock()
 
-	fail := func(err error) error {
+	release := func() {
 		c.mu.Lock()
 		c.measuring = ""
 		c.mu.Unlock()
+	}
+	fail := func(err error) error {
+		release()
 		return err
 	}
 	if !c.mon.Powered() {
-		return fail(errors.New("controller: power monitor is off (use power_monitor)"))
+		return nil, fail(errors.New("controller: power monitor is off (use power_monitor)"))
 	}
 	if c.mon.Vout() == 0 {
-		return fail(errors.New("controller: Vout not set (use set_voltage)"))
+		return nil, fail(errors.New("controller: Vout not set (use set_voltage)"))
 	}
 	// Cut USB port power: the micro-controller activation current would
 	// corrupt the measurement (§3.3). Restored by StopMonitor.
 	s.usbWasOn, _ = c.hub.Powered(s.channel)
 	if err := c.hub.SetPower(s.channel, false); err != nil {
-		return fail(err)
+		return nil, fail(err)
 	}
 	if err := c.sw.Set(s.channel, relay.PosMonitor); err != nil {
-		return fail(err)
+		if s.usbWasOn {
+			c.hub.SetPower(s.channel, true)
+		}
+		return nil, fail(err)
 	}
-	c.clock.Sleep(relay.SettleTime)
-	c.mon.WireSource(c.sw.MeasuredSource(s.channel, s.dev.MonitorVisibleSource()))
-	if err := c.mon.StartSampling(sampleRate); err != nil {
+	rollBack := func() {
 		// Roll the relay back so the device is not stranded on a dead
-		// bypass.
+		// bypass, and restore the port state the measurement borrowed.
 		c.sw.Set(s.channel, relay.PosBattery)
-		return fail(err)
+		if s.usbWasOn {
+			c.hub.SetPower(s.channel, true)
+		}
+		release()
 	}
-	return nil
+	timer := c.clock.AfterFunc(relay.SettleTime, func() {
+		c.mon.WireSource(c.sw.MeasuredSource(s.channel, s.dev.MonitorVisibleSource()))
+		if err := c.mon.StartSampling(sampleRate); err != nil {
+			rollBack()
+			ready(err)
+			return
+		}
+		ready(nil)
+	})
+	abort = func() bool {
+		if !timer.Stop() {
+			return false
+		}
+		rollBack()
+		return true
+	}
+	return abort, nil
+}
+
+// StartMonitor begins a battery measurement of the device (API:
+// start_monitor): it flips the device's relay channel to the battery
+// bypass, waits for the contacts to settle, wires the channel into the
+// Monsoon and starts sampling. Only one device can be measured at a time
+// (the monitor has one input). On a Virtual clock it advances the clock
+// by the settle time; callers that must not advance shared time use
+// ArmMonitor.
+func (c *Controller) StartMonitor(serial string, sampleRate int) error {
+	armed := make(chan error, 1)
+	if _, err := c.ArmMonitor(serial, sampleRate, func(err error) { armed <- err }); err != nil {
+		return err
+	}
+	// On a virtual clock the settle timer only fires if someone advances
+	// time; do it here to preserve the blocking contract. On the real
+	// clock the timer fires on its own.
+	if v, ok := c.clock.(*simclock.Virtual); ok {
+		v.Advance(relay.SettleTime)
+	}
+	return <-armed
 }
 
 // StopMonitor ends the measurement, returns the relay to the battery

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"batterylab/internal/automation"
+	"batterylab/internal/controller"
+	"batterylab/internal/device"
+	"batterylab/internal/simclock"
+	"batterylab/internal/video"
+)
+
+// newCampaignRig builds a fresh platform with n vantage points, each
+// hosting one device with the sample video installed — identical for
+// identical seeds, the substrate for the determinism tests.
+func newCampaignRig(t *testing.T, n int) (*Platform, *simclock.Virtual, []string, []string) {
+	t.Helper()
+	clk := simclock.NewVirtual()
+	plat, err := NewPlatform(clk, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, serials []string
+	for i := 0; i < n; i++ {
+		name := "node" + string(rune('1'+i))
+		ctl, err := controller.New(clk, controller.Config{Name: name, Seed: uint64(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := device.New(clk, device.Config{
+			Seed:   uint64(200 + i),
+			Serial: "DEV" + name,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.AttachDevice(dev); err != nil {
+			t.Fatal(err)
+		}
+		dev.Storage().Push("/sdcard/v.mp4", video.SampleMP4(1024))
+		dev.Install(video.NewPlayer("/sdcard/v.mp4"))
+		if _, err := plat.Join(ctl, "198.51.100."+string(rune('1'+i))+":2222"); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, name)
+		serials = append(serials, dev.Serial())
+	}
+	return plat, clk, nodes, serials
+}
+
+func videoWorkload(dur time.Duration) func(automation.Driver) *automation.Script {
+	return func(drv automation.Driver) *automation.Script {
+		s := automation.NewScript("video")
+		s.Add("launch", dur, func() error {
+			_, err := drv.LaunchApp(video.PackageName)
+			return err
+		})
+		return s
+	}
+}
+
+// sixSpecs builds the acceptance-criterion batch: two vantage points ×
+// three specs each, node-interleaved.
+func sixSpecs(nodes, serials []string) []ExperimentSpec {
+	var specs []ExperimentSpec
+	for r := 0; r < 3; r++ {
+		for n := 0; n < 2; n++ {
+			specs = append(specs, ExperimentSpec{
+				Node: nodes[n], Device: serials[n], SampleRate: 200,
+				Workload: videoWorkload(time.Duration(20+5*r) * time.Second),
+			})
+		}
+	}
+	return specs
+}
+
+func TestCampaignConcurrentAcrossNodesSerializedPerDevice(t *testing.T) {
+	plat, clk, nodes, serials := newCampaignRig(t, 2)
+	specs := sixSpecs(nodes, serials)
+
+	start := clk.Now()
+	rec := &recorder{}
+	runs, err := plat.RunCampaign(context.Background(), Campaign{Specs: specs}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 6 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	// One observer watches the whole campaign: events from interleaved
+	// sessions are attributable through Node/Device.
+	seenNode := map[string]bool{}
+	rec.mu.Lock()
+	for _, e := range rec.phases {
+		if e.Node == "" || e.Device == "" {
+			t.Fatalf("unattributed event %+v", e)
+		}
+		seenNode[e.Node] = true
+	}
+	rec.mu.Unlock()
+	if !seenNode[nodes[0]] || !seenNode[nodes[1]] {
+		t.Fatalf("events seen from %v, want both nodes", seenNode)
+	}
+	var sequential time.Duration
+	for _, run := range runs {
+		if run.Err != nil {
+			t.Fatalf("run %d: %v", run.Index, run.Err)
+		}
+		if run.Result.EnergyMAH <= 0 {
+			t.Fatalf("run %d measured no energy", run.Index)
+		}
+		if run.Started.IsZero() || !run.Finished.After(run.Started) {
+			t.Fatalf("run %d has bogus interval [%v, %v]", run.Index, run.Started, run.Finished)
+		}
+		sequential += run.Result.Duration
+	}
+
+	// Serialized per device: intervals on the same node never overlap.
+	overlap := func(a, b CampaignRun) bool {
+		return a.Started.Before(b.Finished) && b.Started.Before(a.Finished)
+	}
+	crossNodeOverlap := false
+	for i := range runs {
+		for j := i + 1; j < len(runs); j++ {
+			if runs[i].Spec.Node == runs[j].Spec.Node {
+				if overlap(runs[i], runs[j]) {
+					t.Fatalf("runs %d and %d overlap on %s", i, j, runs[i].Spec.Node)
+				}
+			} else if overlap(runs[i], runs[j]) {
+				crossNodeOverlap = true
+			}
+		}
+	}
+	if !crossNodeOverlap {
+		t.Fatal("no cross-node concurrency observed")
+	}
+	// The concurrency win is real: makespan well under the sequential sum.
+	makespan := clk.Now().Sub(start)
+	if makespan >= sequential {
+		t.Fatalf("makespan %v not better than sequential %v", makespan, sequential)
+	}
+	// Monitors released everywhere.
+	for _, name := range nodes {
+		ctl, _ := plat.Controller(name)
+		if ctl.Measuring() != "" {
+			t.Fatalf("%s still measuring", name)
+		}
+	}
+}
+
+func TestCampaignDeterministicAndMatchesSequential(t *testing.T) {
+	energies := func(runs []CampaignRun) []float64 {
+		out := make([]float64, len(runs))
+		for i, r := range runs {
+			if r.Err != nil {
+				t.Fatalf("run %d: %v", i, r.Err)
+			}
+			out[i] = r.Result.EnergyMAH
+		}
+		return out
+	}
+
+	// Same campaign on two fresh platforms: bit-identical outcomes.
+	plat1, _, nodes, serials := newCampaignRig(t, 2)
+	runs1, err := plat1.RunCampaign(context.Background(), Campaign{Specs: sixSpecs(nodes, serials)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat2, _, nodes2, serials2 := newCampaignRig(t, 2)
+	runs2, err := plat2.RunCampaign(context.Background(), Campaign{Specs: sixSpecs(nodes2, serials2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := energies(runs1), energies(runs2)
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("campaign not seed-stable: run %d %v vs %v", i, e1[i], e2[i])
+		}
+	}
+
+	// Concurrency does not change the science: each node's runs, executed
+	// sequentially with blocking RunExperiment on a fresh platform, land
+	// on the same timeline as inside the concurrent campaign — and so
+	// produce bit-identical energies. (One fresh platform per node: a
+	// single sequential sweep over both nodes would shift the second
+	// node's runs to later instants and different noise realizations.)
+	for n := 0; n < 2; n++ {
+		platN, _, nodesN, serialsN := newCampaignRig(t, 2)
+		specsN := sixSpecs(nodesN, serialsN)
+		for i, spec := range specsN {
+			if spec.Node != nodesN[n] {
+				continue
+			}
+			res, err := platN.RunExperiment(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("baseline run %d: %v", i, err)
+			}
+			if res.EnergyMAH != e1[i] {
+				t.Fatalf("campaign run %d (%s) = %v mAh, sequential baseline = %v mAh",
+					i, spec.Node, e1[i], res.EnergyMAH)
+			}
+		}
+	}
+}
+
+func TestCampaignPerRunErrors(t *testing.T) {
+	plat, _, nodes, serials := newCampaignRig(t, 2)
+	specs := []ExperimentSpec{
+		{Node: nodes[0], Device: serials[0], SampleRate: 200, Workload: videoWorkload(10 * time.Second)},
+		// Unknown device: recorded per-run, dispatch fails synchronously.
+		{Node: nodes[1], Device: "NOPE", SampleRate: 200, Workload: videoWorkload(10 * time.Second)},
+		// Workload failure: the launched app is not installed.
+		{Node: nodes[1], Device: serials[1], SampleRate: 200,
+			Workload: func(drv automation.Driver) *automation.Script {
+				s := automation.NewScript("bad")
+				s.Add("boom", time.Second, func() error {
+					_, err := drv.LaunchApp("com.not.installed")
+					return err
+				})
+				return s
+			}},
+		{Node: nodes[1], Device: serials[1], SampleRate: 200, Workload: videoWorkload(10 * time.Second)},
+	}
+	runs, err := plat.RunCampaign(context.Background(), Campaign{Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0].Err != nil || runs[0].Result == nil {
+		t.Fatalf("run 0: %v", runs[0].Err)
+	}
+	if !errors.Is(runs[1].Err, ErrUnknownDevice) {
+		t.Fatalf("run 1 err = %v, want ErrUnknownDevice", runs[1].Err)
+	}
+	if runs[2].Err == nil {
+		t.Fatal("run 2 should have failed its workload")
+	}
+	// Siblings on the same node keep running after a failure.
+	if runs[3].Err != nil || runs[3].Result == nil {
+		t.Fatalf("run 3: %v", runs[3].Err)
+	}
+}
+
+func TestCampaignCancel(t *testing.T) {
+	plat, clk, nodes, serials := newCampaignRig(t, 2)
+	specs := sixSpecs(nodes, serials)
+	cs, err := plat.StartCampaign(context.Background(), Campaign{Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.AfterFunc(5*time.Second, func() { cs.Cancel() })
+	runs, err := cs.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled := 0
+	for _, run := range runs {
+		if errors.Is(run.Err, ErrCanceled) {
+			canceled++
+		}
+	}
+	// At 5 s every first-wave run is mid-workload and every queued run is
+	// still pending: all six cancel.
+	if canceled != 6 {
+		t.Fatalf("canceled = %d, want 6", canceled)
+	}
+	for _, name := range nodes {
+		ctl, _ := plat.Controller(name)
+		if ctl.Measuring() != "" {
+			t.Fatalf("%s still measuring after cancel", name)
+		}
+		if ctl.VPN().Active() != nil {
+			t.Fatalf("%s VPN still up after cancel", name)
+		}
+	}
+	// Cancel is idempotent.
+	cs.Cancel()
+}
+
+func TestCampaignMaxConcurrent(t *testing.T) {
+	plat, _, nodes, serials := newCampaignRig(t, 2)
+	specs := sixSpecs(nodes, serials)
+	runs, err := plat.RunCampaign(context.Background(), Campaign{Specs: specs, MaxConcurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range runs {
+		if runs[i].Err != nil {
+			t.Fatalf("run %d: %v", i, runs[i].Err)
+		}
+		for j := i + 1; j < len(runs); j++ {
+			if runs[i].Started.Before(runs[j].Finished) && runs[j].Started.Before(runs[i].Finished) {
+				t.Fatalf("runs %d and %d overlap despite MaxConcurrent=1", i, j)
+			}
+		}
+	}
+}
+
+func TestCampaignRealClock(t *testing.T) {
+	clk := simclock.Real()
+	plat, err := NewPlatform(clk, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []ExperimentSpec
+	for i := 0; i < 2; i++ {
+		name := "node" + string(rune('1'+i))
+		ctl, err := controller.New(clk, controller.Config{Name: name, Seed: uint64(10 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := device.New(clk, device.Config{Seed: uint64(20 + i), Serial: "DEV" + name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.AttachDevice(dev); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plat.Join(ctl, "198.51.100."+string(rune('1'+i))+":2222"); err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, ExperimentSpec{
+			Node: name, Device: dev.Serial(), SampleRate: 100,
+			Padding:         50 * time.Millisecond,
+			CPUSamplePeriod: 20 * time.Millisecond,
+			Workload:        sleepWorkload(4, 50*time.Millisecond),
+		})
+	}
+	runs, err := plat.RunCampaign(context.Background(), Campaign{Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, run := range runs {
+		if run.Err != nil {
+			t.Fatalf("run %d: %v", i, run.Err)
+		}
+		if run.Result.EnergyMAH <= 0 {
+			t.Fatalf("run %d measured no energy", i)
+		}
+	}
+}

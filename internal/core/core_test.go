@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -123,7 +124,7 @@ func TestRunExperimentVideo(t *testing.T) {
 	r.dev.Storage().Push("/sdcard/video.mp4", video.SampleMP4(1<<20))
 	r.dev.Install(video.NewPlayer("/sdcard/video.mp4"))
 
-	res, err := r.plat.RunExperiment(ExperimentSpec{
+	res, err := r.plat.RunExperiment(context.Background(), ExperimentSpec{
 		Node: "node1", Device: r.serial, SampleRate: 500,
 		Workload: func(drv automation.Driver) *automation.Script {
 			s := automation.NewScript("video")
@@ -172,13 +173,13 @@ func TestRunExperimentMirroringRaisesCurrent(t *testing.T) {
 		})
 		return s
 	}
-	plain, err := r.plat.RunExperiment(ExperimentSpec{
+	plain, err := r.plat.RunExperiment(context.Background(), ExperimentSpec{
 		Node: "node1", Device: r.serial, SampleRate: 200, Workload: workload,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mirrored, err := r.plat.RunExperiment(ExperimentSpec{
+	mirrored, err := r.plat.RunExperiment(context.Background(), ExperimentSpec{
 		Node: "node1", Device: r.serial, SampleRate: 200, Mirroring: true, Workload: workload,
 	})
 	if err != nil {
@@ -198,7 +199,7 @@ func TestRunExperimentMirroringRaisesCurrent(t *testing.T) {
 
 func TestRunExperimentRejectsUSB(t *testing.T) {
 	r := newRig(t)
-	_, err := r.plat.RunExperiment(ExperimentSpec{
+	_, err := r.plat.RunExperiment(context.Background(), ExperimentSpec{
 		Node: "node1", Device: r.serial, Transport: TransportUSB,
 		Workload: func(drv automation.Driver) *automation.Script {
 			return automation.NewScript("x")
@@ -215,7 +216,7 @@ func TestRunExperimentVPN(t *testing.T) {
 	b := browser.New(prof, r.ctl.AP(), func() string { return r.ctl.Region() })
 	r.dev.Install(b)
 
-	res, err := r.plat.RunExperiment(ExperimentSpec{
+	res, err := r.plat.RunExperiment(context.Background(), ExperimentSpec{
 		Node: "node1", Device: r.serial, SampleRate: 100, VPNLocation: "Bunkyo",
 		Workload: func(drv automation.Driver) *automation.Script {
 			return browser.BuildWorkload(drv, prof.Package, browser.WorkloadOptions{
@@ -238,7 +239,7 @@ func TestRunExperimentVPN(t *testing.T) {
 
 func TestRunExperimentWorkloadError(t *testing.T) {
 	r := newRig(t)
-	_, err := r.plat.RunExperiment(ExperimentSpec{
+	_, err := r.plat.RunExperiment(context.Background(), ExperimentSpec{
 		Node: "node1", Device: r.serial,
 		Workload: func(drv automation.Driver) *automation.Script {
 			s := automation.NewScript("bad")
@@ -260,18 +261,18 @@ func TestRunExperimentWorkloadError(t *testing.T) {
 
 func TestRunExperimentValidation(t *testing.T) {
 	r := newRig(t)
-	if _, err := r.plat.RunExperiment(ExperimentSpec{Node: "node1", Device: r.serial}); err == nil {
+	if _, err := r.plat.RunExperiment(context.Background(), ExperimentSpec{Node: "node1", Device: r.serial}); err == nil {
 		t.Fatal("missing workload accepted")
 	}
 	spec := ExperimentSpec{
 		Node: "nowhere", Device: r.serial,
 		Workload: func(drv automation.Driver) *automation.Script { return automation.NewScript("x") },
 	}
-	if _, err := r.plat.RunExperiment(spec); err == nil {
+	if _, err := r.plat.RunExperiment(context.Background(), spec); err == nil {
 		t.Fatal("unknown node accepted")
 	}
 	spec.Node, spec.Device = "node1", "nodevice"
-	if _, err := r.plat.RunExperiment(spec); err == nil {
+	if _, err := r.plat.RunExperiment(context.Background(), spec); err == nil {
 		t.Fatal("unknown device accepted")
 	}
 }

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
-	"batterylab/internal/adb"
 	"batterylab/internal/automation"
 	"batterylab/internal/simclock"
 	"batterylab/internal/trace"
@@ -21,6 +21,26 @@ const (
 	TransportWiFi Transport = iota
 	TransportBluetooth
 	TransportUSB
+)
+
+// Typed sentinel errors for spec validation and lookup failures. Callers
+// branch with errors.Is rather than matching message strings.
+var (
+	// ErrUnknownNode reports a vantage point that is not joined to the
+	// platform (or an empty Node field).
+	ErrUnknownNode = errors.New("core: unknown vantage point")
+	// ErrUnknownDevice reports a device serial the target vantage point
+	// does not host (or an empty Device field).
+	ErrUnknownDevice = errors.New("core: unknown device")
+	// ErrUSBTransport rejects measuring over USB: the port's
+	// micro-controller activation current corrupts the measurement
+	// (§3.3). Use WiFi or Bluetooth.
+	ErrUSBTransport = errors.New("core: USB transport corrupts measurements; use WiFi or Bluetooth")
+	// ErrNoWorkload reports a spec without a workload builder.
+	ErrNoWorkload = errors.New("core: experiment needs a workload")
+	// ErrCanceled reports a run ended by Session.Cancel, Campaign
+	// cancellation or context cancellation. Teardown still completed.
+	ErrCanceled = errors.New("core: experiment canceled")
 )
 
 // ExperimentSpec describes one battery measurement run — the programmatic
@@ -54,6 +74,53 @@ type ExperimentSpec struct {
 	Padding time.Duration
 }
 
+// Validate checks the spec's self-contained invariants and returns a
+// typed sentinel error (wrapped with detail) on the first violation.
+// Node/device existence is checked against the platform at start time,
+// with the same sentinels.
+func (s *ExperimentSpec) Validate() error {
+	if s.Node == "" {
+		return fmt.Errorf("%w: spec.Node is empty", ErrUnknownNode)
+	}
+	if s.Device == "" {
+		return fmt.Errorf("%w: spec.Device is empty", ErrUnknownDevice)
+	}
+	if s.Workload == nil {
+		return ErrNoWorkload
+	}
+	switch s.Transport {
+	case TransportWiFi, TransportBluetooth:
+	case TransportUSB:
+		return ErrUSBTransport
+	default:
+		return fmt.Errorf("core: unknown transport %d", s.Transport)
+	}
+	if s.SampleRate < 0 {
+		return fmt.Errorf("core: negative sample rate %d", s.SampleRate)
+	}
+	if s.VoltageV < 0 {
+		return fmt.Errorf("core: negative voltage %v", s.VoltageV)
+	}
+	if s.CPUSamplePeriod < 0 || s.Padding < 0 {
+		return errors.New("core: negative durations in spec")
+	}
+	return nil
+}
+
+// withDefaults fills the zero-value knobs.
+func (s ExperimentSpec) withDefaults(nominalVoltage float64) ExperimentSpec {
+	if s.CPUSamplePeriod == 0 {
+		s.CPUSamplePeriod = time.Second
+	}
+	if s.Padding == 0 {
+		s.Padding = time.Second
+	}
+	if s.VoltageV == 0 {
+		s.VoltageV = nominalVoltage
+	}
+	return s
+}
+
 // Result carries everything a run measured.
 type Result struct {
 	// Current is the power monitor's trace (mA).
@@ -70,194 +137,157 @@ type Result struct {
 }
 
 // RunExperiment executes a measurement end to end on a joined vantage
-// point. On a Virtual clock it drives simulated time itself, so a
-// 7-minute workload returns in milliseconds; on the Real clock it blocks
-// for the workload's actual duration.
-func (p *Platform) RunExperiment(spec ExperimentSpec) (*Result, error) {
-	type outcome struct {
-		res *Result
-		err error
-	}
-	ch := make(chan outcome, 1)
-	scripted, err := p.StartExperiment(spec, func(res *Result, err error) {
-		ch <- outcome{res, err}
-	})
+// point and blocks until it completes, fails, or ctx is canceled
+// (cancellation tears the VPN, mirroring session and monitor down in
+// reverse setup order before returning). On a Virtual clock it drives
+// simulated time itself, so a 7-minute workload returns in milliseconds;
+// on the Real clock it blocks for the workload's actual duration.
+func (p *Platform) RunExperiment(ctx context.Context, spec ExperimentSpec, obs ...Observer) (*Result, error) {
+	sess, err := p.StartExperiment(ctx, spec, obs...)
 	if err != nil {
 		return nil, err
 	}
-	if v, ok := p.clock.(*simclock.Virtual); ok {
-		// Drive simulated time until the experiment completes, bounded
-		// by a generous budget so a stuck workload cannot hang us.
-		deadline := v.Now().Add(scripted*2 + time.Minute)
-		for {
-			select {
-			case o := <-ch:
-				return o.res, o.err
-			default:
-			}
-			if !v.Now().Before(deadline) {
-				return nil, fmt.Errorf("core: workload did not finish within %v", scripted*2+time.Minute)
-			}
-			v.Advance(100 * time.Millisecond)
-		}
-	}
-	o := <-ch
-	return o.res, o.err
+	return sess.Wait(ctx)
 }
 
 // StartExperiment sets a measurement up and schedules its workload,
-// returning immediately with the scripted duration. When the run
-// completes (or fails), done receives the result; it is invoked exactly
-// once, from a clock callback. This is the form access-server jobs use:
-// the build's RunFunc must not block or drive the clock itself.
-func (p *Platform) StartExperiment(spec ExperimentSpec, done func(*Result, error)) (time.Duration, error) {
-	if spec.Workload == nil {
-		return 0, errors.New("core: experiment needs a workload")
+// returning a Session handle immediately. The session exposes Wait,
+// Cancel, the current Phase and the scripted duration; observers receive
+// phase transitions and live current samples. Setup errors that can be
+// detected synchronously (validation, unknown node/device, VPN or
+// transport failures) are returned here; later failures surface through
+// Wait. Cancelling ctx cancels the run.
+func (p *Platform) StartExperiment(ctx context.Context, spec ExperimentSpec, obs ...Observer) (*Session, error) {
+	return p.start(ctx, spec, obs, nil)
+}
+
+// StartExperimentFunc is the v1 callback form kept as a thin shim: done
+// is invoked exactly once with the run's outcome, and the scripted
+// duration is returned immediately.
+//
+// Deprecated: use StartExperiment and the returned Session.
+func (p *Platform) StartExperimentFunc(spec ExperimentSpec, done func(*Result, error)) (time.Duration, error) {
+	sess, err := p.start(context.Background(), spec, nil, done)
+	if err != nil {
+		return 0, err
 	}
-	if done == nil {
-		done = func(*Result, error) {}
+	return sess.Scripted(), nil
+}
+
+// start is the shared setup path behind StartExperiment, the campaign
+// scheduler and the access-server jobs. onDone, when non-nil, is invoked
+// exactly once from the teardown path with the run's outcome.
+func (p *Platform) start(ctx context.Context, spec ExperimentSpec, obs []Observer, onDone func(*Result, error)) (*Session, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ctl, err := p.Controller(spec.Node)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	dev, err := ctl.Device(spec.Device)
 	if err != nil {
-		return 0, err
+		return nil, fmt.Errorf("%w: %v", ErrUnknownDevice, err)
 	}
-	if spec.CPUSamplePeriod == 0 {
-		spec.CPUSamplePeriod = time.Second
-	}
-	if spec.Padding == 0 {
-		spec.Padding = time.Second
-	}
-	if spec.VoltageV == 0 {
-		spec.VoltageV = dev.Battery().NominalVoltage()
+	spec = spec.withDefaults(dev.Battery().NominalVoltage())
+
+	s := &Session{
+		platform:  p,
+		clock:     p.clock,
+		spec:      spec,
+		ctl:       ctl,
+		dev:       dev,
+		observers: obs,
+		onDone:    onDone,
+		done:      make(chan struct{}),
 	}
 
 	// 1. Network location (§4.3).
-	vpnConnected := false
 	if spec.VPNLocation != "" {
 		if _, err := ctl.VPN().Connect(spec.VPNLocation); err != nil {
-			return 0, err
+			return nil, err
 		}
-		vpnConnected = true
+		s.vpnConnected = true
+		s.setPhase(PhaseVPNUp, "")
 	}
-	teardownNetwork := func() {
-		if vpnConnected {
-			ctl.VPN().Disconnect()
-		}
+	fail := func(err error) (*Session, error) {
+		s.teardownSetup()
+		// Observers that saw this run enter phases get the terminal
+		// event too, with the setup failure attached.
+		s.mu.Lock()
+		s.phase = PhaseDone
+		s.mu.Unlock()
+		s.notifyPhase(PhaseChange{
+			Node: spec.Node, Device: spec.Device,
+			Phase: PhaseDone, At: p.clock.Now(), Err: err,
+		})
+		return nil, err
 	}
 
 	// 2. Automation channel (§3.3): arm the measurement-safe transport
 	// while USB is still up.
-	switch spec.Transport {
-	case TransportUSB:
-		teardownNetwork()
-		return 0, errors.New("core: USB transport corrupts measurements; use WiFi or Bluetooth")
-	case TransportBluetooth:
-		if err := ctl.ADB().SetTransport(spec.Device, adb.TransportBluetooth); err != nil {
-			teardownNetwork()
-			return 0, err
-		}
-	default: // WiFi
-		if err := ctl.ADB().EnableTCPIP(spec.Device); err != nil {
-			teardownNetwork()
-			return 0, err
-		}
-		if err := ctl.ADB().SetTransport(spec.Device, adb.TransportWiFi); err != nil {
-			teardownNetwork()
-			return 0, err
-		}
+	if err := s.armTransport(); err != nil {
+		return fail(err)
 	}
+	s.setPhase(PhaseTransportArmed, "")
 
 	// 3. Mirroring (§3.2), before the monitor so its cost is measured.
-	mirrorActive := false
 	if spec.Mirroring {
 		sess, err := ctl.MirrorSession(spec.Device)
 		if err != nil {
-			teardownNetwork()
-			return 0, err
+			return fail(err)
 		}
 		if err := sess.Start(0); err != nil {
-			teardownNetwork()
-			return 0, err
+			return fail(err)
 		}
-		mirrorActive = true
-	}
-	teardownMirror := func() {
-		if mirrorActive {
-			if sess, err := ctl.MirrorSession(spec.Device); err == nil {
-				sess.Stop()
-			}
-		}
+		s.mirrorActive = true
+		s.setPhase(PhaseMirrorOn, "")
 	}
 
-	// 4. Arm and start the monitor.
+	// 4. Build the workload script up front so the scripted duration is
+	// known before the monitor arms.
+	drv := automation.NewADBDriver(ctl.ADB(), spec.Device)
+	script := spec.Workload(drv)
+	s.script = s.instrument(script)
+	s.scripted = script.TotalWait() + spec.Padding
+
+	// 5. Power and program the monitor, then arm it event-driven: the
+	// relay flips now, sampling starts at the settle instant without
+	// advancing the shared clock (concurrent campaigns keep their own
+	// timelines).
 	if !ctl.Monsoon().Powered() {
 		ctl.PowerMonitor()
 	}
 	if err := ctl.SetVoltage(spec.VoltageV); err != nil {
-		teardownMirror()
-		teardownNetwork()
-		return 0, err
+		return fail(err)
 	}
-	if err := ctl.StartMonitor(spec.Device, spec.SampleRate); err != nil {
-		teardownMirror()
-		teardownNetwork()
-		return 0, err
+	abortArm, err := ctl.ArmMonitor(spec.Device, spec.SampleRate, s.armed)
+	if err != nil {
+		return fail(err)
 	}
-
-	// 5. CPU instrumentation.
-	devCPU := trace.NewSeries("device-cpu", "percent")
-	devTicker := simclock.NewTicker(p.clock, spec.CPUSamplePeriod, func(now time.Time) {
-		devCPU.MustAppend(now, dev.CPU().UtilAt(now))
-	})
-	ctlCPU, stopCtlCPU := ctl.MonitorCPU(spec.CPUSamplePeriod)
-
-	// 6. Run the workload; completion flows through finish exactly once.
-	drv := automation.NewADBDriver(ctl.ADB(), spec.Device)
-	script := spec.Workload(drv)
-	start := p.clock.Now()
-
-	finish := func(scriptErr error) {
-		devTicker.Stop()
-		stopCtlCPU()
-		var mirrorBytes int64
-		if mirrorActive {
-			if sess, err := ctl.MirrorSession(spec.Device); err == nil {
-				mirrorBytes = sess.BytesSent()
+	s.mu.Lock()
+	s.abortArm = abortArm
+	s.mu.Unlock()
+	// Watch ctx on the real clock only: there timers fire on their own
+	// goroutines, so an async cancel is both needed and safe. Under a
+	// Virtual clock all progress happens inside Wait's drive loop, which
+	// checks ctx itself — an async watcher would run teardown
+	// concurrently with timer callbacks and break the single-driver
+	// determinism model.
+	if _, virtual := p.clock.(*simclock.Virtual); !virtual && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.cancelWith(context.Cause(ctx))
+			case <-s.done:
 			}
-		}
-		current, stopErr := ctl.StopMonitor()
-		teardownMirror()
-		teardownNetwork()
-		if scriptErr != nil {
-			done(nil, fmt.Errorf("core: workload: %w", scriptErr))
-			return
-		}
-		if stopErr != nil {
-			done(nil, stopErr)
-			return
-		}
-		done(&Result{
-			Current:           current,
-			DeviceCPU:         devCPU,
-			ControllerCPU:     ctlCPU,
-			EnergyMAH:         current.EnergyMAH(),
-			Duration:          p.clock.Now().Sub(start),
-			MirrorUploadBytes: mirrorBytes,
-		}, nil)
+		}()
 	}
-
-	exec := automation.NewExecutor(p.clock)
-	exec.Run(script, func(scriptErr error) {
-		if scriptErr != nil {
-			finish(scriptErr)
-			return
-		}
-		// Hold the monitor through the padding tail, then collect.
-		p.clock.AfterFunc(spec.Padding, func() { finish(nil) })
-	})
-	return script.TotalWait() + spec.Padding, nil
+	return s, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,7 +19,7 @@ import (
 // "device-cpu.csv" / "controller-cpu.csv" in the build workspace.
 func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 	return func(ctx *accessserver.BuildContext, done func(error)) {
-		scripted, err := p.StartExperiment(spec, func(res *Result, err error) {
+		sess, err := p.start(context.Background(), spec, nil, func(res *Result, err error) {
 			if err != nil {
 				ctx.Logf("measurement failed: %v", err)
 				done(err)
@@ -52,15 +53,19 @@ func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 			done(err)
 			return
 		}
-		ctx.Logf("experiment scheduled: ~%s of device time", scripted)
+		ctx.Logf("experiment scheduled: ~%s of device time", sess.Scripted())
 	}
 }
 
 // SubmitExperiment creates, and for admins immediately approves and
 // queues, a measurement job for spec. Experimenter-created jobs are left
 // awaiting the §3.1 admin approval; the returned build is nil in that
-// case.
+// case. The spec is validated up front so a malformed submission fails
+// with a typed error before entering the queue.
 func (p *Platform) SubmitExperiment(user *accessserver.User, jobName string, spec ExperimentSpec) (*accessserver.Build, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	cons := accessserver.Constraints{Node: spec.Node, Device: spec.Device}
 	if _, err := p.Access.CreateJob(user, jobName, cons, p.MeasurementJob(spec)); err != nil {
 		return nil, err

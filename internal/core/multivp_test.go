@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -73,7 +74,7 @@ func TestMultiVPIndependentExperiments(t *testing.T) {
 		dev, _ := ctl.Device(serial)
 		dev.Storage().Push("/sdcard/v.mp4", video.SampleMP4(1024))
 		dev.Install(video.NewPlayer("/sdcard/v.mp4"))
-		res, err := plat.RunExperiment(ExperimentSpec{
+		res, err := plat.RunExperiment(context.Background(), ExperimentSpec{
 			Node: ctl.Name(), Device: serial, SampleRate: 200,
 			Workload: func(drv automation.Driver) *automation.Script {
 				s := automation.NewScript("video")

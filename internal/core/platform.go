@@ -10,7 +10,9 @@
 package core
 
 import (
+	"context"
 	"encoding/base64"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -37,6 +39,10 @@ type Platform struct {
 	mu    sync.Mutex
 	vps   map[string]*controller.Controller
 	certs map[string]*certs.Certificate // node -> deployed cert
+
+	// driveMu serializes virtual-clock driving across concurrent Waits
+	// (sessions and campaigns), keeping event order deterministic.
+	driveMu sync.Mutex
 }
 
 // NewPlatform assembles an empty platform: access server, DNS zone and
@@ -110,9 +116,47 @@ func (p *Platform) Controller(name string) (*controller.Controller, error) {
 	defer p.mu.Unlock()
 	ctl, ok := p.vps[name]
 	if !ok {
-		return nil, fmt.Errorf("core: no vantage point %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, name)
 	}
 	return ctl, nil
+}
+
+// drive advances a virtual clock deadline-by-deadline until done closes,
+// ctx is canceled, or the next pending timer lies beyond deadline(). It
+// replaces the old fixed-increment spin loop: every iteration either
+// fires at least one timer or returns, and concurrent drivers block on
+// the platform's driver lock instead of burning CPU.
+func (p *Platform) drive(ctx context.Context, v *simclock.Virtual, done <-chan struct{}, deadline func() time.Time) error {
+	for {
+		select {
+		case <-done:
+			return nil
+		default:
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.driveMu.Lock()
+		// Another driver may have completed our run while we waited for
+		// the lock.
+		select {
+		case <-done:
+			p.driveMu.Unlock()
+			return nil
+		default:
+		}
+		next, ok := v.NextDeadline()
+		if !ok {
+			p.driveMu.Unlock()
+			return errors.New("core: run stalled: no pending timers on the virtual clock")
+		}
+		if dl := deadline(); next.After(dl) {
+			p.driveMu.Unlock()
+			return fmt.Errorf("core: run did not finish within its time budget (next event %v past %v)", next, dl)
+		}
+		v.RunUntil(next)
+		p.driveMu.Unlock()
+	}
 }
 
 // VantagePoints lists joined vantage point names via the DNS zone.

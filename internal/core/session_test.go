@@ -1,0 +1,335 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"batterylab/internal/automation"
+	"batterylab/internal/controller"
+	"batterylab/internal/device"
+	"batterylab/internal/simclock"
+	"batterylab/internal/video"
+)
+
+// sleepWorkload builds a workload of n pure waits of step each — enough
+// structure to cancel mid-flight without needing installed apps.
+func sleepWorkload(n int, step time.Duration) func(automation.Driver) *automation.Script {
+	return func(automation.Driver) *automation.Script {
+		s := automation.NewScript("sleeper")
+		for i := 0; i < n; i++ {
+			s.Sleep(step)
+		}
+		return s
+	}
+}
+
+// recorder collects observer events, safely across goroutines (real
+// clock timers fire concurrently).
+type recorder struct {
+	mu      sync.Mutex
+	phases  []PhaseChange
+	samples []Sample
+}
+
+func (r *recorder) OnPhase(e PhaseChange) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.phases = append(r.phases, e)
+}
+
+func (r *recorder) OnSample(s Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = append(r.samples, s)
+}
+
+func (r *recorder) phaseSeq() []Phase {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Phase
+	for _, e := range r.phases {
+		if len(out) == 0 || out[len(out)-1] != e.Phase {
+			out = append(out, e.Phase)
+		}
+	}
+	return out
+}
+
+func assertTornDown(t *testing.T, r *rig, s *Session) {
+	t.Helper()
+	if r.ctl.VPN().Active() != nil {
+		t.Error("VPN left connected")
+	}
+	if sess, err := r.ctl.MirrorSession(r.serial); err == nil && sess.Active() {
+		t.Error("mirroring left active")
+	}
+	if r.ctl.Measuring() != "" {
+		t.Error("monitor still held")
+	}
+	s.mu.Lock()
+	teardowns := s.teardowns
+	s.mu.Unlock()
+	if teardowns != 1 {
+		t.Errorf("teardown ran %d times, want exactly 1", teardowns)
+	}
+}
+
+func TestCancelMidWorkloadVirtual(t *testing.T) {
+	r := newRig(t)
+	spec := ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 200,
+		Mirroring: true, VPNLocation: "Bunkyo",
+		Workload: sleepWorkload(60, time.Second),
+	}
+	sess, err := r.plat.StartExperiment(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel from a clock callback halfway through the workload — the
+	// deterministic way to cancel under the virtual clock.
+	r.clk.AfterFunc(30*time.Second, func() { sess.Cancel() })
+	res, err := sess.Wait(context.Background())
+	if res != nil {
+		t.Fatal("canceled run returned a result")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	assertTornDown(t, r, sess)
+	// Teardown happens in reverse setup order: monitor, mirror, VPN.
+	sess.mu.Lock()
+	order := strings.Join(sess.teardownOrder, ",")
+	sess.mu.Unlock()
+	if order != "monitor,mirror,vpn" {
+		t.Fatalf("teardown order = %s, want monitor,mirror,vpn", order)
+	}
+	// Cancel is idempotent after completion.
+	sess.Cancel()
+	sess.Cancel()
+	assertTornDown(t, r, sess)
+	// The device is free for the next experimenter.
+	if _, err := r.plat.RunExperiment(context.Background(), ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 200,
+		Workload: sleepWorkload(2, time.Second),
+	}); err != nil {
+		t.Fatalf("follow-up run after cancel: %v", err)
+	}
+}
+
+func TestCancelMidWorkloadRealClock(t *testing.T) {
+	clk := simclock.Real()
+	plat, ctl, dev := newRealRig(t, clk)
+	serial := dev.Serial()
+	spec := ExperimentSpec{
+		Node: "node1", Device: serial, SampleRate: 100,
+		Mirroring: true, VPNLocation: "Bunkyo",
+		Padding:         50 * time.Millisecond,
+		CPUSamplePeriod: 20 * time.Millisecond,
+		Workload:        sleepWorkload(40, 50*time.Millisecond),
+	}
+	sess, err := plat.StartExperiment(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		sess.Cancel()
+	}()
+	res, err := sess.Wait(context.Background())
+	if res != nil {
+		t.Fatal("canceled run returned a result")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ctl.VPN().Active() != nil {
+		t.Error("VPN left connected")
+	}
+	if ms, err := ctl.MirrorSession(serial); err == nil && ms.Active() {
+		t.Error("mirroring left active")
+	}
+	if ctl.Measuring() != "" {
+		t.Error("monitor still held")
+	}
+	sess.mu.Lock()
+	teardowns := sess.teardowns
+	sess.mu.Unlock()
+	if teardowns != 1 {
+		t.Errorf("teardown ran %d times, want exactly 1", teardowns)
+	}
+}
+
+func TestContextCancelTearsDown(t *testing.T) {
+	r := newRig(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	sess, err := r.plat.StartExperiment(ctx, ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 200,
+		VPNLocation: "Bunkyo",
+		Workload:    sleepWorkload(30, time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	res, err := sess.Wait(ctx)
+	if res != nil {
+		t.Fatal("canceled run returned a result")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	assertTornDown(t, r, sess)
+	if err := ctx.Err(); err == nil {
+		t.Fatal("ctx not canceled?")
+	}
+	// A pre-canceled context refuses to start at all.
+	if _, err := r.plat.StartExperiment(ctx, ExperimentSpec{
+		Node: "node1", Device: r.serial,
+		Workload: sleepWorkload(1, time.Second),
+	}); err == nil {
+		t.Fatal("StartExperiment accepted a canceled context")
+	}
+}
+
+func TestPhaseObserverSequence(t *testing.T) {
+	r := newRig(t)
+	r.dev.Storage().Push("/sdcard/v.mp4", video.SampleMP4(1<<20))
+	r.dev.Install(video.NewPlayer("/sdcard/v.mp4"))
+	rec := &recorder{}
+	res, err := r.plat.RunExperiment(context.Background(), ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 200,
+		Mirroring: true, VPNLocation: "Santa Clara",
+		Workload: func(drv automation.Driver) *automation.Script {
+			s := automation.NewScript("video")
+			s.Add("launch", 20*time.Second, func() error {
+				_, err := drv.LaunchApp(video.PackageName)
+				return err
+			})
+			return s
+		},
+	}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyMAH <= 0 {
+		t.Fatal("no energy measured")
+	}
+	want := []Phase{PhaseVPNUp, PhaseTransportArmed, PhaseMirrorOn,
+		PhaseMonitorArmed, PhaseWorkload, PhaseSettle, PhaseDone}
+	got := rec.phaseSeq()
+	if len(got) != len(want) {
+		t.Fatalf("phase sequence = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("phase sequence = %v, want %v", got, want)
+		}
+	}
+	// Per-step events carry the step name.
+	stepSeen := false
+	rec.mu.Lock()
+	for _, e := range rec.phases {
+		if e.Phase == PhaseWorkload && e.Step == "launch" {
+			stepSeen = true
+		}
+		if e.Phase == PhaseDone && e.Err != nil {
+			t.Errorf("PhaseDone carried err %v", e.Err)
+		}
+	}
+	rec.mu.Unlock()
+	if !stepSeen {
+		t.Fatal("no workload step event observed")
+	}
+	// Live current samples flowed during the run.
+	rec.mu.Lock()
+	n := len(rec.samples)
+	positive := 0
+	for _, s := range rec.samples {
+		if s.CurrentMA > 0 {
+			positive++
+		}
+	}
+	rec.mu.Unlock()
+	if n < 10 || positive == 0 {
+		t.Fatalf("samples = %d (positive %d), want a live stream", n, positive)
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	r := newRig(t)
+	wl := sleepWorkload(1, time.Second)
+	cases := []struct {
+		name string
+		spec ExperimentSpec
+		want error
+	}{
+		{"no workload", ExperimentSpec{Node: "node1", Device: r.serial}, ErrNoWorkload},
+		{"usb", ExperimentSpec{Node: "node1", Device: r.serial, Transport: TransportUSB, Workload: wl}, ErrUSBTransport},
+		{"empty node", ExperimentSpec{Device: r.serial, Workload: wl}, ErrUnknownNode},
+		{"unknown node", ExperimentSpec{Node: "nowhere", Device: r.serial, Workload: wl}, ErrUnknownNode},
+		{"empty device", ExperimentSpec{Node: "node1", Workload: wl}, ErrUnknownDevice},
+		{"unknown device", ExperimentSpec{Node: "node1", Device: "nodevice", Workload: wl}, ErrUnknownDevice},
+	}
+	for _, tc := range cases {
+		_, err := r.plat.RunExperiment(context.Background(), tc.spec)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestStartExperimentFuncShim(t *testing.T) {
+	r := newRig(t)
+	var got *Result
+	var gotErr error
+	fired := 0
+	scripted, err := r.plat.StartExperimentFunc(ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 200,
+		Workload: sleepWorkload(3, 10*time.Second),
+	}, func(res *Result, err error) {
+		got, gotErr = res, err
+		fired++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scripted != 31*time.Second { // 3×10 s + 1 s default padding
+		t.Fatalf("scripted = %v", scripted)
+	}
+	r.clk.Advance(2 * scripted)
+	if fired != 1 {
+		t.Fatalf("done fired %d times", fired)
+	}
+	if gotErr != nil || got == nil || got.EnergyMAH <= 0 {
+		t.Fatalf("outcome = %v, %v", got, gotErr)
+	}
+}
+
+// newRealRig assembles a platform on the real clock for the real-time
+// cancellation tests.
+func newRealRig(t *testing.T, clk simclock.Clock) (*Platform, *controller.Controller, *device.Device) {
+	t.Helper()
+	plat, err := NewPlatform(clk, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := controller.New(clk, controller.Config{Name: "node1", Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.New(clk, device.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.AttachDevice(dev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plat.Join(ctl, "198.51.100.7:2222"); err != nil {
+		t.Fatal(err)
+	}
+	return plat, ctl, dev
+}

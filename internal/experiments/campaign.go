@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"batterylab/internal/automation"
+	"batterylab/internal/browser"
+	"batterylab/internal/controller"
+	"batterylab/internal/core"
+	"batterylab/internal/device"
+	"batterylab/internal/simclock"
+)
+
+// MultiEnv is a federation of several single-device vantage points on
+// one virtual clock — the substrate for campaign sweeps.
+type MultiEnv struct {
+	Clk     *simclock.Virtual
+	Plat    *core.Platform
+	Ctls    []*controller.Controller
+	Serials []string
+}
+
+// NewMultiEnv builds a platform joined by n vantage points ("node1"…),
+// each hosting one device with the study browsers installed.
+func NewMultiEnv(seed uint64, n int) (*MultiEnv, error) {
+	clk := simclock.NewVirtual()
+	plat, err := core.NewPlatform(clk, seed)
+	if err != nil {
+		return nil, err
+	}
+	env := &MultiEnv{Clk: clk, Plat: plat}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node%d", i+1)
+		ctl, err := controller.New(clk, controller.Config{Name: name, Seed: seed + uint64(i)*131})
+		if err != nil {
+			return nil, err
+		}
+		dev, err := device.New(clk, device.Config{
+			Seed:   seed + uint64(i)*151,
+			Serial: fmt.Sprintf("DEV%s", name),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := ctl.AttachDevice(dev); err != nil {
+			return nil, err
+		}
+		for _, prof := range browser.Profiles() {
+			b := browser.New(prof, ctl.AP(), func() string { return ctl.Region() })
+			if err := dev.Install(b); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := plat.Join(ctl, fmt.Sprintf("198.51.100.%d:2222", 10+i)); err != nil {
+			return nil, err
+		}
+		env.Ctls = append(env.Ctls, ctl)
+		env.Serials = append(env.Serials, dev.Serial())
+	}
+	return env, nil
+}
+
+// CampaignRow is one run of the campaign sweep.
+type CampaignRow struct {
+	Node      string
+	Browser   string
+	EnergyMAH float64
+	Err       string
+}
+
+// CampaignReport aggregates the sweep: per-run energies plus the
+// concurrency win (simulated makespan vs the sum of run durations a
+// sequential for-loop would have paid).
+type CampaignReport struct {
+	Rows          []CampaignRow
+	Makespan      time.Duration
+	SequentialSum time.Duration
+}
+
+// CampaignSweep runs runsPerNode browser workloads on each of nodes
+// vantage points as one concurrent campaign — the platform-scale usage
+// the session/campaign API exists for. Runs on distinct nodes overlap in
+// simulated time; each node's runs stay serialized on its Monsoon.
+func CampaignSweep(opts Options, nodes, runsPerNode int) (*CampaignReport, error) {
+	opts = opts.withDefaults()
+	if nodes <= 0 {
+		nodes = 2
+	}
+	if runsPerNode <= 0 {
+		runsPerNode = 3
+	}
+	env, err := NewMultiEnv(opts.Seed, nodes)
+	if err != nil {
+		return nil, err
+	}
+	names := BrowserNames()
+	var specs []core.ExperimentSpec
+	var labels []CampaignRow
+	for r := 0; r < runsPerNode; r++ {
+		for n := 0; n < nodes; n++ {
+			prof, err := browser.FindProfile(names[r%len(names)])
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, core.ExperimentSpec{
+				Node: env.Ctls[n].Name(), Device: env.Serials[n],
+				SampleRate: opts.SampleRate,
+				Workload: func(drv automation.Driver) *automation.Script {
+					return browser.BuildWorkload(drv, prof.Package, opts.browserWorkloadOpts())
+				},
+			})
+			labels = append(labels, CampaignRow{Node: env.Ctls[n].Name(), Browser: prof.Name})
+		}
+	}
+	start := env.Clk.Now()
+	runs, err := env.Plat.RunCampaign(context.Background(), core.Campaign{Specs: specs})
+	if err != nil {
+		return nil, err
+	}
+	rep := &CampaignReport{Makespan: env.Clk.Now().Sub(start)}
+	for i, run := range runs {
+		row := labels[i]
+		if run.Err != nil {
+			row.Err = run.Err.Error()
+		} else {
+			row.EnergyMAH = run.Result.EnergyMAH
+			rep.SequentialSum += run.Result.Duration
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"batterylab/internal/automation"
@@ -38,7 +39,7 @@ func Fig3BrowserEnergy(opts Options) ([]Fig3Row, error) {
 		for _, mirroring := range []bool{false, true} {
 			var energies []float64
 			for rep := 0; rep < opts.Repetitions; rep++ {
-				res, err := env.Plat.RunExperiment(core.ExperimentSpec{
+				res, err := env.Plat.RunExperiment(context.Background(), core.ExperimentSpec{
 					Node: "node1", Device: env.Serial,
 					SampleRate: opts.SampleRate,
 					Mirroring:  mirroring,

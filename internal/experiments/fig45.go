@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"batterylab/internal/automation"
@@ -35,7 +36,7 @@ func Fig4DeviceCPU(opts Options) ([]Fig4Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := env.Plat.RunExperiment(core.ExperimentSpec{
+			res, err := env.Plat.RunExperiment(context.Background(), core.ExperimentSpec{
 				Node: "node1", Device: env.Serial,
 				SampleRate: opts.SampleRate,
 				Mirroring:  mirroring,
@@ -79,7 +80,7 @@ func Fig5ControllerCPU(opts Options) ([]Fig5Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := env.Plat.RunExperiment(core.ExperimentSpec{
+		res, err := env.Plat.RunExperiment(context.Background(), core.ExperimentSpec{
 			Node: "node1", Device: env.Serial,
 			SampleRate: opts.SampleRate,
 			Mirroring:  mirroring,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"batterylab/internal/automation"
@@ -51,7 +52,7 @@ func Fig6VPNEnergy(opts Options) ([]Fig6Row, error) {
 			}
 			var energies []float64
 			for rep := 0; rep < opts.Repetitions; rep++ {
-				res, err := env.Plat.RunExperiment(core.ExperimentSpec{
+				res, err := env.Plat.RunExperiment(context.Background(), core.ExperimentSpec{
 					Node: "node1", Device: env.Serial,
 					SampleRate:  opts.SampleRate,
 					VPNLocation: exit.Location,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"batterylab/internal/vpn"
 )
@@ -169,4 +170,26 @@ func FormatScheduler(rows []SchedulerRow) string {
 			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%d\n", r.Policy, r.MakespanS, r.AvgWaitS, r.BuildCount)
 		}
 	})
+}
+
+// FormatCampaign renders the campaign sweep: per-run energies plus the
+// concurrency win over a sequential for-loop.
+func FormatCampaign(rep *CampaignReport) string {
+	out := table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Campaign sweep: concurrent runs across vantage points")
+		fmt.Fprintln(w, "node\tbrowser\tdischarge (mAh)")
+		for _, r := range rep.Rows {
+			if r.Err != "" {
+				fmt.Fprintf(w, "%s\t%s\tFAILED: %s\n", r.Node, r.Browser, r.Err)
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.2f\n", r.Node, r.Browser, r.EnergyMAH)
+		}
+	})
+	speedup := 0.0
+	if rep.Makespan > 0 {
+		speedup = rep.SequentialSum.Seconds() / rep.Makespan.Seconds()
+	}
+	return out + fmt.Sprintf("makespan %s vs %s sequential (%.2fx)\n",
+		rep.Makespan.Round(time.Second), rep.SequentialSum.Round(time.Second), speedup)
 }

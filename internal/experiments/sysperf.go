@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"batterylab/internal/automation"
@@ -50,7 +51,7 @@ func SysPerf(opts Options) (*SysPerfReport, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := env.Plat.RunExperiment(core.ExperimentSpec{
+		res, err := env.Plat.RunExperiment(context.Background(), core.ExperimentSpec{
 			Node: "node1", Device: env.Serial,
 			SampleRate: opts.SampleRate,
 			Mirroring:  mirroring,

@@ -20,6 +20,13 @@ func TestPropertySamplingUnbiased(t *testing.T) {
 		if math.IsNaN(level) {
 			return true
 		}
+		// Near zero the unbiasedness property does not hold: the ADC
+		// clamps negative readings to 0, rectifying the noise and biasing
+		// the mean up by ~sigma/sqrt(2*pi). Skip levels within 5 sigma of
+		// the floor.
+		if level < 6 {
+			return true
+		}
 		clk := simclock.NewVirtual()
 		m := New(clk, "HV", seed)
 		m.SetMains(true)
@@ -49,6 +56,11 @@ func TestPropertyEnergyMatchesAnalytic(t *testing.T) {
 	f := func(raw float64) bool {
 		level := math.Mod(math.Abs(raw), 3000)
 		if math.IsNaN(level) {
+			return true
+		}
+		// As above: the ADC's zero floor rectifies the noise near 0,
+		// biasing the integral beyond the relative tolerance.
+		if level < 6 {
 			return true
 		}
 		clk := simclock.NewVirtual()

@@ -89,6 +89,19 @@ func (v *Virtual) RunUntil(t time.Time) {
 	}
 }
 
+// NextDeadline reports the earliest pending timer's deadline. A second
+// return of false means no timers are queued. Stopped timers still count
+// until their deadline passes (they sit in the queue as no-ops), so a
+// driver advancing deadline-by-deadline may fire nothing on some steps.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.heap) == 0 {
+		return time.Time{}, false
+	}
+	return v.heap[0].when, true
+}
+
 // RunAll fires every pending timer, advancing time to each deadline. It
 // stops when the queue is empty. Callbacks that schedule new timers keep
 // the run going, so a self-rescheduling ticker would never terminate;
