@@ -46,6 +46,7 @@ import (
 	"batterylab/internal/core"
 	"batterylab/internal/device"
 	"batterylab/internal/mirror"
+	"batterylab/internal/samples"
 	"batterylab/internal/simclock"
 	"batterylab/internal/video"
 	"batterylab/internal/vpn"
@@ -81,6 +82,10 @@ type (
 	PhaseChange = core.PhaseChange
 	// Sample is one live current reading.
 	Sample = core.Sample
+	// LiveSummary is the streaming summary of a capture in flight
+	// (running mean/std/min/max, P50/P95 estimates, charge integral),
+	// carried on every Sample and readable via Session.Live.
+	LiveSummary = samples.LiveSummary
 	// Phase is where a running experiment currently is.
 	Phase = core.Phase
 

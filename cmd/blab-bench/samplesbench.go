@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"batterylab/internal/stats"
+	"batterylab/internal/trace"
+)
+
+// samplesBenchReport is the JSON baseline committed as
+// BENCH_samples.json: microbenchmarks of the streaming sample pipeline
+// at capture scale, plus the headline streaming-vs-batch speedups.
+type samplesBenchReport struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GoVersion string `json:"go_version"`
+	Samples   int    `json:"samples"`
+	RateHz    int    `json:"rate_hz"`
+
+	// Nanoseconds per operation over the whole series.
+	AppendStreamingNs   int64 `json:"append_streaming_ns"`
+	SummarizeStreamNs   int64 `json:"summarize_streaming_ns"`
+	SummarizeBatchNs    int64 `json:"summarize_batch_ns"`
+	QuantileStreamingNs int64 `json:"quantile_streaming_ns"`
+	QuantileSortedNs    int64 `json:"quantile_sorted_ns"`
+	EncodeV2Ns          int64 `json:"encode_v2_ns"`
+	DecodeV2Ns          int64 `json:"decode_v2_ns"`
+	EncodeCSVNs         int64 `json:"encode_csv_ns"`
+
+	V2BytesPerSample  float64 `json:"v2_bytes_per_sample"`
+	CSVBytesPerSample float64 `json:"csv_bytes_per_sample"`
+
+	// SummarizeSpeedup is the acceptance headline: batch re-scan cost /
+	// streaming snapshot cost at teardown, 1M samples.
+	SummarizeSpeedup float64 `json:"summarize_speedup"`
+}
+
+// timeIt reports the best of three runs, the usual microbenchmark
+// discipline against scheduler noise.
+func timeIt(f func()) int64 {
+	best := int64(math.MaxInt64)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start).Nanoseconds(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// runSamplesBench measures the streaming pipeline on a synthetic
+// 1M-sample 5 kHz trace (the acceptance-criteria scale) and writes the
+// JSON report.
+func runSamplesBench(w io.Writer, n, rateHz int) error {
+	rep := samplesBenchReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		Samples:   n,
+		RateHz:    rateHz,
+	}
+	t0 := time.Date(2019, 11, 13, 9, 0, 0, 0, time.UTC)
+	period := time.Second / time.Duration(rateHz)
+	value := func(i int) float64 {
+		// A quantized workload-shaped current, like the Monsoon's output.
+		return math.Floor((160+40*math.Sin(float64(i)/5000))*10) / 10
+	}
+
+	var s *trace.Series
+	rep.AppendStreamingNs = timeIt(func() {
+		s = trace.NewSeries("current", "mA")
+		for i := 0; i < n; i++ {
+			s.MustAppend(t0.Add(time.Duration(i)*period), value(i))
+		}
+	})
+
+	// Teardown summarize: streaming snapshot vs the batch re-scan the
+	// pre-pipeline code paid (Values copy + passes + sort for median).
+	var snap stats.Summary
+	rep.SummarizeStreamNs = timeIt(func() { snap = s.Summary() })
+	var batch stats.Summary
+	rep.SummarizeBatchNs = timeIt(func() { batch = stats.Summarize(s.Values()) })
+	if snap.N != batch.N {
+		return fmt.Errorf("samples-bench: summary mismatch: %d vs %d", snap.N, batch.N)
+	}
+	rep.SummarizeSpeedup = float64(rep.SummarizeBatchNs) / float64(max64(rep.SummarizeStreamNs, 1))
+
+	rep.QuantileStreamingNs = timeIt(func() { _ = s.Live().P95 })
+	rep.QuantileSortedNs = timeIt(func() { _ = stats.NewSorted(s.Values()).Quantile(0.95) })
+
+	var bin bytes.Buffer
+	rep.EncodeV2Ns = timeIt(func() {
+		bin.Reset()
+		if err := s.WriteBinary(&bin); err != nil {
+			panic(err)
+		}
+	})
+	rep.DecodeV2Ns = timeIt(func() {
+		if _, err := trace.ReadBinary(bytes.NewReader(bin.Bytes())); err != nil {
+			panic(err)
+		}
+	})
+	rep.V2BytesPerSample = float64(bin.Len()) / float64(n)
+
+	var csvBuf bytes.Buffer
+	rep.EncodeCSVNs = timeIt(func() {
+		csvBuf.Reset()
+		if err := s.WriteCSV(&csvBuf); err != nil {
+			panic(err)
+		}
+	})
+	rep.CSVBytesPerSample = float64(csvBuf.Len()) / float64(n)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// samplesBenchTo writes the report to path ("" or "-" = stdout).
+func samplesBenchTo(path string, n, rateHz int) error {
+	if path == "" || path == "-" {
+		return runSamplesBench(os.Stdout, n, rateHz)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := runSamplesBench(f, n, rateHz); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -4,6 +4,7 @@
 //
 //	blab-run -browser Brave
 //	blab-run -browser Chrome -mirror -vpn Bunkyo -pages 5 -out trace.csv
+//	blab-run -browser Brave -out trace.bin   # compact binary trace (v2)
 //	blab-run -video            # the §4.1 playback workload instead
 package main
 
@@ -14,6 +15,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"batterylab"
@@ -29,7 +32,7 @@ func main() {
 		scrolls     = flag.Int("scrolls", 8, "scrolls per page")
 		rate        = flag.Int("rate", 1000, "monitor sample rate (Hz)")
 		seed        = flag.Uint64("seed", 2019, "simulation seed")
-		out         = flag.String("out", "", "write the current trace CSV here")
+		out         = flag.String("out", "", "write the current trace here (.csv = text, anything else = binary v2)")
 		progress    = flag.Bool("progress", false, "print session phase transitions")
 	)
 	flag.Parse()
@@ -81,6 +84,7 @@ func main() {
 
 	var obs []batterylab.Observer
 	if *progress {
+		samplesSeen := 0
 		obs = append(obs, batterylab.ObserverFuncs{
 			Phase: func(e batterylab.PhaseChange) {
 				if e.Step != "" {
@@ -88,6 +92,15 @@ func main() {
 					return
 				}
 				fmt.Printf("  [%s] %s\n", e.At.Format("15:04:05"), e.Phase)
+			},
+			Sample: func(s batterylab.Sample) {
+				// The monitor-side streaming summary rides along on every
+				// live sample; print one line every 30 samples.
+				if samplesSeen++; samplesSeen%30 == 0 && s.Live.N > 0 {
+					fmt.Printf("  [%s] live: n=%d mean=%.1f mA p95=%.1f mA %.2f mAh\n",
+						s.At.Format("15:04:05"), s.Live.N, s.Live.Mean,
+						s.Live.P95, s.Live.IntegralSeconds/3600)
+				}
 			},
 		})
 	}
@@ -124,7 +137,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := res.Current.WriteCSV(f); err != nil {
+		if strings.EqualFold(filepath.Ext(*out), ".csv") {
+			err = res.Current.WriteCSV(f)
+		} else {
+			err = res.Current.WriteBinary(f)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

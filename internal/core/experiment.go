@@ -207,10 +207,18 @@ func (p *Platform) start(ctx context.Context, spec ExperimentSpec, obs []Observe
 		onDone:    onDone,
 		done:      make(chan struct{}),
 	}
+	if len(obs) > 0 {
+		// Live samples are fanned out on a dedicated delivery goroutine
+		// so observer latency never stalls the capture path.
+		s.mux = newObsMux(obs)
+	}
 
 	// 1. Network location (§4.3).
 	if spec.VPNLocation != "" {
 		if _, err := ctl.VPN().Connect(spec.VPNLocation); err != nil {
+			if s.mux != nil {
+				s.mux.stop() // release the delivery goroutine
+			}
 			return nil, err
 		}
 		s.vpnConnected = true
@@ -223,6 +231,9 @@ func (p *Platform) start(ctx context.Context, spec ExperimentSpec, obs []Observe
 		s.mu.Lock()
 		s.phase = PhaseDone
 		s.mu.Unlock()
+		if s.mux != nil {
+			s.mux.stop() // no samples flowed; release the delivery goroutine
+		}
 		s.notifyPhase(PhaseChange{
 			Node: spec.Node, Device: spec.Device,
 			Phase: PhaseDone, At: p.clock.Now(), Err: err,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"strings"
@@ -15,8 +16,10 @@ import (
 
 // MeasurementJob wraps an ExperimentSpec as an access-server pipeline
 // body. The build succeeds when the measurement completes; the current
-// trace is stored as "current.csv" and the CPU traces as
-// "device-cpu.csv" / "controller-cpu.csv" in the build workspace.
+// trace is stored as "current.csv" plus the compact binary
+// "current.trace" (trace format v2 — at 5 kHz the CSV is ~3× larger),
+// and the CPU traces as "device-cpu.csv" / "controller-cpu.csv" in the
+// build workspace.
 func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 	return func(ctx *accessserver.BuildContext, done func(error)) {
 		sess, err := p.start(context.Background(), spec, nil, func(res *Result, err error) {
@@ -37,6 +40,12 @@ func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 				done(err)
 				return
 			}
+			var bin bytes.Buffer
+			if err := res.Current.WriteBinary(&bin); err != nil {
+				done(err)
+				return
+			}
+			ctx.Build.Workspace().Save("current.trace", bin.Bytes())
 			if err := saveSeries("device-cpu.csv", func(b *strings.Builder) error { return res.DeviceCPU.WriteCSV(b) }); err != nil {
 				done(err)
 				return

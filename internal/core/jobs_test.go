@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"time"
@@ -72,6 +73,31 @@ func TestSubmitExperimentThroughQueue(t *testing.T) {
 	}
 	if !strings.Contains(b.Log(), "measured "+r.serial) {
 		t.Fatalf("log:\n%s", b.Log())
+	}
+	// The binary artifact round-trips to the same trace as the CSV, in
+	// fewer bytes.
+	rawBin, err := b.Workspace().Load("current.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	binSeries, err := trace.ReadBinary(bytes.NewReader(rawBin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawCSV, err := b.Workspace().Load("current.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvSeries, err := trace.ReadCSV(strings.NewReader(string(rawCSV)), "current", "mA", r.clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binSeries.Len() != csvSeries.Len() || binSeries.Name() != "current" || binSeries.Unit() != "mA" {
+		t.Fatalf("binary artifact: len=%d name=%q unit=%q (csv len=%d)",
+			binSeries.Len(), binSeries.Name(), binSeries.Unit(), csvSeries.Len())
+	}
+	if len(rawBin) >= len(rawCSV) {
+		t.Fatalf("binary trace %d bytes not smaller than CSV %d", len(rawBin), len(rawCSV))
 	}
 }
 

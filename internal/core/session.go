@@ -1,9 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +14,7 @@ import (
 	"batterylab/internal/automation"
 	"batterylab/internal/controller"
 	"batterylab/internal/device"
+	"batterylab/internal/samples"
 	"batterylab/internal/simclock"
 	"batterylab/internal/trace"
 )
@@ -100,12 +104,25 @@ type Sample struct {
 	Device    string
 	At        time.Time
 	CurrentMA float64
+	// Live is the monitor-side streaming summary of the capture so far
+	// (running mean, P50/P95, charge integral over every Monsoon sample
+	// recorded up to At). Zero when the monitor is not sampling.
+	Live samples.LiveSummary
 }
 
-// Observer receives a session's progress. Callbacks run on the clock's
-// dispatch context (the driving goroutine under a Virtual clock, timer
-// goroutines under the Real clock) and must not block or drive the
-// clock.
+// Observer receives a session's progress. OnPhase callbacks run on the
+// clock's dispatch context (the driving goroutine under a Virtual
+// clock, timer goroutines under the Real clock) and must not block or
+// drive the clock. OnSample callbacks are decoupled from the capture
+// path: they run on a per-session delivery goroutine, so a slow
+// observer never stalls the Monsoon's sampling or the CPU monitors —
+// under sustained backpressure live samples are dropped (counted by
+// Session.DroppedSamples) rather than queued without bound. All
+// accepted samples are delivered before the session's PhaseDone event
+// and before Done closes — which also means an OnSample callback must
+// not wait on the session's own completion (Wait or Done): teardown
+// flushes the delivery queue before Done closes, so such a wait can
+// never be satisfied. Cancel from a callback is fine.
 type Observer interface {
 	OnPhase(PhaseChange)
 	OnSample(Sample)
@@ -132,6 +149,103 @@ func (o ObserverFuncs) OnSample(s Sample) {
 	}
 }
 
+// obsMuxBuffer bounds the live-sample delivery queue. At the default
+// 1 s CPUSamplePeriod this is over 17 minutes of backlog before a
+// stuck observer costs a sample.
+const obsMuxBuffer = 1024
+
+// obsMux fans live samples out to observers on a dedicated goroutine,
+// decoupling observer latency from the capture path. Phase events stay
+// synchronous (they are rare and ordered); samples flow through a
+// bounded queue with a drop-newest policy under backpressure.
+type obsMux struct {
+	obs []Observer
+	ch  chan Sample
+	// drained closes when the delivery goroutine has exited (queue
+	// empty, channel closed).
+	drained chan struct{}
+	goid    uint64 // delivery goroutine id, for re-entrant stop()
+
+	mu      sync.Mutex
+	closed  bool
+	dropped int64
+}
+
+func newObsMux(obs []Observer) *obsMux {
+	m := &obsMux{
+		obs:     obs,
+		ch:      make(chan Sample, obsMuxBuffer),
+		drained: make(chan struct{}),
+	}
+	ready := make(chan struct{})
+	go func() {
+		m.goid = goroutineID()
+		close(ready)
+		for s := range m.ch {
+			for _, o := range m.obs {
+				o.OnSample(s)
+			}
+		}
+		close(m.drained)
+	}()
+	<-ready
+	return m
+}
+
+// post enqueues a sample without ever blocking the caller (the capture
+// path). A full queue drops the sample; a stopped mux ignores it (a
+// ticker tick can still be in flight while teardown runs).
+func (m *obsMux) post(s Sample) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	select {
+	case m.ch <- s:
+	default:
+		m.dropped++
+	}
+}
+
+// stop closes intake and waits until every queued sample has been
+// delivered. Idempotent. When called from an observer callback itself
+// (an OnSample handler cancelling its own session), it skips the wait
+// instead of deadlocking; the handful of trailing samples then drain
+// after Done.
+func (m *obsMux) stop() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.ch)
+	}
+	m.mu.Unlock()
+	if goroutineID() == m.goid {
+		return
+	}
+	<-m.drained
+}
+
+func (m *obsMux) droppedCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// goroutineID parses the current goroutine's id from its stack header —
+// only used to make obsMux.stop re-entrancy-safe.
+func goroutineID() uint64 {
+	var buf [64]byte
+	b := buf[:runtime.Stack(buf[:], false)]
+	b = bytes.TrimPrefix(b, []byte("goroutine "))
+	if i := bytes.IndexByte(b, ' '); i > 0 {
+		if id, err := strconv.ParseUint(string(b[:i]), 10, 64); err == nil {
+			return id
+		}
+	}
+	return 0
+}
+
 // Session is a handle to one in-flight experiment. It is created by
 // Platform.StartExperiment and is safe for concurrent use.
 type Session struct {
@@ -141,6 +255,7 @@ type Session struct {
 	ctl       *controller.Controller
 	dev       *device.Device
 	observers []Observer
+	mux       *obsMux // nil without observers
 	onDone    func(*Result, error)
 
 	script   *automation.Script
@@ -158,6 +273,7 @@ type Session struct {
 	cancelCause  error
 	finished     bool
 	startAt      time.Time
+	live         samples.LiveSummary
 
 	// Stage hooks, set as the run progresses.
 	abortArm func() bool
@@ -190,6 +306,25 @@ func (s *Session) Phase() Phase {
 
 // Spec returns the (defaults-filled) spec the session runs.
 func (s *Session) Spec() ExperimentSpec { return s.spec }
+
+// Live reports the most recent streaming summary of the monitor's
+// capture (mean/P50/P95/integral so far) — the same snapshot observers
+// receive in Sample.Live. Zero until the monitor arms.
+func (s *Session) Live() samples.LiveSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// DroppedSamples reports how many live samples were dropped because
+// observers could not keep up with the capture cadence. Always zero for
+// sessions without observers.
+func (s *Session) DroppedSamples() int64 {
+	if s.mux == nil {
+		return 0
+	}
+	return s.mux.droppedCount()
+}
 
 // Scripted reports the scripted duration: the workload's total wait plus
 // the padding tail. The measured Duration is at least this.
@@ -355,10 +490,18 @@ func (s *Session) armed(armErr error) {
 	devCPU := trace.NewSeries("device-cpu", "percent")
 	devTicker := simclock.NewTicker(s.clock, s.spec.CPUSamplePeriod, func(now time.Time) {
 		devCPU.MustAppend(now, s.dev.CPU().UtilAt(now))
-		s.notifySample(Sample{
+		smp := Sample{
 			Node: s.spec.Node, Device: s.spec.Device,
 			At: now, CurrentMA: s.dev.CurrentMA(now),
-		})
+		}
+		if live, err := s.ctl.Monsoon().LiveSummary(); err == nil {
+			smp.Live = live
+		} else {
+			// A tick can race teardown's StopMonitor on the real clock;
+			// carry the last snapshot instead of a zero summary.
+			smp.Live = s.Live()
+		}
+		s.notifySample(smp)
 	})
 	ctlCPU, stopCtlCPU := s.ctl.MonitorCPU(s.spec.CPUSamplePeriod)
 	s.mu.Lock()
@@ -496,6 +639,11 @@ func (s *Session) finish(runErr error) {
 	s.teardownOrder = order
 	s.mu.Unlock()
 
+	// Flush the live-sample queue so observers see every accepted sample
+	// before the terminal phase event and before Done closes.
+	if s.mux != nil {
+		s.mux.stop()
+	}
 	s.notifyPhase(PhaseChange{
 		Node: s.spec.Node, Device: s.spec.Device,
 		Phase: PhaseDone, At: s.clock.Now(), Err: err,
@@ -527,7 +675,14 @@ func (s *Session) notifyPhase(e PhaseChange) {
 }
 
 func (s *Session) notifySample(smp Sample) {
-	for _, o := range s.observers {
-		o.OnSample(smp)
+	s.mu.Lock()
+	// Live summaries only move forward; never regress the handle's
+	// snapshot on a tick that lost a race with teardown.
+	if smp.Live.N >= s.live.N {
+		s.live = smp.Live
+	}
+	s.mu.Unlock()
+	if s.mux != nil {
+		s.mux.post(smp)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -256,6 +257,195 @@ func TestPhaseObserverSequence(t *testing.T) {
 	rec.mu.Unlock()
 	if n < 10 || positive == 0 {
 		t.Fatalf("samples = %d (positive %d), want a live stream", n, positive)
+	}
+}
+
+// TestBlockedObserverDoesNotStallCapture pins the delivery contract: an
+// OnSample callback that blocks must not stall the Monsoon capture loop
+// or the CPU monitors — live samples are fanned out on a dedicated
+// delivery goroutine. The helper goroutine only releases the blocked
+// observer after the monitor has provably captured thousands of samples
+// past the block; with synchronous (capture-path) delivery the clock
+// driver would be stuck inside the callback and Live().N could never
+// advance, so the watchdog would fire.
+func TestBlockedObserverDoesNotStallCapture(t *testing.T) {
+	r := newRig(t)
+	release := make(chan struct{})
+	var blockedOnce sync.Once
+	blocked := make(chan struct{})
+	rec := &recorder{}
+	blocker := ObserverFuncs{Sample: func(Sample) {
+		blockedOnce.Do(func() {
+			close(blocked)
+			<-release
+		})
+	}}
+	sess, err := r.plat.StartExperiment(context.Background(), ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 1000,
+		CPUSamplePeriod: 100 * time.Millisecond,
+		Workload:        sleepWorkload(10, time.Second),
+	}, rec, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		select {
+		case <-blocked:
+		case <-time.After(10 * time.Second):
+			t.Error("observer never received a sample")
+			close(release)
+			return
+		}
+		// The observer is now blocked. Capture must keep flowing: wait
+		// for the monitor-side live summary to advance well past the
+		// blocking instant, then release.
+		watchdog := time.After(10 * time.Second)
+		for sess.Live().N < 5000 {
+			select {
+			case <-watchdog:
+				t.Errorf("capture stalled behind a blocked observer: live N = %d", sess.Live().N)
+				close(release)
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+		close(release)
+	}()
+	res, err := sess.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 s workload + 1 s padding at 1 kHz.
+	if res.Current.Len() < 10000 {
+		t.Fatalf("current trace %d samples, capture was stalled", res.Current.Len())
+	}
+	if res.DeviceCPU.Len() < 100 {
+		t.Fatalf("device CPU trace %d samples, ticker was stalled", res.DeviceCPU.Len())
+	}
+	// Every accepted sample was delivered before Wait returned, and the
+	// 1024-slot queue absorbed the ~110-sample backlog without drops.
+	rec.mu.Lock()
+	delivered := len(rec.samples)
+	rec.mu.Unlock()
+	if delivered < 100 {
+		t.Fatalf("only %d samples delivered", delivered)
+	}
+	if d := sess.DroppedSamples(); d != 0 {
+		t.Fatalf("%d samples dropped with an ample queue", d)
+	}
+}
+
+// TestLiveSummariesFlowToObservers checks the satellite contract: each
+// live Sample carries the monitor's streaming summary-so-far, summaries
+// are monotone in N, and the final one agrees with the returned trace.
+func TestLiveSummariesFlowToObservers(t *testing.T) {
+	r := newRig(t)
+	rec := &recorder{}
+	res, err := r.plat.RunExperiment(context.Background(), ExperimentSpec{
+		Node: "node1", Device: r.serial, SampleRate: 500,
+		Workload: sleepWorkload(8, time.Second),
+	}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.samples) < 5 {
+		t.Fatalf("only %d live samples", len(rec.samples))
+	}
+	prevN := -1
+	for i, smp := range rec.samples {
+		ls := smp.Live
+		if ls.N == 0 {
+			t.Fatalf("sample %d carried no live summary", i)
+		}
+		if ls.N < prevN {
+			t.Fatalf("live N went backwards: %d after %d", ls.N, prevN)
+		}
+		prevN = ls.N
+		if ls.P50 > ls.P95 || ls.Min > ls.Max || ls.Mean <= 0 {
+			t.Fatalf("implausible live summary: %+v", ls)
+		}
+	}
+	last := rec.samples[len(rec.samples)-1].Live
+	if last.N > res.Current.Len() {
+		t.Fatalf("live N %d exceeds final trace %d", last.N, res.Current.Len())
+	}
+	final := res.Current.Live()
+	if final.N != res.Current.Len() {
+		t.Fatalf("final live summary N = %d, trace len %d", final.N, res.Current.Len())
+	}
+	if final.IntegralSeconds/3600 != res.EnergyMAH {
+		t.Fatal("energy disagrees with live integral")
+	}
+}
+
+// TestCancelFromObserverCallback exercises the re-entrant stop path: an
+// observer cancelling its own session from OnSample must not deadlock
+// the delivery goroutine against the teardown flush.
+func TestCancelFromObserverCallback(t *testing.T) {
+	clk := simclock.Real()
+	plat, _, dev := newRealRig(t, clk)
+	var sess *Session
+	started := make(chan struct{})
+	var cancelOnce sync.Once
+	obs := ObserverFuncs{Sample: func(Sample) {
+		cancelOnce.Do(func() {
+			<-started
+			sess.Cancel()
+		})
+	}}
+	var err error
+	sess, err = plat.StartExperiment(context.Background(), ExperimentSpec{
+		Node: "node1", Device: dev.Serial(), SampleRate: 200,
+		CPUSamplePeriod: 10 * time.Millisecond,
+		Padding:         20 * time.Millisecond,
+		Workload:        sleepWorkload(50, 50*time.Millisecond),
+	}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(started)
+	done := make(chan struct{})
+	go func() {
+		sess.Wait(context.Background())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancel from observer callback deadlocked the session")
+	}
+	if _, err := sess.Result(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestFailedSetupReleasesDeliveryGoroutine guards the obsMux lifecycle:
+// every failed StartExperiment with observers must stop the per-session
+// delivery goroutine, including the VPN-connect branch that fails
+// before the shared fail helper exists.
+func TestFailedSetupReleasesDeliveryGoroutine(t *testing.T) {
+	r := newRig(t)
+	obs := ObserverFuncs{Sample: func(Sample) {}}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		if _, err := r.plat.StartExperiment(context.Background(), ExperimentSpec{
+			Node: "node1", Device: r.serial,
+			VPNLocation: "nowhere-exit",
+			Workload:    sleepWorkload(1, time.Second),
+		}, obs); err == nil {
+			t.Fatal("bad VPN location accepted")
+		}
+	}
+	// Give stopped delivery goroutines a beat to exit, then compare
+	// with a generous margin for unrelated runtime goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+10 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+10 {
+		t.Fatalf("goroutines grew from %d to %d across 50 failed starts", before, after)
 	}
 }
 

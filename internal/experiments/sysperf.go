@@ -94,8 +94,9 @@ func SysPerf(opts Options) (*SysPerfReport, error) {
 
 	probe := mirror.NewLatencyProbe(opts.Seed, time.Millisecond)
 	samples := probe.Measure(40)
-	rep.LatencyMean = stats.Mean(samples)
-	rep.LatencyStd = stats.Std(samples)
+	lat := stats.Summarize(samples) // one pass for mean and std
+	rep.LatencyMean = lat.Mean
+	rep.LatencyStd = lat.Std
 	rep.LatencyTrials = len(samples)
 	return rep, nil
 }

@@ -18,6 +18,7 @@ import (
 
 	"batterylab/internal/power"
 	"batterylab/internal/rng"
+	"batterylab/internal/samples"
 	"batterylab/internal/simclock"
 	"batterylab/internal/trace"
 )
@@ -210,6 +211,20 @@ func (m *Monsoon) stopLocked() {
 		m.run.ticker.Stop()
 		m.run = nil
 	}
+}
+
+// LiveSummary reports the streaming summary of the in-flight sampling
+// run — running mean/std/min/max, P50/P95 estimates and charge integral
+// over every sample captured so far. O(1): the trace aggregates online
+// while the ADC ticks, so progress UIs and session observers read
+// mid-run statistics without touching the sample columns.
+func (m *Monsoon) LiveSummary() (samples.LiveSummary, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.run == nil {
+		return samples.LiveSummary{}, ErrNotSampling
+	}
+	return m.run.series.Live(), nil
 }
 
 // Sampling reports whether a run is in progress.

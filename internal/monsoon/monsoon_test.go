@@ -20,6 +20,48 @@ func constSource(ma float64) power.Source {
 	return power.SourceFunc(func(time.Time) float64 { return ma })
 }
 
+func TestLiveSummaryMidRun(t *testing.T) {
+	m, clk := newMon(t)
+	m.SetMains(true)
+	m.SetVout(3.85)
+	m.WireSource(constSource(160))
+	if _, err := m.LiveSummary(); err != ErrNotSampling {
+		t.Fatalf("LiveSummary before start = %v", err)
+	}
+	m.StartSampling(1000)
+	clk.Advance(500 * time.Millisecond)
+	mid, err := m.LiveSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.N != 500 {
+		t.Fatalf("mid-run N = %d, want 500", mid.N)
+	}
+	if math.Abs(mid.Mean-160) > 1 || mid.P95 < mid.P50 {
+		t.Fatalf("mid-run summary implausible: %+v", mid)
+	}
+	// Sampling continues past the read; the final trace agrees with the
+	// last live snapshot.
+	clk.Advance(500 * time.Millisecond)
+	end, err := m.LiveSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end.N != 1000 || end.IntegralSeconds <= mid.IntegralSeconds {
+		t.Fatalf("live summary stalled: %+v", end)
+	}
+	s, err := m.StopSampling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Live() != end {
+		t.Fatal("final trace disagrees with last live snapshot")
+	}
+	if _, err := m.LiveSummary(); err != ErrNotSampling {
+		t.Fatalf("LiveSummary after stop = %v", err)
+	}
+}
+
 func TestRequiresMains(t *testing.T) {
 	m, _ := newMon(t)
 	if err := m.SetVout(3.85); err != ErrUnpowered {

@@ -1,0 +1,164 @@
+package samples
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// The benchmarks model the hot path the package exists for: a 5 kHz
+// Monsoon capture feeding a chunked series and streaming aggregators,
+// against the flat-slice + batch-rescan baseline it replaced.
+
+const benchN = 1_000_000 // ~200 s of capture at 5 kHz, or 8 devices × 25 s
+
+func synth(n int) ([]int64, []float64) {
+	ts := make([]int64, n)
+	vs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = int64(i) * 200_000
+		vs[i] = 160 + 40*math.Sin(float64(i)/5000)
+	}
+	return ts, vs
+}
+
+func BenchmarkAppendChunked(b *testing.B) {
+	ts, vs := synth(benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSeries()
+		for j := 0; j < benchN; j++ {
+			s.Append(ts[j], vs[j])
+		}
+	}
+	b.ReportMetric(float64(benchN), "samples/op")
+}
+
+func BenchmarkAppendFlatBaseline(b *testing.B) {
+	// The pre-samples baseline: a []struct{T;V} growing geometrically.
+	ts, vs := synth(benchN)
+	type sample struct {
+		T int64
+		V float64
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var xs []sample
+		for j := 0; j < benchN; j++ {
+			xs = append(xs, sample{ts[j], vs[j]})
+		}
+		_ = xs
+	}
+}
+
+func BenchmarkAppendStreaming(b *testing.B) {
+	// Chunked append plus the full online aggregator set — the real
+	// capture-path cost per sample.
+	ts, vs := synth(benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSeries()
+		ss := NewStreamSummary()
+		for j := 0; j < benchN; j++ {
+			s.Append(ts[j], vs[j])
+			ss.Add(ts[j], vs[j])
+		}
+	}
+}
+
+// BenchmarkSummarizeStreaming vs BenchmarkSummarizeBatchBaseline is the
+// acceptance-criteria pair: summarize-at-teardown on a 1M-sample series.
+// Streaming reads a snapshot in O(1); the batch baseline re-scans and
+// sorts the full trace.
+
+func BenchmarkSummarizeStreaming(b *testing.B) {
+	ts, vs := synth(benchN)
+	ss := NewStreamSummary()
+	for j := 0; j < benchN; j++ {
+		ss.Add(ts[j], vs[j])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := ss.Snapshot()
+		if snap.N != benchN {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
+func BenchmarkSummarizeBatchBaseline(b *testing.B) {
+	_, vs := synth(benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// stats.Summarize's shape: mean/min/max pass, variance pass,
+		// then a sorted copy for the median.
+		var mean, min, max float64
+		min, max = vs[0], vs[0]
+		var sum float64
+		for _, x := range vs {
+			sum += x
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		mean = sum / float64(len(vs))
+		var m2 float64
+		for _, x := range vs {
+			d := x - mean
+			m2 += d * d
+		}
+		sorted := make([]float64, len(vs))
+		copy(sorted, vs)
+		sort.Float64s(sorted)
+		_ = sorted[len(sorted)/2]
+		_ = m2
+	}
+}
+
+func BenchmarkQuantileP2(b *testing.B) {
+	_, vs := synth(benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewP2Quantile(0.95)
+		for _, x := range vs {
+			e.Observe(x)
+		}
+		_ = e.Value()
+	}
+}
+
+func BenchmarkQuantileSortBaseline(b *testing.B) {
+	_, vs := synth(benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sorted := make([]float64, len(vs))
+		copy(sorted, vs)
+		sort.Float64s(sorted)
+		_ = QuantileSorted(sorted, 0.95)
+	}
+}
+
+func BenchmarkIter(b *testing.B) {
+	ts, vs := synth(benchN)
+	s := NewSeries()
+	for j := 0; j < benchN; j++ {
+		s.Append(ts[j], vs[j])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		s.Iter(func(_ int64, v float64) bool {
+			sum += v
+			return true
+		})
+		if sum == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}

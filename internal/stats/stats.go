@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"batterylab/internal/samples"
 )
 
 // Summary holds moment statistics over a sample.
@@ -22,33 +24,71 @@ type Summary struct {
 }
 
 // Summarize computes a Summary. It returns a zero Summary for an empty
-// input.
+// input. The moments are computed with the streaming Welford aggregator
+// from internal/samples (one pass instead of two); the median is exact,
+// from a single sorted copy. NaN values are invalid measurements and
+// are skipped entirely — excluded from N and every statistic — matching
+// the streaming aggregators' contract.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
+	var w samples.Welford
+	vs := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		w.Observe(x)
+		if !math.IsNaN(x) {
+			vs = append(vs, x)
+		}
+	}
+	return summarizeValid(&w, vs)
+}
+
+// SummarizeSeries is Summarize over a chunked sample series, without
+// materializing a flat value slice for the moments (the exact median
+// still sorts one copy of the values).
+func SummarizeSeries(s *samples.Series) Summary {
+	var w samples.Welford
+	vs := make([]float64, 0, s.Len())
+	s.Iter(func(_ int64, v float64) bool {
+		w.Observe(v)
+		if !math.IsNaN(v) {
+			vs = append(vs, v)
+		}
+		return true
+	})
+	return summarizeValid(&w, vs)
+}
+
+// summarizeValid assembles a Summary from the one-pass moments and the
+// NaN-filtered values (sorted here, once, for the exact median).
+func summarizeValid(w *samples.Welford, vs []float64) Summary {
+	if len(vs) == 0 {
 		return Summary{}
 	}
-	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
-	var sum float64
-	for _, x := range xs {
-		sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
+	sort.Float64s(vs)
+	return Summary{
+		N:      len(vs),
+		Mean:   w.Mean(),
+		Std:    w.Std(),
+		Min:    w.Min(),
+		Max:    w.Max(),
+		Median: quantileSorted(vs, 0.5),
 	}
-	s.Mean = sum / float64(len(xs))
-	if len(xs) > 1 {
-		var ss float64
-		for _, x := range xs {
-			d := x - s.Mean
-			ss += d * d
-		}
-		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// FromLive converts a streaming samples.LiveSummary into a Summary. The
+// Median is the P² streaming estimate — exact for N ≤ 5, approximate
+// beyond (see the internal/samples package comment for bounds).
+func FromLive(ls samples.LiveSummary) Summary {
+	if ls.N == 0 {
+		return Summary{}
 	}
-	s.Median = Quantile(xs, 0.5)
-	return s
+	return Summary{
+		N:      ls.N,
+		Mean:   ls.Mean,
+		Std:    ls.Std,
+		Min:    ls.Min,
+		Max:    ls.Max,
+		Median: ls.P50,
+	}
 }
 
 func (s Summary) String() string {
@@ -68,21 +108,53 @@ func Quantile(xs []float64, p float64) float64 {
 	return quantileSorted(sorted, p)
 }
 
+// quantileSorted delegates to the one shared interpolation convention
+// in internal/samples, keeping batch and streaming small-n quantiles
+// bit-identical.
 func quantileSorted(sorted []float64, p float64) float64 {
-	if p <= 0 {
-		return sorted[0]
+	return samples.QuantileSorted(sorted, p)
+}
+
+// Sorted is a sample sorted once, for reading many exact quantiles
+// without re-sorting per call — the Fig. 4/5 CDF tables read five
+// quantiles of the same distribution, and stats.Quantile would pay an
+// O(n log n) sort for each.
+type Sorted struct {
+	xs []float64
+}
+
+// NewSorted copies and sorts the sample once. An empty input is allowed;
+// its quantiles are NaN.
+func NewSorted(xs []float64) Sorted {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Sorted{xs: sorted}
+}
+
+// N reports the sample size.
+func (s Sorted) N() int { return len(s.xs) }
+
+// Quantile returns the exact p-quantile in O(1).
+func (s Sorted) Quantile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
 	}
-	if p >= 1 {
-		return sorted[len(sorted)-1]
+	return quantileSorted(s.xs, p)
+}
+
+// Median is shorthand for Quantile(0.5).
+func (s Sorted) Median() float64 { return s.Quantile(0.5) }
+
+// Quantiles computes several quantiles of xs with a single sort — use
+// this instead of repeated Quantile calls on the same slice.
+func Quantiles(xs []float64, ps ...float64) []float64 {
+	s := NewSorted(xs)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = s.Quantile(p)
 	}
-	pos := p * float64(len(sorted)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return sorted[lo]
-	}
-	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return out
 }
 
 // CDF is an empirical cumulative distribution function over a sample.
@@ -97,6 +169,22 @@ func NewCDF(xs []float64) (*CDF, error) {
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// NewCDFSeries builds an empirical CDF from a chunked sample series,
+// filling the sorted buffer straight from the chunks (one copy instead
+// of Values()+copy).
+func NewCDFSeries(s *samples.Series) (*CDF, error) {
+	if s.Len() == 0 {
+		return nil, errors.New("stats: empty sample")
+	}
+	sorted := make([]float64, 0, s.Len())
+	s.Iter(func(_ int64, v float64) bool {
+		sorted = append(sorted, v)
+		return true
+	})
 	sort.Float64s(sorted)
 	return &CDF{sorted: sorted}, nil
 }

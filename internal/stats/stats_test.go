@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"batterylab/internal/samples"
 )
 
 func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
@@ -158,6 +160,121 @@ func TestMeanStd(t *testing.T) {
 	}
 	if s := Std([]float64{1, 1, 1}); s != 0 {
 		t.Fatalf("Std of constant = %v", s)
+	}
+}
+
+func TestSummarizeSkipsNaN(t *testing.T) {
+	// NaNs are invalid measurements: excluded from N and every
+	// statistic, consistently with the streaming aggregators.
+	got := Summarize([]float64{math.NaN(), 1, 2, 3})
+	want := Summarize([]float64{1, 2, 3})
+	if got != want {
+		t.Fatalf("with NaN %+v, without %+v", got, want)
+	}
+	if got.N != 3 || got.Median != 2 {
+		t.Fatalf("summary = %+v", got)
+	}
+	if (Summarize([]float64{math.NaN()}) != Summary{}) {
+		t.Fatal("all-NaN input not zero Summary")
+	}
+	// SummarizeSeries shares the contract.
+	s := samples.NewSeries()
+	for i, x := range []float64{math.NaN(), 1, 2, 3} {
+		s.Append(int64(i), x)
+	}
+	if SummarizeSeries(s) != want {
+		t.Fatalf("SummarizeSeries with NaN = %+v, want %+v", SummarizeSeries(s), want)
+	}
+}
+
+func TestSortedMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7, 2, 8}
+	s := NewSorted(xs)
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		if got, want := s.Quantile(p), Quantile(xs, p); got != want {
+			t.Fatalf("Sorted.Quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if s.Median() != Quantile(xs, 0.5) {
+		t.Fatal("Median disagrees")
+	}
+	if s.N() != len(xs) {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestSortedEmpty(t *testing.T) {
+	s := NewSorted(nil)
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty Sorted quantile not NaN")
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	NewSorted(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("NewSorted mutated input")
+	}
+}
+
+func TestQuantilesOneSort(t *testing.T) {
+	xs := []float64{5, 3, 8, 1, 9, 2, 7}
+	qs := Quantiles(xs, 0.25, 0.5, 0.75)
+	for i, p := range []float64{0.25, 0.5, 0.75} {
+		if qs[i] != Quantile(xs, p) {
+			t.Fatalf("Quantiles[%d] = %v, want %v", i, qs[i], Quantile(xs, p))
+		}
+	}
+}
+
+func TestSummarizeSeriesMatchesBatch(t *testing.T) {
+	s := samples.NewSeries()
+	xs := []float64{4, 8, 15, 16, 23, 42}
+	for i, x := range xs {
+		s.Append(int64(i)*1e6, x)
+	}
+	got, want := SummarizeSeries(s), Summarize(xs)
+	if got != want {
+		t.Fatalf("SummarizeSeries = %+v, want %+v", got, want)
+	}
+	if (SummarizeSeries(samples.NewSeries()) != Summary{}) {
+		t.Fatal("empty series summary not zero")
+	}
+}
+
+func TestNewCDFSeries(t *testing.T) {
+	s := samples.NewSeries()
+	for i, x := range []float64{3, 1, 2, 4} {
+		s.Append(int64(i), x)
+	}
+	c, err := NewCDFSeries(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := NewCDF([]float64{3, 1, 2, 4})
+	if c.Median() != ref.Median() || c.Min() != ref.Min() || c.Max() != ref.Max() {
+		t.Fatal("series CDF disagrees with slice CDF")
+	}
+	if _, err := NewCDFSeries(samples.NewSeries()); err == nil {
+		t.Fatal("empty series CDF succeeded")
+	}
+}
+
+func TestFromLiveAgreesWithSummarize(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	ss := samples.NewStreamSummary()
+	for i, x := range xs {
+		ss.Add(int64(i)*1e9, x)
+	}
+	got, want := FromLive(ss.Snapshot()), Summarize(xs)
+	if got.N != want.N || !almostEqual(got.Mean, want.Mean, 1e-9) ||
+		!almostEqual(got.Std, want.Std, 1e-9) || got.Min != want.Min ||
+		got.Max != want.Max || got.Median != want.Median {
+		t.Fatalf("FromLive = %+v, want %+v", got, want)
+	}
+	if (FromLive(samples.LiveSummary{}) != Summary{}) {
+		t.Fatal("empty live summary not zero")
 	}
 }
 

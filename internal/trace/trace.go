@@ -3,6 +3,14 @@
 // controller, and network byte counters. A Series is what an experiment
 // stores in its job workspace and what the evaluation harness reduces to
 // CDFs and energy figures.
+//
+// Since the streaming sample pipeline landed, a Series is backed by the
+// chunked columnar store of internal/samples (appends never copy prior
+// samples) and maintains a streaming summary online: Summary, Live,
+// IntegralSeconds and EnergyMAH are O(1) snapshots of aggregates
+// computed while capturing, not teardown re-scans of the full trace.
+// Series persist to disk as CSV (WriteCSV/ReadCSV, the v1 text format)
+// or the binary trace format of binary.go.
 package trace
 
 import (
@@ -13,6 +21,7 @@ import (
 	"strconv"
 	"time"
 
+	"batterylab/internal/samples"
 	"batterylab/internal/stats"
 )
 
@@ -23,17 +32,32 @@ type Sample struct {
 }
 
 // Series is an append-only time series of samples with a name and a unit
-// (for example "current" / "mA"). The zero value is not usable; construct
-// with NewSeries.
+// (for example "current" / "mA"). Samples live in fixed-size columnar
+// chunks (timestamps as nanosecond offsets from the first sample), and
+// every append also feeds a streaming aggregator, so summaries are ready
+// the moment capture stops. The zero value is not usable; construct with
+// NewSeries. A Series is not safe for concurrent use; the capture models
+// that share one (the Monsoon) serialize access with their own locks.
 type Series struct {
-	name    string
-	unit    string
-	samples []Sample
+	name string
+	unit string
+
+	epoch    time.Time // first sample's timestamp
+	hasEpoch bool
+	lastOff  int64 // last sample's offset from epoch, nanoseconds
+
+	data *samples.Series
+	agg  *samples.StreamSummary
 }
 
 // NewSeries returns an empty series.
 func NewSeries(name, unit string) *Series {
-	return &Series{name: name, unit: unit}
+	return &Series{
+		name: name,
+		unit: unit,
+		data: samples.NewSeries(),
+		agg:  samples.NewStreamSummary(),
+	}
 }
 
 // Name reports the series name.
@@ -45,10 +69,17 @@ func (s *Series) Unit() string { return s.unit }
 // Append adds a sample. Timestamps must be non-decreasing; out-of-order
 // appends return an error so recorder bugs surface immediately.
 func (s *Series) Append(t time.Time, v float64) error {
-	if n := len(s.samples); n > 0 && t.Before(s.samples[n-1].T) {
-		return fmt.Errorf("trace: out-of-order sample at %v (last %v)", t, s.samples[n-1].T)
+	if !s.hasEpoch {
+		s.epoch = t
+		s.hasEpoch = true
 	}
-	s.samples = append(s.samples, Sample{T: t, V: v})
+	off := t.Sub(s.epoch).Nanoseconds()
+	if s.data.Len() > 0 && off < s.lastOff {
+		return fmt.Errorf("trace: out-of-order sample at %v (last %v)", t, s.epoch.Add(time.Duration(s.lastOff)))
+	}
+	s.data.Append(off, v)
+	s.agg.Add(off, v)
+	s.lastOff = off
 	return nil
 }
 
@@ -60,43 +91,66 @@ func (s *Series) MustAppend(t time.Time, v float64) {
 }
 
 // Len reports the number of samples.
-func (s *Series) Len() int { return len(s.samples) }
+func (s *Series) Len() int { return s.data.Len() }
 
 // At returns the i-th sample.
-func (s *Series) At(i int) Sample { return s.samples[i] }
+func (s *Series) At(i int) Sample {
+	off, v := s.data.At(i)
+	return Sample{T: s.epoch.Add(time.Duration(off)), V: v}
+}
+
+// Iter walks the samples in order until fn returns false, without the
+// per-index chunk arithmetic of At.
+func (s *Series) Iter(fn func(Sample) bool) {
+	s.data.Iter(func(off int64, v float64) bool {
+		return fn(Sample{T: s.epoch.Add(time.Duration(off)), V: v})
+	})
+}
+
+// Samples exposes the underlying chunked sample store (timestamps are
+// nanosecond offsets from the first sample). Read-only: appending to it
+// directly would bypass the ordering check and the streaming summary.
+func (s *Series) Samples() *samples.Series { return s.data }
 
 // Values returns a copy of the sample values.
-func (s *Series) Values() []float64 {
-	vs := make([]float64, len(s.samples))
-	for i, smp := range s.samples {
-		vs[i] = smp.V
-	}
-	return vs
-}
+func (s *Series) Values() []float64 { return s.data.Values() }
 
 // Duration reports the time spanned by the series.
 func (s *Series) Duration() time.Duration {
-	if len(s.samples) < 2 {
+	if s.data.Len() < 2 {
 		return 0
 	}
-	return s.samples[len(s.samples)-1].T.Sub(s.samples[0].T)
+	return time.Duration(s.lastOff)
 }
 
-// Summary reduces the series values to summary statistics.
-func (s *Series) Summary() stats.Summary { return stats.Summarize(s.Values()) }
+// Summary reduces the series to summary statistics from the aggregates
+// maintained during capture. Mean, Std, Min and Max are exact. For
+// series up to one chunk (4096 samples — CPU traces, thinned sweeps)
+// the Median is exact too, from one bounded sort; beyond that it is the
+// P² streaming estimate (see the internal/samples package comment for
+// its error bounds) and Summary is O(1). For an exact median on a large
+// series, use CDF or stats.SummarizeSeries.
+func (s *Series) Summary() stats.Summary {
+	if s.data.Len() <= samples.ChunkLen {
+		return stats.SummarizeSeries(s.data)
+	}
+	return stats.FromLive(s.agg.Snapshot())
+}
+
+// Live reports the streaming summary of the capture so far: running
+// mean/std/min/max, P50/P95 estimates and the time integral. O(1), safe
+// to read between appends, and what session observers receive alongside
+// raw samples.
+func (s *Series) Live() samples.LiveSummary { return s.agg.Snapshot() }
 
 // CDF builds the empirical CDF of the series values.
-func (s *Series) CDF() (*stats.CDF, error) { return stats.NewCDF(s.Values()) }
+func (s *Series) CDF() (*stats.CDF, error) { return stats.NewCDFSeries(s.data) }
 
-// IntegralSeconds integrates the series over time using the trapezoid
-// rule, yielding unit·seconds (for a mA series: milliamp-seconds).
+// IntegralSeconds reports the series' integral over time using the
+// trapezoid rule, yielding unit·seconds (for a mA series:
+// milliamp-seconds). Computed online during capture; reading it is O(1).
 func (s *Series) IntegralSeconds() float64 {
-	var total float64
-	for i := 1; i < len(s.samples); i++ {
-		dt := s.samples[i].T.Sub(s.samples[i-1].T).Seconds()
-		total += dt * (s.samples[i].V + s.samples[i-1].V) / 2
-	}
-	return total
+	return s.agg.Snapshot().IntegralSeconds
 }
 
 // EnergyMAH interprets the series as a current trace in mA and returns
@@ -107,10 +161,10 @@ func (s *Series) EnergyMAH() float64 {
 
 // MeanDt reports the average sampling interval.
 func (s *Series) MeanDt() time.Duration {
-	if len(s.samples) < 2 {
+	if s.data.Len() < 2 {
 		return 0
 	}
-	return s.Duration() / time.Duration(len(s.samples)-1)
+	return s.Duration() / time.Duration(s.data.Len()-1)
 }
 
 // Decimate returns a new series keeping every k-th sample, used to thin a
@@ -120,8 +174,9 @@ func (s *Series) Decimate(k int) *Series {
 		k = 1
 	}
 	out := NewSeries(s.name, s.unit)
-	for i := 0; i < len(s.samples); i += k {
-		out.samples = append(out.samples, s.samples[i])
+	for i := 0; i < s.data.Len(); i += k {
+		smp := s.At(i)
+		out.MustAppend(smp.T, smp.V)
 	}
 	return out
 }
@@ -129,11 +184,12 @@ func (s *Series) Decimate(k int) *Series {
 // Window returns the sub-series with timestamps in [from, to).
 func (s *Series) Window(from, to time.Time) *Series {
 	out := NewSeries(s.name, s.unit)
-	for _, smp := range s.samples {
+	s.Iter(func(smp Sample) bool {
 		if !smp.T.Before(from) && smp.T.Before(to) {
-			out.samples = append(out.samples, smp)
+			out.MustAppend(smp.T, smp.V)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -145,18 +201,20 @@ func (s *Series) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{"elapsed_s", s.name + "_" + s.unit}); err != nil {
 		return err
 	}
-	var t0 time.Time
-	if len(s.samples) > 0 {
-		t0 = s.samples[0].T
-	}
-	for _, smp := range s.samples {
+	var werr error
+	s.data.Iter(func(off int64, v float64) bool {
 		rec := []string{
-			strconv.FormatFloat(smp.T.Sub(t0).Seconds(), 'f', 6, 64),
-			strconv.FormatFloat(smp.V, 'f', 6, 64),
+			strconv.FormatFloat(time.Duration(off).Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(v, 'f', 6, 64),
 		}
 		if err := cw.Write(rec); err != nil {
-			return err
+			werr = err
+			return false
 		}
+		return true
+	})
+	if werr != nil {
+		return werr
 	}
 	cw.Flush()
 	return cw.Error()

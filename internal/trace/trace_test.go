@@ -3,9 +3,12 @@ package trace
 import (
 	"bytes"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"batterylab/internal/stats"
 )
 
 var t0 = time.Date(2019, 11, 13, 9, 0, 0, 0, time.UTC)
@@ -169,5 +172,126 @@ func TestValuesCopy(t *testing.T) {
 	vs[0] = 99
 	if s.At(0).V != 1 {
 		t.Fatal("Values() returned aliasing slice")
+	}
+}
+
+// TestStreamingSummaryMatchesBatch pins the tentpole contract: the O(1)
+// streaming Summary agrees with the batch stats.Summarize re-scan —
+// mean/std exact to 1e-9 relative, min/max exact — on random inputs and
+// the adversarial shapes of the capture path (empty, single sample,
+// constant series, zero-floored ADC values).
+func TestStreamingSummaryMatchesBatch(t *testing.T) {
+	relClose := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+	}
+	check := func(name string, vals []float64) {
+		t.Helper()
+		s := NewSeries("x", "u")
+		for i, v := range vals {
+			s.MustAppend(t0.Add(time.Duration(i)*200*time.Microsecond), v)
+		}
+		got := s.Summary()
+		want := stats.Summarize(vals)
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("%s: streaming %+v vs batch %+v", name, got, want)
+		}
+		if !relClose(got.Mean, want.Mean) || !relClose(got.Std, want.Std) {
+			t.Fatalf("%s: moments drifted: streaming %+v vs batch %+v", name, got, want)
+		}
+		// Batch oracles for the other streaming aggregates.
+		if want.N > 0 {
+			var integral float64
+			for i := 1; i < s.Len(); i++ {
+				dt := s.At(i).T.Sub(s.At(i - 1).T).Seconds()
+				integral += dt * (s.At(i).V + s.At(i-1).V) / 2
+			}
+			if s.IntegralSeconds() != integral {
+				t.Fatalf("%s: integral %v, batch %v", name, s.IntegralSeconds(), integral)
+			}
+		}
+	}
+	check("empty", nil)
+	check("single", []float64{42})
+	check("constant", []float64{7, 7, 7, 7, 7, 7})
+	rng := rand.New(rand.NewSource(13))
+	long := make([]float64, 20000)
+	for i := range long {
+		long[i] = 160 + rng.NormFloat64()*1.2
+	}
+	check("gaussian", long)
+	floored := make([]float64, 5000)
+	for i := range floored {
+		if x := rng.NormFloat64() * 1.2; x > 0 {
+			floored[i] = x
+		}
+	}
+	check("zero-floor", floored)
+}
+
+// TestStreamingMedianWithinP2Bounds pins the documented accuracy of the
+// streaming Summary's Median against the exact CDF median.
+func TestStreamingMedianWithinP2Bounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := NewSeries("current", "mA")
+	for i := 0; i < 10000; i++ {
+		s.MustAppend(t0.Add(time.Duration(i)*200*time.Microsecond), rng.Float64()*500)
+	}
+	cdf, err := s.CDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := cdf.Median()
+	bound := 0.05 * (cdf.Max() - cdf.Min())
+	if got := s.Summary().Median; math.Abs(got-exact) > bound {
+		t.Fatalf("streaming median %v vs exact %v (bound %v)", got, exact, bound)
+	}
+	// Small series are exact (P² holds the first 5 samples verbatim).
+	small := mk(9, 1, 5)
+	if small.Summary().Median != 5 {
+		t.Fatalf("small-series median = %v, want exact 5", small.Summary().Median)
+	}
+}
+
+func TestLiveSummaryMidCapture(t *testing.T) {
+	s := NewSeries("current", "mA")
+	if s.Live().N != 0 {
+		t.Fatal("empty live summary")
+	}
+	for i := 0; i < 100; i++ {
+		s.MustAppend(t0.Add(time.Duration(i)*time.Second), 100)
+	}
+	mid := s.Live()
+	if mid.N != 100 || mid.Mean != 100 || mid.P95 != 100 {
+		t.Fatalf("live mid-capture: %+v", mid)
+	}
+	// Capture continues after the read; aggregates keep flowing.
+	for i := 100; i < 200; i++ {
+		s.MustAppend(t0.Add(time.Duration(i)*time.Second), 200)
+	}
+	end := s.Live()
+	if end.N != 200 || end.Max != 200 || end.Mean <= mid.Mean {
+		t.Fatalf("live after more capture: %+v", end)
+	}
+	if end.IntegralSeconds <= mid.IntegralSeconds {
+		t.Fatal("integral did not advance")
+	}
+}
+
+func TestIterMatchesAt(t *testing.T) {
+	s := mk(5, 6, 7, 8)
+	i := 0
+	s.Iter(func(smp Sample) bool {
+		if !smp.T.Equal(s.At(i).T) || smp.V != s.At(i).V {
+			t.Fatalf("Iter[%d] = %+v, want %+v", i, smp, s.At(i))
+		}
+		i++
+		return i < 3 // early stop
+	})
+	if i != 3 {
+		t.Fatalf("Iter visited %d", i)
 	}
 }
