@@ -1,0 +1,271 @@
+package batterylab
+
+// The location-transparent backend interface of the v1 remote
+// execution API: the same declarative spec runs in-process (compiled
+// through the platform's workload registry) or across the network
+// (POSTed to an access server and streamed back). Examples and CLIs
+// written against Backend do not know — or care — where the hardware
+// is; that is the paper's core promise (§3: remote access to
+// distributed vantage points) surfaced as an API contract.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"batterylab/internal/accessserver"
+	"batterylab/internal/api"
+	"batterylab/internal/core"
+	"batterylab/internal/remote"
+	"batterylab/internal/simclock"
+)
+
+// DriveBuilds lets a virtual-clock platform serve real-time remote
+// clients: it advances simulated time (one timer deadline per step)
+// whenever the access server has queued or running builds, and freezes
+// it when the server is idle — so experiments run at simulation speed
+// while idle-time machinery (cron maintenance, the multi-day
+// artifact-retention expiry) does not race ahead of clients still
+// streaming or fetching results. Stepping coordinates with the
+// server's dispatch via the clock's hold protocol, so a run dispatched
+// at instant t deterministically starts at t no matter how the driver
+// interleaves. It returns when stop is closed. On a real clock it is a
+// no-op: time drives itself.
+func DriveBuilds(clock Clock, p *Platform, stop <-chan struct{}) {
+	v, ok := clock.(*simclock.Virtual)
+	if !ok {
+		return
+	}
+	const (
+		// activePoll keeps step latency low while builds are in flight
+		// (a held clock, or one waiting on new work, re-checks quickly).
+		activePoll = 200 * time.Microsecond
+		// idlePoll is the relaxed cadence when no builds exist — the
+		// driver is just watching for the next submission.
+		idlePoll = 5 * time.Millisecond
+	)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if p.Access.Running() == 0 && p.Access.QueueLength() == 0 {
+			time.Sleep(idlePoll)
+			continue
+		}
+		if !v.Step() {
+			time.Sleep(activePoll)
+		}
+	}
+}
+
+// NewAPIToken creates a platform user and returns its bearer token for
+// the HTTP APIs; role is "admin", "experimenter" or "tester".
+func NewAPIToken(p *Platform, name, role string) (string, error) {
+	var r accessserver.Role
+	switch role {
+	case "admin":
+		r = accessserver.RoleAdmin
+	case "experimenter":
+		r = accessserver.RoleExperimenter
+	case "tester":
+		r = accessserver.RoleTester
+	default:
+		return "", fmt.Errorf("batterylab: unknown role %q (want admin, experimenter or tester)", role)
+	}
+	u, err := p.Access.Users.Add(name, r)
+	if err != nil {
+		return "", err
+	}
+	return u.Token, nil
+}
+
+// Wire-level v1 spec types, re-exported from internal/api (which
+// documents the JSON schema).
+type (
+	// ExperimentSpecV1 is the declarative wire form of one measurement
+	// run: node, device, named workload + params, monitor config,
+	// constraints.
+	ExperimentSpecV1 = api.ExperimentSpec
+	// CampaignSpecV1 is the wire form of a measurement campaign.
+	CampaignSpecV1 = api.CampaignSpec
+	// WorkloadSpec names a registry workload and its parameters.
+	WorkloadSpec = api.WorkloadSpec
+	// MonitorSpec configures the monitor and sampling cadences.
+	MonitorSpec = api.MonitorSpec
+	// Params carries workload parameters with JSON-tolerant getters.
+	Params = api.Params
+	// NodeInfo describes one vantage point and its devices.
+	NodeInfo = api.NodeInfo
+	// APIError is the typed error envelope of the v1 wire protocol;
+	// branch on its Code.
+	APIError = api.Error
+)
+
+// ExperimentHandle is the session shape shared by local and remote
+// runs: Wait for the result, Cancel at the earliest safe point, Done
+// for select loops, Phase for progress. *core.Session and
+// *remote.Session both satisfy it.
+type ExperimentHandle interface {
+	Wait(ctx context.Context) (*Result, error)
+	Cancel()
+	Done() <-chan struct{}
+	Phase() Phase
+}
+
+// RunOutcome is one experiment's outcome within a campaign, in the
+// location-transparent shape (the local CampaignRun carries the
+// compiled spec, which has no wire form).
+type RunOutcome struct {
+	// Index is the experiment's position in the campaign spec.
+	Index int
+	// Node and Device identify the run.
+	Node   string
+	Device string
+	// Result is the measurement (nil when Err is set).
+	Result *Result
+	// Err is the per-run failure; one run failing never aborts
+	// siblings.
+	Err error
+}
+
+// CampaignHandle is the campaign shape shared by local and remote
+// backends.
+type CampaignHandle interface {
+	Wait(ctx context.Context) ([]RunOutcome, error)
+	Cancel()
+	Done() <-chan struct{}
+}
+
+// Backend runs declarative v1 specs somewhere — in this process or on
+// a remote access server. Construct with LocalBackend or
+// RemoteBackend.
+type Backend interface {
+	// StartExperimentSpec submits one run and returns its session.
+	StartExperimentSpec(ctx context.Context, spec ExperimentSpecV1, obs ...Observer) (ExperimentHandle, error)
+	// StartCampaignSpec submits a batch; runs fan out across vantage
+	// points, serialized per device.
+	StartCampaignSpec(ctx context.Context, spec CampaignSpecV1, obs ...Observer) (CampaignHandle, error)
+	// Nodes lists the reachable vantage points and their devices.
+	Nodes(ctx context.Context) ([]NodeInfo, error)
+	// Workloads lists the workload registry's names.
+	Workloads(ctx context.Context) ([]string, error)
+}
+
+// LocalBackend adapts an in-process Platform to the Backend interface:
+// specs compile through the platform's workload registry and run as
+// ordinary core sessions (driving the virtual clock from Wait, exactly
+// like StartExperiment).
+func LocalBackend(p *Platform) Backend { return localBackend{p} }
+
+type localBackend struct{ p *core.Platform }
+
+func (b localBackend) StartExperimentSpec(ctx context.Context, spec ExperimentSpecV1, obs ...Observer) (ExperimentHandle, error) {
+	s, err := b.p.StartExperimentSpec(ctx, spec, obs...)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (b localBackend) StartCampaignSpec(ctx context.Context, spec CampaignSpecV1, obs ...Observer) (CampaignHandle, error) {
+	cs, err := b.p.StartCampaignSpec(ctx, spec, obs...)
+	if err != nil {
+		return nil, err
+	}
+	return localCampaign{cs}, nil
+}
+
+func (b localBackend) Nodes(ctx context.Context) ([]NodeInfo, error) {
+	infos := make([]NodeInfo, 0)
+	for _, name := range b.p.Access.Nodes.List() {
+		info := NodeInfo{Name: name}
+		if ctl, err := b.p.Controller(name); err == nil {
+			info.Devices = ctl.ListDevices()
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+func (b localBackend) Workloads(ctx context.Context) ([]string, error) {
+	return b.p.Workloads().Names(), nil
+}
+
+// localCampaign maps core.CampaignRun to the shared RunOutcome shape.
+type localCampaign struct{ cs *core.CampaignSession }
+
+func (c localCampaign) Wait(ctx context.Context) ([]RunOutcome, error) {
+	runs, err := c.cs.Wait(ctx)
+	out := make([]RunOutcome, len(runs))
+	for i, r := range runs {
+		out[i] = RunOutcome{
+			Index: r.Index,
+			Node:  r.Spec.Node, Device: r.Spec.Device,
+			Result: r.Result, Err: r.Err,
+		}
+	}
+	return out, err
+}
+
+func (c localCampaign) Cancel()               { c.cs.Cancel() }
+func (c localCampaign) Done() <-chan struct{} { return c.cs.Done() }
+
+// RemoteBackend connects to an access server's v1 API and returns a
+// Backend whose sessions stream phase events and live samples back and
+// reconstruct results from the build workspace. server is the base
+// URL (e.g. "http://lab.example:9090"); token is the user's API token.
+func RemoteBackend(server, token string) (Backend, error) {
+	p, err := remote.Dial(server, token)
+	if err != nil {
+		return nil, err
+	}
+	return remoteBackend{p}, nil
+}
+
+type remoteBackend struct{ p *remote.Platform }
+
+func (b remoteBackend) StartExperimentSpec(ctx context.Context, spec ExperimentSpecV1, obs ...Observer) (ExperimentHandle, error) {
+	s, err := b.p.StartExperiment(ctx, spec, obs...)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (b remoteBackend) StartCampaignSpec(ctx context.Context, spec CampaignSpecV1, obs ...Observer) (CampaignHandle, error) {
+	c, err := b.p.StartCampaign(ctx, spec, obs...)
+	if err != nil {
+		return nil, err
+	}
+	return remoteCampaign{c}, nil
+}
+
+func (b remoteBackend) Nodes(ctx context.Context) ([]NodeInfo, error) {
+	return b.p.Nodes(ctx)
+}
+
+func (b remoteBackend) Workloads(ctx context.Context) ([]string, error) {
+	return b.p.WorkloadNames(ctx)
+}
+
+// remoteCampaign maps remote.CampaignRun to the shared RunOutcome
+// shape.
+type remoteCampaign struct{ c *remote.Campaign }
+
+func (c remoteCampaign) Wait(ctx context.Context) ([]RunOutcome, error) {
+	runs, err := c.c.Wait(ctx)
+	out := make([]RunOutcome, len(runs))
+	for i, r := range runs {
+		out[i] = RunOutcome{
+			Index: r.Index,
+			Node:  r.Node, Device: r.Device,
+			Result: r.Result, Err: r.Err,
+		}
+	}
+	return out, err
+}
+
+func (c remoteCampaign) Cancel()               { c.c.Cancel() }
+func (c remoteCampaign) Done() <-chan struct{} { return c.c.Done() }

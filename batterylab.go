@@ -31,6 +31,20 @@
 //
 //	runs, _ := dep.Platform.RunCampaign(ctx, batterylab.Campaign{Specs: specs})
 //
+// The v1 remote execution API makes the platform location-transparent:
+// a declarative ExperimentSpecV1 (node, device, named workload +
+// params) runs through the same Backend interface whether the hardware
+// is in-process or behind an access server's HTTP API (see backend.go,
+// internal/api for the wire schema, and examples/remote):
+//
+//	backend, _ := batterylab.RemoteBackend("http://lab:9090", token)
+//	sess, _ := backend.StartExperimentSpec(ctx, batterylab.ExperimentSpecV1{
+//	    Node: "node1", Device: serial,
+//	    Workload: batterylab.WorkloadSpec{Name: "browser",
+//	        Params: batterylab.Params{"browser": "Brave", "pages": 3}},
+//	})
+//	res, _ := sess.Wait(ctx) // phase events + live samples streamed
+//
 // A Deployment is one vantage point (controller + device + monitor)
 // joined to a platform (access server + DNS + CA) — the paper's Imperial
 // College setup. Multi-vantage-point federations are built by creating
@@ -38,6 +52,7 @@
 package batterylab
 
 import (
+	"fmt"
 	"time"
 
 	"batterylab/internal/automation"
@@ -252,6 +267,66 @@ type Deployment struct {
 	clock Clock
 }
 
+// VantagePointConfig tunes NewVantagePoint.
+type VantagePointConfig struct {
+	// Name is the vantage point identifier (required).
+	Name string
+	// Seed drives the controller's and device's stochastic models.
+	Seed uint64
+	// Addr is the DNS registration address (default a documentation
+	// address).
+	Addr string
+	// SkipBrowsers leaves the four study browsers uninstalled.
+	SkipBrowsers bool
+	// VideoPath, when non-empty, pushes a sample mp4 there and installs
+	// the player.
+	VideoPath string
+}
+
+// NewVantagePoint assembles one simulated vantage point — controller,
+// test device, installed study apps — and joins it to the platform via
+// the §3.4 workflow. It is the shared node-assembly path behind
+// NewDeployment and multi-node daemons/tests (blab-access -sim).
+func NewVantagePoint(clock Clock, p *Platform, cfg VantagePointConfig) (*Controller, *Device, string, error) {
+	if cfg.Name == "" {
+		return nil, nil, "", fmt.Errorf("batterylab: vantage point needs a name")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "198.51.100.7:2222"
+	}
+	ctl, err := controller.New(clock, controller.Config{Name: cfg.Name, Seed: cfg.Seed})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	dev, err := device.New(clock, device.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if err := ctl.AttachDevice(dev); err != nil {
+		return nil, nil, "", err
+	}
+	fqdn, err := p.Join(ctl, cfg.Addr)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if !cfg.SkipBrowsers {
+		for _, prof := range browser.Profiles() {
+			if err := dev.Install(NewBrowser(prof, ctl)); err != nil {
+				return nil, nil, "", err
+			}
+		}
+	}
+	if cfg.VideoPath != "" {
+		if err := dev.Storage().Push(cfg.VideoPath, video.SampleMP4(4<<20)); err != nil {
+			return nil, nil, "", err
+		}
+		if err := dev.Install(video.NewPlayer(cfg.VideoPath)); err != nil {
+			return nil, nil, "", err
+		}
+	}
+	return ctl, dev, fqdn, nil
+}
+
 // NewDeployment assembles and joins a complete vantage point.
 func NewDeployment(clock Clock, cfg DeploymentConfig) (*Deployment, error) {
 	if cfg.Seed == 0 {
@@ -264,35 +339,14 @@ func NewDeployment(clock Clock, cfg DeploymentConfig) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctl, err := controller.New(clock, controller.Config{Name: cfg.NodeName, Seed: cfg.Seed})
+	ctl, dev, fqdn, err := NewVantagePoint(clock, plat, VantagePointConfig{
+		Name:         cfg.NodeName,
+		Seed:         cfg.Seed,
+		SkipBrowsers: cfg.SkipBrowsers,
+		VideoPath:    cfg.VideoPath,
+	})
 	if err != nil {
 		return nil, err
-	}
-	dev, err := device.New(clock, device.Config{Seed: cfg.Seed})
-	if err != nil {
-		return nil, err
-	}
-	if err := ctl.AttachDevice(dev); err != nil {
-		return nil, err
-	}
-	fqdn, err := plat.Join(ctl, "198.51.100.7:2222")
-	if err != nil {
-		return nil, err
-	}
-	if !cfg.SkipBrowsers {
-		for _, prof := range browser.Profiles() {
-			if err := dev.Install(NewBrowser(prof, ctl)); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if cfg.VideoPath != "" {
-		if err := dev.Storage().Push(cfg.VideoPath, video.SampleMP4(4<<20)); err != nil {
-			return nil, err
-		}
-		if err := dev.Install(video.NewPlayer(cfg.VideoPath)); err != nil {
-			return nil, err
-		}
 	}
 	return &Deployment{
 		Platform:     plat,

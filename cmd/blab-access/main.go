@@ -1,14 +1,22 @@
 // Command blab-access runs the BatteryLab access server daemon: the
-// multi-user web console (HTTPS-terminated upstream in deployment) plus
-// secure channels to remote vantage points.
+// multi-user web console and v1 remote-execution API (HTTPS-terminated
+// upstream in deployment) plus secure channels to remote vantage
+// points.
 //
-// On start it creates an admin user, prints their API token and the
-// server's client public key (which each controller must -authorize),
-// then connects to every vantage point listed via -node.
+// On start it creates an admin and an experimenter user, prints their
+// API tokens and the server's client public key (which each controller
+// must -authorize), hosts -sim simulated vantage points in-process (so
+// `blab-run -server` measurements work end to end on the real clock),
+// and connects to every vantage point listed via -node.
 //
 // Usage:
 //
+//	blab-access -http 127.0.0.1:9090 -sim 2
 //	blab-access -http 127.0.0.1:9090 -node node1=127.0.0.1:2222
+//
+// Then, from another terminal:
+//
+//	blab-run -server http://127.0.0.1:9090 -token $TOKEN -browser Brave -pages 1 -scrolls 1
 package main
 
 import (
@@ -20,8 +28,8 @@ import (
 	"os/signal"
 	"strings"
 
+	"batterylab"
 	"batterylab/internal/accessserver"
-	"batterylab/internal/simclock"
 	"batterylab/internal/sshx"
 )
 
@@ -33,15 +41,27 @@ func (n *nodeList) Set(v string) error { *n = append(*n, v); return nil }
 func main() {
 	var (
 		httpAddr = flag.String("http", "127.0.0.1:9090", "web console listen address")
+		sim      = flag.Int("sim", 1, "simulated vantage points to host in-process")
+		seed     = flag.Uint64("seed", 2019, "simulation seed for hosted vantage points")
 		nodes    nodeList
 	)
 	flag.Var(&nodes, "node", "vantage point as name=addr (repeatable)")
 	flag.Parse()
 
-	clock := simclock.Real()
-	srv := accessserver.New(clock, accessserver.Config{})
+	// The daemon runs on the real clock: hosted experiments take their
+	// actual scripted duration, like the physical testbed would.
+	clock := batterylab.RealClock()
+	plat, err := batterylab.NewPlatform(clock, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := plat.Access
 
 	admin, err := srv.Users.Add("admin", accessserver.RoleAdmin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp, err := srv.Users.Add("experimenter", accessserver.RoleExperimenter)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,9 +70,28 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("access server up\n")
-	fmt.Printf("  admin token      : %s\n", admin.Token)
-	fmt.Printf("  client public key: %x\n", []byte(clientKey.Pub))
+	fmt.Printf("  admin token        : %s\n", admin.Token)
+	fmt.Printf("  experimenter token : %s\n", exp.Token)
+	fmt.Printf("  client public key  : %x\n", []byte(clientKey.Pub))
 
+	// Hosted simulated vantage points: a controller + device + monitor
+	// each, joined through the §3.4 workflow, ready for v1 spec
+	// submissions against the builtin workload registry.
+	for i := 1; i <= *sim; i++ {
+		_, dev, fqdn, err := batterylab.NewVantagePoint(clock, plat, batterylab.VantagePointConfig{
+			Name:      fmt.Sprintf("node%d", i),
+			Seed:      *seed + uint64(i),
+			Addr:      fmt.Sprintf("198.51.100.%d:2222", i),
+			VideoPath: "/sdcard/blab.mp4",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  vantage point      : %s hosting %s (simulated)\n", fqdn, dev.Serial())
+	}
+
+	// Remote vantage points over the sshx channel (status/maintenance
+	// surface; measurements need a hosted controller).
 	for _, spec := range nodes {
 		name, addr, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -70,7 +109,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("ping %s: %v", name, err)
 		}
-		fmt.Printf("  vantage point    : %s at %s (%s, host key %s)\n",
+		fmt.Printf("  vantage point      : %s at %s (%s, host key %s)\n",
 			name, addr, out, sshx.Fingerprint(cl.HostKey()))
 	}
 
@@ -80,7 +119,10 @@ func main() {
 			log.Fatalf("http: %v", err)
 		}
 	}()
-	fmt.Printf("  web console      : http://%s/api/nodes\n", *httpAddr)
+	fmt.Printf("  web console        : http://%s/api/nodes\n", *httpAddr)
+	fmt.Printf("  remote API         : http://%s/api/v1/nodes\n", *httpAddr)
+	fmt.Printf("  try                : curl -H 'Authorization: Bearer %s' http://%s/api/v1/workloads\n",
+		exp.Token, *httpAddr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -1,11 +1,15 @@
-// Command blab-run submits one battery measurement against an in-process
-// simulated deployment and prints the results — the quickest way to ask
-// the paper's §4.2 question for a single browser:
+// Command blab-run submits one battery measurement and prints the
+// results — the quickest way to ask the paper's §4.2 question for a
+// single browser. By default it assembles an in-process simulated
+// deployment; with -server it submits the same declarative spec to a
+// remote access server's v1 API and streams the run back, printing
+// identical output — the backend is location-transparent.
 //
 //	blab-run -browser Brave
 //	blab-run -browser Chrome -mirror -vpn Bunkyo -pages 5 -out trace.csv
 //	blab-run -browser Brave -out trace.bin   # compact binary trace (v2)
 //	blab-run -video            # the §4.1 playback workload instead
+//	blab-run -server http://127.0.0.1:9090 -token $TOKEN -browser Brave -pages 2
 package main
 
 import (
@@ -31,54 +35,99 @@ func main() {
 		pages       = flag.Int("pages", 10, "pages to visit")
 		scrolls     = flag.Int("scrolls", 8, "scrolls per page")
 		rate        = flag.Int("rate", 1000, "monitor sample rate (Hz)")
-		seed        = flag.Uint64("seed", 2019, "simulation seed")
+		seed        = flag.Uint64("seed", 2019, "simulation seed (local backend only)")
 		out         = flag.String("out", "", "write the current trace here (.csv = text, anything else = binary v2)")
 		progress    = flag.Bool("progress", false, "print session phase transitions")
+		server      = flag.String("server", "", "access server base URL; empty = in-process simulation")
+		token       = flag.String("token", "", "API token for -server")
+		nodeName    = flag.String("node", "", "target vantage point (default: the backend's first)")
+		deviceSer   = flag.String("device", "", "target device serial (default: the node's first)")
 	)
 	flag.Parse()
 
 	// Ctrl-C cancels the session: the VPN, mirroring pipeline and monitor
-	// are torn down in order before exit.
+	// are torn down in order before exit — locally or on the server.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	clock := batterylab.VirtualClock()
-	dep, err := batterylab.NewDeployment(clock, batterylab.DeploymentConfig{
-		Seed:      *seed,
-		VideoPath: "/sdcard/blab.mp4",
-	})
-	if err != nil {
-		log.Fatal(err)
+	var backend batterylab.Backend
+	if *server != "" {
+		var err error
+		backend, err = batterylab.RemoteBackend(*server, *token)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		clock := batterylab.VirtualClock()
+		dep, err := batterylab.NewDeployment(clock, batterylab.DeploymentConfig{
+			Seed:      *seed,
+			VideoPath: "/sdcard/blab.mp4",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = batterylab.LocalBackend(dep.Platform)
 	}
 
-	spec := batterylab.ExperimentSpec{
-		Node:        dep.NodeName,
-		Device:      dep.DeviceSerial,
-		SampleRate:  *rate,
+	// Resolve the target vantage point and device against the backend —
+	// the same discovery call locally and remotely.
+	node, device := *nodeName, *deviceSer
+	if node == "" || device == "" {
+		nodes, err := backend.Nodes(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if node == "" {
+			if len(nodes) == 0 {
+				log.Fatal("no vantage points available")
+			}
+			node = nodes[0].Name
+		}
+		if device == "" {
+			found := false
+			for _, n := range nodes {
+				if n.Name != node {
+					continue
+				}
+				found = true
+				if len(n.Devices) > 0 {
+					device = n.Devices[0]
+				}
+			}
+			switch {
+			case !found:
+				names := make([]string, 0, len(nodes))
+				for _, n := range nodes {
+					names = append(names, n.Name)
+				}
+				log.Fatalf("unknown vantage point %q (have %s)", node, strings.Join(names, ", "))
+			case device == "":
+				log.Fatalf("vantage point %s has no devices", node)
+			}
+		}
+	}
+
+	// The declarative v1 spec: a named registry workload plus params,
+	// instead of an in-process closure.
+	spec := batterylab.ExperimentSpecV1{
+		Node:        node,
+		Device:      device,
+		Monitor:     batterylab.MonitorSpec{SampleRateHz: *rate},
 		Mirroring:   *mirror,
 		VPNLocation: *vpnLoc,
 	}
 	label := *browserName
 	if *videoMode {
 		label = "video playback"
-		spec.Workload = func(drv batterylab.Driver) *batterylab.Script {
-			s := batterylab.NewScript("video")
-			s.Add("launch", 5*time.Minute, func() error {
-				_, err := drv.LaunchApp(batterylab.VideoPlayerPackage)
-				return err
-			})
-			return s
-		}
+		spec.Workload = batterylab.WorkloadSpec{Name: "video"}
 	} else {
-		prof, err := batterylab.FindBrowserProfile(*browserName)
-		if err != nil {
-			log.Fatal(err)
-		}
-		spec.Workload = func(drv batterylab.Driver) *batterylab.Script {
-			return batterylab.BuildBrowserWorkload(drv, prof.Package, batterylab.BrowserWorkloadOptions{
-				Pages:   batterylab.NewsSites()[:min(*pages, 10)],
-				Scrolls: *scrolls,
-			})
+		spec.Workload = batterylab.WorkloadSpec{
+			Name: "browser",
+			Params: batterylab.Params{
+				"browser": *browserName,
+				"pages":   min(*pages, 10),
+				"scrolls": *scrolls,
+			},
 		}
 	}
 
@@ -94,8 +143,8 @@ func main() {
 				fmt.Printf("  [%s] %s\n", e.At.Format("15:04:05"), e.Phase)
 			},
 			Sample: func(s batterylab.Sample) {
-				// The monitor-side streaming summary rides along on every
-				// live sample; print one line every 30 samples.
+				// The streaming summary rides along on every live sample;
+				// print one line every 30 samples.
 				if samplesSeen++; samplesSeen%30 == 0 && s.Live.N > 0 {
 					fmt.Printf("  [%s] live: n=%d mean=%.1f mA p95=%.1f mA %.2f mAh\n",
 						s.At.Format("15:04:05"), s.Live.N, s.Live.Mean,
@@ -106,7 +155,7 @@ func main() {
 	}
 
 	start := time.Now()
-	sess, err := dep.Platform.StartExperiment(ctx, spec, obs...)
+	sess, err := backend.StartExperimentSpec(ctx, spec, obs...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,7 +168,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("workload    : %s (mirroring=%v, vpn=%q)\n", label, *mirror, *vpnLoc)
+	where := "in-process simulation"
+	if *server != "" {
+		where = *server
+	}
+	fmt.Printf("backend     : %s\n", where)
+	fmt.Printf("workload    : %s (mirroring=%v, vpn=%q) on %s/%s\n", label, *mirror, *vpnLoc, node, device)
 	fmt.Printf("measured    : %s of device time in %s of wall time\n",
 		res.Duration.Round(time.Second), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("samples     : %d at %d Hz\n", res.Current.Len(), *rate)

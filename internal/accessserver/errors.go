@@ -1,0 +1,24 @@
+package accessserver
+
+import "errors"
+
+// Typed sentinel errors. Every error the server returns wraps exactly
+// one of these, so callers — the HTTP layer above all — branch with
+// errors.Is instead of matching message strings, and the v1 error
+// envelope maps each sentinel to one HTTP status (ErrNotFound → 404,
+// ErrForbidden → 403, ErrInvalid → 400, ErrConflict → 409, anything
+// else → 500).
+var (
+	// ErrNotFound reports a missing resource: unknown job, build, node,
+	// device or artifact.
+	ErrNotFound = errors.New("accessserver: not found")
+	// ErrForbidden reports a permission the user's role lacks.
+	ErrForbidden = errors.New("accessserver: forbidden")
+	// ErrInvalid reports malformed input: empty job names, bad specs,
+	// unparseable bodies.
+	ErrInvalid = errors.New("accessserver: invalid request")
+	// ErrConflict reports a request that is well-formed but collides
+	// with current state: duplicate job names, unapproved revisions,
+	// cancelling a finished build.
+	ErrConflict = errors.New("accessserver: conflict")
+)

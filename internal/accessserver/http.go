@@ -2,15 +2,18 @@ package accessserver
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
-	"strings"
 )
 
 // Handler returns the web console's REST API. Every request needs a
 // valid user token in the Authorization header ("Bearer <token>"); the
 // role matrix gates each route. In deployment this sits behind HTTPS
 // only (§3.1) — transport security is the listener's concern.
+//
+// Legacy console routes (all read routes are GET-only; the mux rejects
+// other methods with 405):
 //
 //	GET  /api/nodes                 list vantage points
 //	GET  /api/nodes/{name}/devices  list a node's devices
@@ -20,117 +23,158 @@ import (
 //	GET  /api/builds/{id}           build status
 //	GET  /api/builds/{id}/log       console log
 //	GET  /api/builds/{id}/artifacts artifact names
+//
+// The versioned remote-execution API (see internal/api for the wire
+// schema) is mounted under /api/v1/ by handlerV1 in httpv1.go.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
-	auth := func(w http.ResponseWriter, r *http.Request, perm Permission) *User {
-		tok := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
-		user, err := s.Users.Authenticate(tok)
+	mux.HandleFunc("GET /api/nodes", func(w http.ResponseWriter, r *http.Request) {
+		if s.auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Nodes.List())
+	})
+	mux.HandleFunc("GET /api/nodes/{name}/devices", func(w http.ResponseWriter, r *http.Request) {
+		if s.auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		devs, err := s.Nodes.Devices(r.PathValue("name"))
 		if err != nil {
-			http.Error(w, "unauthorized", http.StatusUnauthorized)
-			return nil
+			writeError(w, err)
+			return
 		}
-		if !Allowed(user.Role, perm) {
-			http.Error(w, "forbidden for role "+user.Role.String(), http.StatusForbidden)
-			return nil
+		writeJSON(w, http.StatusOK, devs)
+	})
+	mux.HandleFunc("GET /api/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if s.auth(w, r, PermViewConsole) == nil {
+			return
 		}
-		return user
-	}
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("POST /api/jobs/{name}/build", func(w http.ResponseWriter, r *http.Request) {
+		user := s.auth(w, r, PermRunJob)
+		if user == nil {
+			return
+		}
+		b, err := s.Submit(user, r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"build": b.ID, "state": b.State().String()})
+	})
+	mux.HandleFunc("POST /api/jobs/{name}/approve", func(w http.ResponseWriter, r *http.Request) {
+		user := s.auth(w, r, PermApprovePipeline)
+		if user == nil {
+			return
+		}
+		if err := s.ApproveJob(user, r.PathValue("name")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"approved": true})
+	})
+	mux.HandleFunc("GET /api/builds/{id}", func(w http.ResponseWriter, r *http.Request) {
+		b := s.buildFromPath(w, r)
+		if b == nil {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":    b.ID,
+			"job":   b.Job,
+			"state": b.State().String(),
+		})
+	})
+	mux.HandleFunc("GET /api/builds/{id}/log", func(w http.ResponseWriter, r *http.Request) {
+		b := s.buildFromPath(w, r)
+		if b == nil {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(b.Log()))
+	})
+	mux.HandleFunc("GET /api/builds/{id}/artifacts", func(w http.ResponseWriter, r *http.Request) {
+		b := s.buildFromPath(w, r)
+		if b == nil {
+			return
+		}
+		writeJSON(w, http.StatusOK, b.Workspace().List())
+	})
 
-	mux.HandleFunc("/api/nodes", func(w http.ResponseWriter, r *http.Request) {
-		if auth(w, r, PermViewConsole) == nil {
-			return
-		}
-		writeJSON(w, s.Nodes.List())
-	})
-	mux.HandleFunc("/api/nodes/", func(w http.ResponseWriter, r *http.Request) {
-		if auth(w, r, PermViewConsole) == nil {
-			return
-		}
-		rest := strings.TrimPrefix(r.URL.Path, "/api/nodes/")
-		name, tail, _ := strings.Cut(rest, "/")
-		if tail != "devices" {
-			http.NotFound(w, r)
-			return
-		}
-		devs, err := s.Nodes.Devices(name)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		}
-		writeJSON(w, devs)
-	})
-	mux.HandleFunc("/api/jobs", func(w http.ResponseWriter, r *http.Request) {
-		if auth(w, r, PermViewConsole) == nil {
-			return
-		}
-		writeJSON(w, s.Jobs())
-	})
-	mux.HandleFunc("/api/jobs/", func(w http.ResponseWriter, r *http.Request) {
-		rest := strings.TrimPrefix(r.URL.Path, "/api/jobs/")
-		name, action, _ := strings.Cut(rest, "/")
-		switch {
-		case action == "build" && r.Method == http.MethodPost:
-			user := auth(w, r, PermRunJob)
-			if user == nil {
-				return
-			}
-			b, err := s.Submit(user, name)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusConflict)
-				return
-			}
-			writeJSON(w, map[string]any{"build": b.ID, "state": b.State().String()})
-		case action == "approve" && r.Method == http.MethodPost:
-			user := auth(w, r, PermApprovePipeline)
-			if user == nil {
-				return
-			}
-			if err := s.ApproveJob(user, name); err != nil {
-				http.Error(w, err.Error(), http.StatusConflict)
-				return
-			}
-			writeJSON(w, map[string]any{"approved": true})
-		default:
-			http.NotFound(w, r)
-		}
-	})
-	mux.HandleFunc("/api/builds/", func(w http.ResponseWriter, r *http.Request) {
-		if auth(w, r, PermViewConsole) == nil {
-			return
-		}
-		rest := strings.TrimPrefix(r.URL.Path, "/api/builds/")
-		idStr, sub, _ := strings.Cut(rest, "/")
-		id, err := strconv.Atoi(idStr)
-		if err != nil {
-			http.Error(w, "bad build id", http.StatusBadRequest)
-			return
-		}
-		b, err := s.Build(id)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		}
-		switch sub {
-		case "":
-			writeJSON(w, map[string]any{
-				"id":    b.ID,
-				"job":   b.Job,
-				"state": b.State().String(),
-			})
-		case "log":
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			w.Write([]byte(b.Log()))
-		case "artifacts":
-			writeJSON(w, b.Workspace().List())
-		default:
-			http.NotFound(w, r)
-		}
-	})
+	s.handlerV1(mux)
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// auth authenticates the bearer token and checks the permission,
+// writing the error response itself on failure.
+func (s *Server) auth(w http.ResponseWriter, r *http.Request, perm Permission) *User {
+	tok := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(tok) > len(prefix) && tok[:len(prefix)] == prefix {
+		tok = tok[len(prefix):]
+	}
+	user, err := s.Users.Authenticate(tok)
+	if err != nil {
+		writeAPIError(w, apiError(codeUnauthorized, "missing or invalid token"))
+		return nil
+	}
+	if !Allowed(user.Role, perm) {
+		writeAPIError(w, apiError(codeForbidden,
+			"role "+user.Role.String()+" may not "+perm.String()))
+		return nil
+	}
+	return user
+}
+
+// buildFromPath resolves the {id} path segment to a build, writing the
+// error response (400 for a malformed id, 404 for a missing build)
+// itself. Authentication runs first.
+func (s *Server) buildFromPath(w http.ResponseWriter, r *http.Request) *Build {
+	if s.auth(w, r, PermViewConsole) == nil {
+		return nil
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeAPIError(w, apiError(codeBadRequest, "build id must be an integer"))
+		return nil
+	}
+	b, err := s.Build(id)
+	if err != nil {
+		writeError(w, err)
+		return nil
+	}
+	return b
+}
+
+// writeJSON marshals v up front (so encoding failures can still produce
+// a 500 instead of a half-written 200), sets the status and writes the
+// body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeAPIError(w, apiError(codeInternal, "encoding response: "+err.Error()))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError maps a server error to its HTTP status via the typed
+// sentinels and writes the v1 error envelope. Unrecognized errors are
+// internal (500) — never the blanket 409 of the original console.
+func writeError(w http.ResponseWriter, err error) {
+	code := codeInternal
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = codeNotFound
+	case errors.Is(err, ErrForbidden):
+		code = codeForbidden
+	case errors.Is(err, ErrInvalid):
+		code = codeBadRequest
+	case errors.Is(err, ErrConflict):
+		code = codeConflict
+	}
+	writeAPIError(w, apiError(code, err.Error()))
 }

@@ -1,0 +1,321 @@
+package accessserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"batterylab/internal/api"
+)
+
+// The versioned remote-execution API. Wire types and the JSON schema
+// live in internal/api; this file is the HTTP binding:
+//
+//	GET  /api/v1/nodes                        vantage points + devices
+//	GET  /api/v1/workloads                    registry workload names
+//	POST /api/v1/experiments                  submit an ExperimentSpec → build
+//	POST /api/v1/campaigns                    submit a CampaignSpec → builds
+//	GET  /api/v1/campaigns/{id}               campaign status
+//	GET  /api/v1/builds/{id}                  build status (+ run summary)
+//	GET  /api/v1/builds/{id}/events           phase events, streamed NDJSON
+//	GET  /api/v1/builds/{id}/samples          live power samples: framed
+//	                                          binary traces (default) or
+//	                                          ?format=ndjson
+//	GET  /api/v1/builds/{id}/artifacts        artifact names
+//	GET  /api/v1/builds/{id}/artifacts/{name} raw artifact bytes
+//	POST /api/v1/builds/{id}/cancel           abort a queued/running build
+//
+// Every non-2xx response body is the api.Error envelope.
+
+// Error-code aliases keep the HTTP files terse.
+const (
+	codeBadRequest   = api.CodeBadRequest
+	codeUnauthorized = api.CodeUnauthorized
+	codeForbidden    = api.CodeForbidden
+	codeNotFound     = api.CodeNotFound
+	codeConflict     = api.CodeConflict
+	codeInternal     = api.CodeInternal
+)
+
+// Submission body bounds: a spec is well under a kilobyte of JSON, so
+// even a maximal campaign (MaxCampaignExperiments specs) fits these
+// with slack; anything larger is a client bug or abuse.
+const (
+	maxSpecBodyBytes     = 1 << 20  // 1 MiB
+	maxCampaignBodyBytes = 64 << 20 // 64 MiB
+)
+
+func apiError(code api.ErrorCode, msg string) *api.Error {
+	return &api.Error{Code: code, Message: msg}
+}
+
+// writeAPIError writes the typed error envelope with its canonical
+// status.
+func writeAPIError(w http.ResponseWriter, e *api.Error) {
+	data, err := json.Marshal(api.Envelope{Error: e})
+	if err != nil {
+		http.Error(w, e.Message, e.HTTPStatus())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.HTTPStatus())
+	w.Write(append(data, '\n'))
+}
+
+// handlerV1 mounts the v1 routes on mux.
+func (s *Server) handlerV1(mux *http.ServeMux) {
+	mux.HandleFunc("GET /api/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		if s.auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		names := s.Nodes.List()
+		infos := make([]api.NodeInfo, 0, len(names))
+		for _, name := range names {
+			devs, _ := s.Nodes.Devices(name)
+			infos = append(infos, api.NodeInfo{Name: name, Devices: devs})
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("GET /api/v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		if s.auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		names := s.WorkloadNames()
+		if names == nil {
+			names = []string{}
+		}
+		writeJSON(w, http.StatusOK, names)
+	})
+	mux.HandleFunc("POST /api/v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		user := s.auth(w, r, PermRunJob)
+		if user == nil {
+			return
+		}
+		var spec api.ExperimentSpec
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBodyBytes)).Decode(&spec); err != nil {
+			writeAPIError(w, apiError(codeBadRequest, "decoding experiment spec: "+err.Error()))
+			return
+		}
+		b, err := s.SubmitSpec(user, spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, api.SubmitResponse{Build: b.ID, State: b.State().String()})
+	})
+	mux.HandleFunc("POST /api/v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		user := s.auth(w, r, PermRunJob)
+		if user == nil {
+			return
+		}
+		var spec api.CampaignSpec
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCampaignBodyBytes)).Decode(&spec); err != nil {
+			writeAPIError(w, apiError(codeBadRequest, "decoding campaign spec: "+err.Error()))
+			return
+		}
+		id, builds, err := s.SubmitCampaign(user, spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp := api.CampaignResponse{Campaign: id, Builds: make([]int, len(builds))}
+		for i, b := range builds {
+			resp.Builds[i] = b.ID
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+	})
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if s.auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeAPIError(w, apiError(codeBadRequest, "campaign id must be an integer"))
+			return
+		}
+		builds, err := s.CampaignBuilds(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		status := api.CampaignStatus{Campaign: id}
+		for _, b := range builds {
+			status.Builds = append(status.Builds, buildStatus(b))
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+	mux.HandleFunc("GET /api/v1/builds/{id}", func(w http.ResponseWriter, r *http.Request) {
+		b := s.buildFromPath(w, r)
+		if b == nil {
+			return
+		}
+		writeJSON(w, http.StatusOK, buildStatus(b))
+	})
+	mux.HandleFunc("GET /api/v1/builds/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		b := s.buildFromPath(w, r)
+		if b == nil {
+			return
+		}
+		s.streamEvents(w, r, b)
+	})
+	mux.HandleFunc("GET /api/v1/builds/{id}/samples", func(w http.ResponseWriter, r *http.Request) {
+		b := s.buildFromPath(w, r)
+		if b == nil {
+			return
+		}
+		s.streamSamples(w, r, b)
+	})
+	mux.HandleFunc("GET /api/v1/builds/{id}/artifacts", func(w http.ResponseWriter, r *http.Request) {
+		b := s.buildFromPath(w, r)
+		if b == nil {
+			return
+		}
+		writeJSON(w, http.StatusOK, b.Workspace().List())
+	})
+	mux.HandleFunc("GET /api/v1/builds/{id}/artifacts/{name}", func(w http.ResponseWriter, r *http.Request) {
+		b := s.buildFromPath(w, r)
+		if b == nil {
+			return
+		}
+		data, err := b.Workspace().Load(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+	mux.HandleFunc("POST /api/v1/builds/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		user := s.auth(w, r, PermRunJob)
+		if user == nil {
+			return
+		}
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeAPIError(w, apiError(codeBadRequest, "build id must be an integer"))
+			return
+		}
+		if err := s.Abort(user, id); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{"canceled": true})
+	})
+}
+
+// buildStatus snapshots a build as its wire form.
+func buildStatus(b *Build) api.BuildStatus {
+	st := api.BuildStatus{
+		ID:       b.ID,
+		Job:      b.Job,
+		Owner:    b.Owner,
+		State:    b.State().String(),
+		Campaign: b.CampaignID(),
+		Canceled: b.CancelRequested(),
+		Summary:  b.Summary(),
+	}
+	if err := b.Err(); err != nil {
+		st.Error = err.Error()
+	}
+	return st
+}
+
+// streamEvents serves the NDJSON phase-event stream: replay from the
+// ?from= cursor (default 0), then follow until the build finishes or
+// the client goes away.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, b *Build) {
+	cursor := 0
+	if from := r.URL.Query().Get("from"); from != "" {
+		n, err := strconv.Atoi(from)
+		if err != nil || n < 0 {
+			writeAPIError(w, apiError(codeBadRequest, "?from= must be a non-negative integer"))
+			return
+		}
+		cursor = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		evs, closed, changed := b.Feed().EventsSince(cursor)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return // client gone
+			}
+		}
+		cursor += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			// One last snapshot covers the close/append race: EventsSince
+			// reported closed only after any final events were visible.
+			if more, _, _ := b.Feed().EventsSince(cursor); len(more) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// streamSamples serves the live power-sample stream: length-prefixed
+// binary trace frames by default (the compact v2 codec of
+// internal/trace, see api.WriteSampleFrame), or NDJSON SamplePoint
+// lines with ?format=ndjson. Like the event stream it replays the
+// build's buffered samples first and then follows. The feed it reads
+// is bounded and drop-under-backpressure, so however slowly this
+// consumer drains, the capture loop never blocks.
+func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, b *Build) {
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "binary", "ndjson":
+	default:
+		writeAPIError(w, apiError(codeBadRequest, "?format= must be binary or ndjson"))
+		return
+	}
+	ndjson := format == "ndjson"
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cursor := 0
+	for {
+		pts, closed, changed := b.Feed().SamplesSince(cursor)
+		if len(pts) > 0 {
+			if ndjson {
+				for _, p := range pts {
+					if err := enc.Encode(p); err != nil {
+						return
+					}
+				}
+			} else if err := api.WriteSampleFrame(w, pts); err != nil {
+				return
+			}
+			cursor += len(pts)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if closed {
+			if more, _, _ := b.Feed().SamplesSince(cursor); len(more) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"batterylab/internal/api"
 )
 
 // RunFunc is a job's pipeline body. It receives the build context and a
@@ -90,10 +92,23 @@ func (s BuildState) String() string {
 	}
 }
 
-// Build is one execution of a job.
+// Build is one execution of a job or of a directly submitted v1 spec.
 type Build struct {
 	ID  int
 	Job string
+	// Owner is the submitting user; cancellation is restricted to the
+	// owner and admins.
+	Owner string
+
+	// campaign groups builds submitted together via SubmitCampaign
+	// (0 = standalone).
+	campaign int
+	// cons/run are set for spec builds, which carry their own pipeline
+	// instead of referencing the job store.
+	cons Constraints
+	run  RunFunc
+	// feed streams the build's phase events and live samples.
+	feed *Feed
 
 	mu         sync.Mutex
 	state      BuildState
@@ -103,6 +118,9 @@ type Build struct {
 	log        strings.Builder
 	workspace  *Workspace
 	err        error
+	summary    *api.RunSummary
+	canceler   func()
+	cancelWant bool
 }
 
 // State reports the build state.
@@ -128,6 +146,67 @@ func (b *Build) Log() string {
 
 // Workspace returns the build's artifact store.
 func (b *Build) Workspace() *Workspace { return b.workspace }
+
+// Feed returns the build's event/sample stream.
+func (b *Build) Feed() *Feed { return b.feed }
+
+// CampaignID reports the campaign the build belongs to (0 = none).
+func (b *Build) CampaignID() int { return b.campaign }
+
+// SetSummary records the run's wire-level digest; the v1 status
+// endpoint serves it once set.
+func (b *Build) SetSummary(s api.RunSummary) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.summary = &s
+}
+
+// Summary returns the recorded digest (nil until the run finishes).
+func (b *Build) Summary() *api.RunSummary {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.summary == nil {
+		return nil
+	}
+	cp := *b.summary
+	return &cp
+}
+
+// OnCancel registers the pipeline's cancel hook. If an abort request
+// arrived before the hook was registered (the submit/abort race), the
+// hook runs immediately.
+func (b *Build) OnCancel(fn func()) {
+	b.mu.Lock()
+	b.canceler = fn
+	want := b.cancelWant
+	b.mu.Unlock()
+	if want && fn != nil {
+		fn()
+	}
+}
+
+// CancelRequested reports whether an explicit cancel was requested
+// (Abort, or a pending cancel armed before the pipeline registered its
+// hook).
+func (b *Build) CancelRequested() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cancelWant
+}
+
+// requestCancel invokes the registered cancel hook, or arms the
+// pending flag for a hook registered later. Reports whether a hook ran.
+func (b *Build) requestCancel() bool {
+	b.mu.Lock()
+	fn := b.canceler
+	b.cancelWant = true
+	b.mu.Unlock()
+	if fn != nil {
+		fn()
+		return true
+	}
+	return false
+}
 
 // QueueTime reports how long the build waited before dispatch (zero
 // while still queued).
@@ -195,7 +274,7 @@ func (w *Workspace) Load(name string) ([]byte, error) {
 	defer w.mu.RUnlock()
 	data, ok := w.files[name]
 	if !ok {
-		return nil, fmt.Errorf("accessserver: no artifact %q", name)
+		return nil, fmt.Errorf("%w: no artifact %q", ErrNotFound, name)
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)

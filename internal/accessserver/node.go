@@ -88,10 +88,10 @@ func (r *Nodes) Register(n Node) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.approved) > 0 && !r.approved[n.Name()] {
-		return fmt.Errorf("accessserver: node %q not pre-approved", n.Name())
+		return fmt.Errorf("%w: node %q not pre-approved", ErrForbidden, n.Name())
 	}
 	if _, dup := r.nodes[n.Name()]; dup {
-		return fmt.Errorf("accessserver: node %q already registered", n.Name())
+		return fmt.Errorf("%w: node %q already registered", ErrConflict, n.Name())
 	}
 	r.nodes[n.Name()] = n
 	return nil
@@ -103,7 +103,7 @@ func (r *Nodes) Get(name string) (Node, error) {
 	defer r.mu.RUnlock()
 	n, ok := r.nodes[name]
 	if !ok {
-		return nil, fmt.Errorf("accessserver: no node %q", name)
+		return nil, fmt.Errorf("%w: no node %q", ErrNotFound, name)
 	}
 	return n, nil
 }
@@ -113,7 +113,7 @@ func (r *Nodes) Remove(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.nodes[name]; !ok {
-		return fmt.Errorf("accessserver: no node %q", name)
+		return fmt.Errorf("%w: no node %q", ErrNotFound, name)
 	}
 	delete(r.nodes, name)
 	return nil

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"batterylab/internal/api"
 	"batterylab/internal/simclock"
 )
 
@@ -35,6 +36,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// SpecBackend compiles declarative v1 experiment specs into runnable
+// pipelines. The platform layer (internal/core) implements it against
+// its workload registry and installs it with SetSpecBackend; the server
+// itself stays ignorant of workload semantics.
+type SpecBackend interface {
+	// Compile turns a wire spec into dispatch constraints and a
+	// pipeline body. Errors must wrap the package sentinels (ErrInvalid
+	// for bad specs, ErrNotFound for unknown nodes/devices/workloads)
+	// so the HTTP layer maps them to proper statuses.
+	Compile(spec api.ExperimentSpec) (Constraints, RunFunc, error)
+	// WorkloadNames lists the registry's workloads, sorted.
+	WorkloadNames() []string
+}
+
 // Server is the access server: users, nodes, jobs, the build queue and
 // its scheduler.
 type Server struct {
@@ -53,6 +68,17 @@ type Server struct {
 	// locks: "node/device" and "node" keys held by running builds.
 	locks map[string]int // key -> build ID
 	crons []*cronEntry
+
+	specs        SpecBackend
+	campaigns    map[int]*campaignRec
+	nextCampaign int
+}
+
+// campaignRec tracks one campaign's builds and its concurrency cap.
+type campaignRec struct {
+	builds        []int
+	maxConcurrent int
+	running       int
 }
 
 type cronEntry struct {
@@ -64,33 +90,55 @@ type cronEntry struct {
 // New creates an access server.
 func New(clock simclock.Clock, cfg Config) *Server {
 	return &Server{
-		cfg:    cfg.withDefaults(),
-		clock:  clock,
-		Users:  NewUsers(),
-		Nodes:  NewNodes(),
-		jobs:   make(map[string]*Job),
-		builds: make(map[int]*Build),
-		nextID: 1,
-		locks:  make(map[string]int),
+		cfg:          cfg.withDefaults(),
+		clock:        clock,
+		Users:        NewUsers(),
+		Nodes:        NewNodes(),
+		jobs:         make(map[string]*Job),
+		builds:       make(map[int]*Build),
+		nextID:       1,
+		locks:        make(map[string]int),
+		campaigns:    make(map[int]*campaignRec),
+		nextCampaign: 1,
 	}
+}
+
+// SetSpecBackend installs the declarative spec compiler. Without one,
+// v1 experiment submission is rejected with ErrInvalid.
+func (s *Server) SetSpecBackend(b SpecBackend) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.specs = b
+}
+
+// WorkloadNames lists the spec backend's registered workloads (empty
+// without a backend).
+func (s *Server) WorkloadNames() []string {
+	s.mu.Lock()
+	backend := s.specs
+	s.mu.Unlock()
+	if backend == nil {
+		return nil
+	}
+	return backend.WorkloadNames()
 }
 
 // CreateJob stores a new (unapproved) pipeline. The user needs
 // PermCreateJob.
 func (s *Server) CreateJob(user *User, name string, cons Constraints, run RunFunc) (*Job, error) {
 	if !Allowed(user.Role, PermCreateJob) {
-		return nil, fmt.Errorf("accessserver: %s (%s) may not create jobs", user.Name, user.Role)
+		return nil, fmt.Errorf("%w: %s (%s) may not create jobs", ErrForbidden, user.Name, user.Role)
 	}
 	if name == "" || run == nil {
-		return nil, fmt.Errorf("accessserver: job needs a name and a pipeline body")
+		return nil, fmt.Errorf("%w: job needs a name and a pipeline body", ErrInvalid)
 	}
 	if cons.Node == "" {
-		return nil, fmt.Errorf("accessserver: job %q needs a target node", name)
+		return nil, fmt.Errorf("%w: job %q needs a target node", ErrInvalid, name)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.jobs[name]; dup {
-		return nil, fmt.Errorf("accessserver: job %q exists", name)
+		return nil, fmt.Errorf("%w: job %q exists", ErrConflict, name)
 	}
 	j := &Job{Name: name, Owner: user.Name, constraints: cons, run: run, revision: 1}
 	// Admins' own pipelines are implicitly approved.
@@ -104,7 +152,7 @@ func (s *Server) CreateJob(user *User, name string, cons Constraints, run RunFun
 // administrator").
 func (s *Server) EditJob(user *User, name string, cons Constraints, run RunFunc) error {
 	if !Allowed(user.Role, PermEditJob) {
-		return fmt.Errorf("accessserver: %s (%s) may not edit jobs", user.Name, user.Role)
+		return fmt.Errorf("%w: %s (%s) may not edit jobs", ErrForbidden, user.Name, user.Role)
 	}
 	j, err := s.Job(name)
 	if err != nil {
@@ -122,7 +170,7 @@ func (s *Server) EditJob(user *User, name string, cons Constraints, run RunFunc)
 // ApproveJob marks the current revision runnable (admin only).
 func (s *Server) ApproveJob(user *User, name string) error {
 	if !Allowed(user.Role, PermApprovePipeline) {
-		return fmt.Errorf("accessserver: %s (%s) may not approve pipelines", user.Name, user.Role)
+		return fmt.Errorf("%w: %s (%s) may not approve pipelines", ErrForbidden, user.Name, user.Role)
 	}
 	j, err := s.Job(name)
 	if err != nil {
@@ -140,7 +188,7 @@ func (s *Server) Job(name string) (*Job, error) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[name]
 	if !ok {
-		return nil, fmt.Errorf("accessserver: no job %q", name)
+		return nil, fmt.Errorf("%w: no job %q", ErrNotFound, name)
 	}
 	return j, nil
 }
@@ -161,28 +209,197 @@ func (s *Server) Jobs() []string {
 // job's current revision must be approved.
 func (s *Server) Submit(user *User, jobName string) (*Build, error) {
 	if !Allowed(user.Role, PermRunJob) {
-		return nil, fmt.Errorf("accessserver: %s (%s) may not run jobs", user.Name, user.Role)
+		return nil, fmt.Errorf("%w: %s (%s) may not run jobs", ErrForbidden, user.Name, user.Role)
 	}
 	j, err := s.Job(jobName)
 	if err != nil {
 		return nil, err
 	}
 	if !j.Approved() {
-		return nil, fmt.Errorf("accessserver: job %q revision %d awaits admin approval", jobName, j.Revision())
+		return nil, fmt.Errorf("%w: job %q revision %d awaits admin approval", ErrConflict, jobName, j.Revision())
 	}
 	s.mu.Lock()
+	b := s.enqueueLocked(user.Name, jobName, 0, Constraints{}, nil)
+	s.mu.Unlock()
+	s.dispatch()
+	return b, nil
+}
+
+// enqueueLocked creates a build and appends it to the queue. run is nil
+// for job builds (the pipeline is looked up at dispatch time) and set
+// for spec builds, which carry their own constraints and body. Callers
+// hold s.mu.
+func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constraints, run RunFunc) *Build {
 	b := &Build{
 		ID:        s.nextID,
 		Job:       jobName,
+		Owner:     owner,
+		campaign:  campaign,
+		cons:      cons,
+		run:       run,
 		queuedAt:  s.clock.Now(),
 		workspace: NewWorkspace(),
+		feed:      newFeed(),
 	}
 	s.nextID++
 	s.builds[b.ID] = b
 	s.queue = append(s.queue, b)
+	return b
+}
+
+// SubmitSpec compiles a declarative v1 experiment spec through the
+// installed backend and queues it as a build — no pre-created job, no
+// pipeline-approval round: the spec can only name vetted registry
+// workloads, so the §3.1 closure-approval gate does not apply. The user
+// needs PermRunJob.
+func (s *Server) SubmitSpec(user *User, spec api.ExperimentSpec) (*Build, error) {
+	if !Allowed(user.Role, PermRunJob) {
+		return nil, fmt.Errorf("%w: %s (%s) may not run experiments", ErrForbidden, user.Name, user.Role)
+	}
+	s.mu.Lock()
+	backend := s.specs
+	s.mu.Unlock()
+	if backend == nil {
+		return nil, fmt.Errorf("%w: this server has no spec backend; submit jobs instead", ErrInvalid)
+	}
+	cons, run, err := backend.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	b := s.enqueueLocked(user.Name, specJobName(spec), 0, cons, run)
 	s.mu.Unlock()
 	s.dispatch()
 	return b, nil
+}
+
+// SubmitCampaign atomically queues one build per experiment in the
+// campaign: every spec is compiled before any is enqueued, so a
+// campaign with one bad spec queues nothing. Builds fan out across
+// vantage points through the normal scheduler (per-node/device locks,
+// executor cap) plus the campaign's own MaxConcurrent bound. It returns
+// the campaign id and its builds, index-aligned with the specs.
+func (s *Server) SubmitCampaign(user *User, cs api.CampaignSpec) (int, []*Build, error) {
+	if !Allowed(user.Role, PermRunJob) {
+		return 0, nil, fmt.Errorf("%w: %s (%s) may not run experiments", ErrForbidden, user.Name, user.Role)
+	}
+	s.mu.Lock()
+	backend := s.specs
+	s.mu.Unlock()
+	if backend == nil {
+		return 0, nil, fmt.Errorf("%w: this server has no spec backend; submit jobs instead", ErrInvalid)
+	}
+	if err := cs.Validate(); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if len(cs.Experiments) > MaxCampaignExperiments {
+		return 0, nil, fmt.Errorf("%w: campaign has %d experiments (max %d)",
+			ErrInvalid, len(cs.Experiments), MaxCampaignExperiments)
+	}
+	type compiled struct {
+		cons Constraints
+		run  RunFunc
+		name string
+	}
+	pipelines := make([]compiled, len(cs.Experiments))
+	for i, spec := range cs.Experiments {
+		cons, run, err := backend.Compile(spec)
+		if err != nil {
+			return 0, nil, fmt.Errorf("experiments[%d]: %w", i, err)
+		}
+		pipelines[i] = compiled{cons, run, specJobName(spec)}
+	}
+	s.mu.Lock()
+	id := s.nextCampaign
+	s.nextCampaign++
+	rec := &campaignRec{maxConcurrent: cs.MaxConcurrent}
+	s.campaigns[id] = rec
+	builds := make([]*Build, len(pipelines))
+	for i, p := range pipelines {
+		builds[i] = s.enqueueLocked(user.Name, p.name, id, p.cons, p.run)
+		rec.builds = append(rec.builds, builds[i].ID)
+	}
+	s.mu.Unlock()
+	s.dispatch()
+	return id, builds, nil
+}
+
+// MaxCampaignExperiments bounds one campaign submission; larger sweeps
+// split into multiple campaigns.
+const MaxCampaignExperiments = 1024
+
+// specJobName labels a spec build for status displays.
+func specJobName(spec api.ExperimentSpec) string {
+	return "spec:" + spec.Workload.Name + "@" + spec.Node
+}
+
+// CampaignBuilds resolves a campaign's builds in submission order.
+func (s *Server) CampaignBuilds(id int) ([]*Build, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.campaigns[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: no campaign %d", ErrNotFound, id)
+	}
+	out := make([]*Build, len(rec.builds))
+	for i, bid := range rec.builds {
+		out[i] = s.builds[bid]
+	}
+	return out, nil
+}
+
+// Abort cancels a build: a queued build is removed from the queue and
+// marked aborted; a running build has its pipeline's cancel hook
+// invoked (the measurement session tears down and the build finishes
+// with its cancellation error). Aborting a finished build is a
+// conflict. The user needs PermRunJob and must own the build (admins
+// may cancel anyone's).
+func (s *Server) Abort(user *User, id int) error {
+	if !Allowed(user.Role, PermRunJob) {
+		return fmt.Errorf("%w: %s (%s) may not cancel builds", ErrForbidden, user.Name, user.Role)
+	}
+	b, err := s.Build(id)
+	if err != nil {
+		return err
+	}
+	if user.Role != RoleAdmin && b.Owner != user.Name {
+		return fmt.Errorf("%w: build %d belongs to %s", ErrForbidden, id, b.Owner)
+	}
+	s.mu.Lock()
+	queuedAt := -1
+	for i, cand := range s.queue {
+		if cand == b {
+			queuedAt = i
+			break
+		}
+	}
+	if queuedAt >= 0 {
+		s.queue = append(s.queue[:queuedAt], s.queue[queuedAt+1:]...)
+	}
+	s.mu.Unlock()
+
+	if queuedAt >= 0 {
+		b.mu.Lock()
+		b.state = StateAborted
+		b.cancelWant = true
+		b.finishedAt = s.clock.Now()
+		fmt.Fprintf(&b.log, "build aborted while queued\n")
+		b.mu.Unlock()
+		b.feed.close()
+		return nil
+	}
+	switch b.State() {
+	case StateRunning:
+		b.requestCancel()
+		return nil
+	case StateQueued:
+		// Dispatch is picking it up right now; arm the pending-cancel
+		// flag so the pipeline's OnCancel fires as soon as registered.
+		b.requestCancel()
+		return nil
+	default:
+		return fmt.Errorf("%w: build %d already finished (%s)", ErrConflict, id, b.State())
+	}
 }
 
 // Build resolves a build by id.
@@ -191,7 +408,7 @@ func (s *Server) Build(id int) (*Build, error) {
 	defer s.mu.Unlock()
 	b, ok := s.builds[id]
 	if !ok {
-		return nil, fmt.Errorf("accessserver: no build %d", id)
+		return nil, fmt.Errorf("%w: no build %d", ErrNotFound, id)
 	}
 	return b, nil
 }
@@ -211,8 +428,17 @@ func (s *Server) Running() int {
 }
 
 // dispatch scans the queue and starts every build whose constraints are
-// satisfiable right now.
+// satisfiable right now. On a virtual clock the whole scan runs under a
+// clock hold: pipeline setup is synchronous (RunFuncs schedule their
+// session timers before returning), and a concurrent Step driver
+// (batterylab.DriveBuilds) must not advance the clock to some unrelated
+// far-future deadline mid-setup — every build dispatched in one scan
+// starts at the same instant it was dispatched at, deterministically.
 func (s *Server) dispatch() {
+	if v, ok := s.clock.(*simclock.Virtual); ok {
+		release := v.Hold()
+		defer release()
+	}
 	for {
 		started := s.dispatchOne()
 		if !started {
@@ -231,29 +457,38 @@ func (s *Server) dispatchOne() bool {
 	}
 	var (
 		b     *Build
-		j     *Job
+		run   RunFunc
+		cons  Constraints
 		node  Node
 		idx   = -1
 		locks []string
 	)
 	for i, cand := range s.queue {
-		job, ok := s.jobs[cand.Job]
-		if !ok {
-			continue
+		candCons, candRun := cand.cons, cand.run
+		if candRun == nil {
+			// Job build: the pipeline lives in the job store.
+			job, ok := s.jobs[cand.Job]
+			if !ok {
+				continue
+			}
+			candCons, candRun = job.Constraints(), job.run
 		}
-		cons := job.Constraints()
-		n, err := s.Nodes.Get(cons.Node)
+		n, err := s.Nodes.Get(candCons.Node)
 		if err != nil {
 			continue // node not registered (yet)
 		}
-		keys := lockKeys(cons)
+		if rec := s.campaigns[cand.campaign]; rec != nil &&
+			rec.maxConcurrent > 0 && rec.running >= rec.maxConcurrent {
+			continue
+		}
+		keys := lockKeys(candCons)
 		if s.locksHeld(keys) {
 			continue
 		}
-		if cons.RequireLowCPU && !s.nodeCPULowLocked(n) {
+		if candCons.RequireLowCPU && !s.nodeCPULowLocked(n) {
 			continue
 		}
-		b, j, node, idx, locks = cand, job, n, i, keys
+		b, run, cons, node, idx, locks = cand, candRun, candCons, n, i, keys
 		break
 	}
 	if b == nil {
@@ -265,8 +500,9 @@ func (s *Server) dispatchOne() bool {
 		s.locks[k] = b.ID
 	}
 	s.running++
-	cons := j.Constraints()
-	run := j.run
+	if rec := s.campaigns[b.campaign]; rec != nil {
+		rec.running++
+	}
 	s.mu.Unlock()
 
 	b.mu.Lock()
@@ -358,11 +594,16 @@ func (s *Server) finish(b *Build, locks []string, err error) {
 	}
 	b.mu.Unlock()
 
+	b.feed.close()
+
 	s.mu.Lock()
 	for _, k := range locks {
 		delete(s.locks, k)
 	}
 	s.running--
+	if rec := s.campaigns[b.campaign]; rec != nil {
+		rec.running--
+	}
 	s.mu.Unlock()
 
 	// Retention: purge the workspace and log after the window.

@@ -1,0 +1,395 @@
+// Package api defines the wire-level v1 types of BatteryLab's remote
+// execution API: the declarative experiment/campaign specs a client
+// submits over HTTP, the typed error envelope every non-2xx response
+// carries, and the event/sample records the streaming endpoints emit.
+// The package is deliberately a leaf — JSON structs and small helpers
+// only — so the server (internal/accessserver, internal/core) and the
+// client (internal/remote) share one schema without import cycles.
+//
+// # Spec JSON schema (v1)
+//
+// An ExperimentSpec is the declarative replacement for the in-process
+// closure jobs of the original API: instead of shipping Go code, a
+// client names a workload from the server's registry and parameterizes
+// it. The canonical JSON shape:
+//
+//	{
+//	  "node":     "node1",             // required: target vantage point
+//	  "device":   "R58M12ABCDE",       // required: target device serial
+//	  "workload": {                    // required: registry name + params
+//	    "name":   "browser",
+//	    "params": {"browser": "Brave", "pages": 3, "scrolls": 6}
+//	  },
+//	  "monitor": {                     // optional monitor configuration
+//	    "sample_rate_hz":       1000,  // 0 = hardware max (5 kHz)
+//	    "voltage_v":            0,     // 0 = battery nominal voltage
+//	    "cpu_sample_period_ms": 1000,  // live-sample cadence (0 = 1 s)
+//	    "padding_ms":           1000   // settle tail (0 = 1 s)
+//	  },
+//	  "mirroring":    false,           // §3.2 device mirroring
+//	  "vpn_location": "",              // §4.3 VPN exit ("" = direct)
+//	  "transport":    "wifi",          // "wifi" (default) | "bluetooth"
+//	  "constraints":  {"require_low_cpu": false}
+//	}
+//
+// A CampaignSpec is a batch of experiments submitted atomically; the
+// server fans the runs out across vantage points through its scheduler
+// (per-node/device locks serialize conflicting runs):
+//
+//	{
+//	  "experiments":    [ <ExperimentSpec>, ... ],  // required, ≥ 1
+//	  "max_concurrent": 0                           // 0 = no extra cap
+//	}
+//
+// The builtin workload registry ships "browser" (params: browser,
+// pages, scrolls, dwell_ms, scroll_gap_ms), "video" (params:
+// duration_ms) and "idle" (params: duration_ms); GET /api/v1/workloads
+// lists what a server actually offers.
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Version is the wire protocol version this package speaks. Breaking
+// schema changes bump it and mount under a new /api/v{n}/ prefix;
+// additive changes (new optional fields, new endpoints) do not.
+const Version = 1
+
+// Transport strings accepted on the wire. The empty string selects
+// WiFi, the paper's measurement-safe default.
+const (
+	TransportWiFi      = "wifi"
+	TransportBluetooth = "bluetooth"
+	TransportUSB       = "usb" // always rejected, with an explanatory error
+)
+
+// Params carries a workload's free-form parameters. JSON numbers decode
+// as float64; the typed getters below tolerate that, so workload
+// builders never touch the raw map.
+type Params map[string]any
+
+// String returns the string at key, or def when absent or not a string.
+func (p Params) String(key, def string) string {
+	if v, ok := p[key].(string); ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the integer at key, accepting JSON's float64 form, or def.
+func (p Params) Int(key string, def int) int {
+	switch v := p[key].(type) {
+	case float64:
+		return int(v)
+	case int:
+		return v
+	}
+	return def
+}
+
+// Float returns the number at key, or def.
+func (p Params) Float(key string, def float64) float64 {
+	switch v := p[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	}
+	return def
+}
+
+// Bool returns the bool at key, or def.
+func (p Params) Bool(key string, def bool) bool {
+	if v, ok := p[key].(bool); ok {
+		return v
+	}
+	return def
+}
+
+// DurationMS interprets the number at key as milliseconds, or def.
+func (p Params) DurationMS(key string, def time.Duration) time.Duration {
+	switch v := p[key].(type) {
+	case float64:
+		return time.Duration(v) * time.Millisecond
+	case int:
+		return time.Duration(v) * time.Millisecond
+	}
+	return def
+}
+
+// StringSlice returns the string list at key (JSON arrays decode as
+// []any), or nil when absent or mistyped.
+func (p Params) StringSlice(key string) []string {
+	raw, ok := p[key].([]any)
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(raw))
+	for _, e := range raw {
+		s, ok := e.(string)
+		if !ok {
+			return nil
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WorkloadSpec names a workload from the server's registry and carries
+// its parameters. The registry replaces closure pipelines: every
+// runnable workload is vetted code on the server, so declarative
+// submissions skip the §3.1 admin pipeline-approval gate that guarded
+// arbitrary Go closures.
+type WorkloadSpec struct {
+	Name   string `json:"name"`
+	Params Params `json:"params,omitempty"`
+}
+
+// MonitorSpec configures the power monitor and the run's sampling
+// cadences. Zero values select the server-side defaults documented on
+// each field.
+type MonitorSpec struct {
+	// SampleRateHz is the Monsoon sampling rate (0 = hardware max).
+	SampleRateHz int `json:"sample_rate_hz,omitempty"`
+	// VoltageV is the monitor output voltage (0 = battery nominal).
+	VoltageV float64 `json:"voltage_v,omitempty"`
+	// CPUSamplePeriodMS is the live-sample/CPU-monitor cadence (0 = 1 s).
+	CPUSamplePeriodMS int64 `json:"cpu_sample_period_ms,omitempty"`
+	// PaddingMS holds the monitor running after the script (0 = 1 s).
+	PaddingMS int64 `json:"padding_ms,omitempty"`
+}
+
+// ConstraintsSpec carries scheduler constraints beyond the implicit
+// per-node/device locks.
+type ConstraintsSpec struct {
+	// RequireLowCPU defers dispatch until the controller CPU is below
+	// the server's threshold (§4.2's optional condition).
+	RequireLowCPU bool `json:"require_low_cpu,omitempty"`
+}
+
+// ExperimentSpec is the declarative wire form of one measurement run.
+// See the package comment for the JSON schema.
+type ExperimentSpec struct {
+	Node        string          `json:"node"`
+	Device      string          `json:"device"`
+	Workload    WorkloadSpec    `json:"workload"`
+	Monitor     MonitorSpec     `json:"monitor,omitempty"`
+	Mirroring   bool            `json:"mirroring,omitempty"`
+	VPNLocation string          `json:"vpn_location,omitempty"`
+	Transport   string          `json:"transport,omitempty"`
+	Constraints ConstraintsSpec `json:"constraints,omitempty"`
+}
+
+// Validate checks the wire-level invariants that need no server state.
+// Registry lookups and node/device existence are the server's job.
+func (s *ExperimentSpec) Validate() error {
+	if s.Node == "" {
+		return errors.New("api: spec.node is required")
+	}
+	if s.Device == "" {
+		return errors.New("api: spec.device is required")
+	}
+	if s.Workload.Name == "" {
+		return errors.New("api: spec.workload.name is required")
+	}
+	switch s.Transport {
+	case "", TransportWiFi, TransportBluetooth, TransportUSB:
+	default:
+		return fmt.Errorf("api: unknown transport %q (want %q or %q)",
+			s.Transport, TransportWiFi, TransportBluetooth)
+	}
+	if s.Monitor.SampleRateHz < 0 {
+		return fmt.Errorf("api: negative sample rate %d", s.Monitor.SampleRateHz)
+	}
+	if s.Monitor.VoltageV < 0 {
+		return fmt.Errorf("api: negative voltage %v", s.Monitor.VoltageV)
+	}
+	if s.Monitor.CPUSamplePeriodMS < 0 || s.Monitor.PaddingMS < 0 {
+		return errors.New("api: negative durations in monitor spec")
+	}
+	return nil
+}
+
+// CampaignSpec is the wire form of a measurement campaign: a batch of
+// experiments scheduled together.
+type CampaignSpec struct {
+	Experiments []ExperimentSpec `json:"experiments"`
+	// MaxConcurrent caps in-flight runs across the campaign (0 = only
+	// the server's executor and per-node limits apply).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+}
+
+// Validate checks the campaign's wire-level invariants, including every
+// member experiment's.
+func (c *CampaignSpec) Validate() error {
+	if len(c.Experiments) == 0 {
+		return errors.New("api: campaign needs at least one experiment")
+	}
+	if c.MaxConcurrent < 0 {
+		return fmt.Errorf("api: negative max_concurrent %d", c.MaxConcurrent)
+	}
+	for i := range c.Experiments {
+		if err := c.Experiments[i].Validate(); err != nil {
+			return fmt.Errorf("experiments[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SubmitResponse acknowledges an experiment submission.
+type SubmitResponse struct {
+	Build int    `json:"build"`
+	State string `json:"state"`
+}
+
+// CampaignResponse acknowledges a campaign submission. Builds is
+// index-aligned with the submitted experiments.
+type CampaignResponse struct {
+	Campaign int   `json:"campaign"`
+	Builds   []int `json:"builds"`
+}
+
+// CampaignStatus reports a campaign's member builds.
+type CampaignStatus struct {
+	Campaign int           `json:"campaign"`
+	Builds   []BuildStatus `json:"builds"`
+}
+
+// NodeInfo describes one vantage point and its test devices.
+type NodeInfo struct {
+	Name    string   `json:"name"`
+	Devices []string `json:"devices,omitempty"`
+}
+
+// RunSummary is the server-side digest of a finished measurement —
+// enough for dashboards that never fetch the full trace. Timestamps and
+// durations are nanoseconds for lossless round-trips.
+type RunSummary struct {
+	Samples            int64   `json:"samples"`
+	MeanMA             float64 `json:"mean_ma"`
+	P50MA              float64 `json:"p50_ma"`
+	P95MA              float64 `json:"p95_ma"`
+	EnergyMAH          float64 `json:"energy_mah"`
+	DurationNS         int64   `json:"duration_ns"`
+	MirrorUploadBytes  int64   `json:"mirror_upload_bytes,omitempty"`
+	DroppedLiveSamples int64   `json:"dropped_live_samples,omitempty"`
+}
+
+// BuildStatus reports one build over the wire. Canceled marks builds
+// ended by an explicit cancel request — clients branch on it (not on
+// the error message) to map the failure onto their cancellation error.
+type BuildStatus struct {
+	ID       int         `json:"id"`
+	Job      string      `json:"job"`
+	Owner    string      `json:"owner,omitempty"`
+	State    string      `json:"state"`
+	Campaign int         `json:"campaign,omitempty"`
+	Canceled bool        `json:"canceled,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Summary  *RunSummary `json:"summary,omitempty"`
+}
+
+// BuildEvent is one phase-transition record on the NDJSON event stream
+// (GET /api/v1/builds/{id}/events). Seq is a per-build cursor: a client
+// that reconnects resumes from its last seen Seq + 1 via ?from=.
+type BuildEvent struct {
+	Seq    int    `json:"seq"`
+	Build  int    `json:"build"`
+	Node   string `json:"node"`
+	Device string `json:"device"`
+	Phase  string `json:"phase"`
+	Step   string `json:"step,omitempty"`
+	AtNS   int64  `json:"at_ns"`
+	Error  string `json:"error,omitempty"`
+}
+
+// SamplePoint is one live power reading on the sample stream: the
+// device's instantaneous draw plus the monitor-side streaming summary
+// of the capture so far. The NDJSON form carries every field; the
+// binary frame form (see stream.go) carries the (at_ns, current_ma)
+// series through the compact trace codec.
+type SamplePoint struct {
+	AtNS      int64   `json:"at_ns"`
+	CurrentMA float64 `json:"current_ma"`
+	N         int64   `json:"n,omitempty"`
+	MeanMA    float64 `json:"mean_ma,omitempty"`
+	P50MA     float64 `json:"p50_ma,omitempty"`
+	P95MA     float64 `json:"p95_ma,omitempty"`
+	IntegralS float64 `json:"integral_s,omitempty"`
+}
+
+// ErrorCode classifies a v1 API failure. Codes — not messages — are the
+// contract clients branch on.
+type ErrorCode string
+
+// Error codes, each with a canonical HTTP status.
+const (
+	CodeBadRequest   ErrorCode = "bad_request"  // 400: malformed JSON, invalid spec
+	CodeUnauthorized ErrorCode = "unauthorized" // 401: missing/unknown token
+	CodeForbidden    ErrorCode = "forbidden"    // 403: role lacks the permission
+	CodeNotFound     ErrorCode = "not_found"    // 404: unknown build/job/node/device
+	CodeConflict     ErrorCode = "conflict"     // 409: duplicate job, unapproved revision
+	CodeInternal     ErrorCode = "internal"     // 500: everything else
+)
+
+// Error is the typed error envelope every non-2xx v1 response carries:
+//
+//	{"error": {"code": "not_found", "message": "no build 42"}}
+//
+// It implements error, so clients can return it directly; use Is/As or
+// the Code field to branch.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %s: %s", e.Code, e.Message)
+}
+
+// HTTPStatus maps the code to its canonical HTTP status.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnauthorized:
+		return http.StatusUnauthorized
+	case CodeForbidden:
+		return http.StatusForbidden
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// CodeForStatus inverts HTTPStatus for clients that receive a bare
+// status with no parseable envelope.
+func CodeForStatus(status int) ErrorCode {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusUnauthorized:
+		return CodeUnauthorized
+	case http.StatusForbidden:
+		return CodeForbidden
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	default:
+		return CodeInternal
+	}
+}
+
+// Envelope is the JSON wrapper error responses use.
+type Envelope struct {
+	Error *Error `json:"error"`
+}

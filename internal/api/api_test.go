@@ -1,0 +1,207 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	in := ExperimentSpec{
+		Node:   "node1",
+		Device: "SER123",
+		Workload: WorkloadSpec{
+			Name:   "browser",
+			Params: Params{"browser": "Brave", "pages": 3},
+		},
+		Monitor:     MonitorSpec{SampleRateHz: 1000, CPUSamplePeriodMS: 500},
+		Mirroring:   true,
+		VPNLocation: "Bunkyo",
+		Transport:   TransportBluetooth,
+		Constraints: ConstraintsSpec{RequireLowCPU: true},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ExperimentSpec
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Node != in.Node || out.Device != in.Device ||
+		out.Workload.Name != "browser" ||
+		out.Monitor.SampleRateHz != 1000 ||
+		!out.Mirroring || out.VPNLocation != "Bunkyo" ||
+		out.Transport != TransportBluetooth || !out.Constraints.RequireLowCPU {
+		t.Fatalf("round trip mangled the spec: %+v", out)
+	}
+	// Params survive as JSON-generic values the getters understand.
+	if got := out.Workload.Params.String("browser", ""); got != "Brave" {
+		t.Fatalf("browser param = %q", got)
+	}
+	if got := out.Workload.Params.Int("pages", 0); got != 3 {
+		t.Fatalf("pages param = %d", got)
+	}
+}
+
+func TestParamsGetters(t *testing.T) {
+	var decoded Params
+	if err := json.Unmarshal([]byte(
+		`{"s":"x","n":7,"f":2.5,"b":true,"ms":1500,"list":["a","b"],"badlist":[1]}`),
+		&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.String("s", "d") != "x" || decoded.String("missing", "d") != "d" {
+		t.Fatal("String getter")
+	}
+	if decoded.Int("n", 0) != 7 || decoded.Int("missing", 9) != 9 {
+		t.Fatal("Int getter")
+	}
+	if decoded.Float("f", 0) != 2.5 {
+		t.Fatal("Float getter")
+	}
+	if !decoded.Bool("b", false) || decoded.Bool("missing", true) != true {
+		t.Fatal("Bool getter")
+	}
+	if decoded.DurationMS("ms", 0) != 1500*time.Millisecond {
+		t.Fatal("DurationMS getter")
+	}
+	if got := decoded.StringSlice("list"); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("StringSlice = %v", got)
+	}
+	if decoded.StringSlice("badlist") != nil {
+		t.Fatal("mistyped list should be nil")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	valid := func() ExperimentSpec {
+		return ExperimentSpec{
+			Node: "n", Device: "d",
+			Workload: WorkloadSpec{Name: "idle"},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ExperimentSpec)
+		ok     bool
+	}{
+		{"valid", func(s *ExperimentSpec) {}, true},
+		{"valid bluetooth", func(s *ExperimentSpec) { s.Transport = TransportBluetooth }, true},
+		{"usb passes wire validation", func(s *ExperimentSpec) { s.Transport = TransportUSB }, true},
+		{"no node", func(s *ExperimentSpec) { s.Node = "" }, false},
+		{"no device", func(s *ExperimentSpec) { s.Device = "" }, false},
+		{"no workload", func(s *ExperimentSpec) { s.Workload.Name = "" }, false},
+		{"bad transport", func(s *ExperimentSpec) { s.Transport = "carrier-pigeon" }, false},
+		{"negative rate", func(s *ExperimentSpec) { s.Monitor.SampleRateHz = -1 }, false},
+		{"negative voltage", func(s *ExperimentSpec) { s.Monitor.VoltageV = -1 }, false},
+		{"negative padding", func(s *ExperimentSpec) { s.Monitor.PaddingMS = -1 }, false},
+	}
+	for _, c := range cases {
+		s := valid()
+		c.mutate(&s)
+		if err := s.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+
+	if err := (&CampaignSpec{}).Validate(); err == nil {
+		t.Error("empty campaign validated")
+	}
+	bad := CampaignSpec{Experiments: []ExperimentSpec{{}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("campaign with invalid member validated")
+	}
+	good := CampaignSpec{Experiments: []ExperimentSpec{valid()}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid campaign rejected: %v", err)
+	}
+}
+
+func TestErrorStatusMapping(t *testing.T) {
+	codes := map[ErrorCode]int{
+		CodeBadRequest:   http.StatusBadRequest,
+		CodeUnauthorized: http.StatusUnauthorized,
+		CodeForbidden:    http.StatusForbidden,
+		CodeNotFound:     http.StatusNotFound,
+		CodeConflict:     http.StatusConflict,
+		CodeInternal:     http.StatusInternalServerError,
+	}
+	for code, status := range codes {
+		e := &Error{Code: code, Message: "m"}
+		if got := e.HTTPStatus(); got != status {
+			t.Errorf("%s → %d, want %d", code, got, status)
+		}
+		if got := CodeForStatus(status); got != code {
+			t.Errorf("%d → %s, want %s", status, got, code)
+		}
+	}
+	// The envelope is the wire shape clients decode.
+	data, _ := json.Marshal(Envelope{Error: &Error{Code: CodeNotFound, Message: "no build 9"}})
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Error == nil ||
+		env.Error.Code != CodeNotFound || env.Error.Message != "no build 9" {
+		t.Fatalf("envelope round trip: %s → %+v (%v)", data, env, err)
+	}
+}
+
+func TestSampleFrameRoundTrip(t *testing.T) {
+	base := time.Date(2019, 11, 13, 9, 0, 0, 0, time.UTC).UnixNano()
+	var all []SamplePoint
+	var buf bytes.Buffer
+	// Three frames of varying sizes, like a streaming handler flushing
+	// whatever arrived since the last wake-up.
+	for _, n := range []int{1, 100, 4097} {
+		batch := make([]SamplePoint, n)
+		for i := range batch {
+			batch[i] = SamplePoint{
+				AtNS:      base + int64(len(all)+i)*1e6,
+				CurrentMA: 100 + float64(len(all)+i)*0.25,
+			}
+		}
+		if err := WriteSampleFrame(&buf, batch); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, batch...)
+	}
+	// Empty batches write nothing.
+	if err := WriteSampleFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	br := bufio.NewReader(&buf)
+	var got []SamplePoint
+	for {
+		pts, err := ReadSampleFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, pts...)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("decoded %d points, want %d", len(got), len(all))
+	}
+	for i := range all {
+		if got[i].AtNS != all[i].AtNS || got[i].CurrentMA != all[i].CurrentMA {
+			t.Fatalf("point %d: got %+v want %+v", i, got[i], all[i])
+		}
+	}
+}
+
+func TestReadSampleFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSampleFrame(&buf, []SamplePoint{{AtNS: 1, CurrentMA: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	if _, err := ReadSampleFrame(bufio.NewReader(bytes.NewReader(whole[:len(whole)-1]))); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+}

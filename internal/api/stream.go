@@ -1,0 +1,88 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"batterylab/internal/trace"
+)
+
+// Sample streaming wire formats.
+//
+// GET /api/v1/builds/{id}/samples streams live power samples in one of
+// two encodings, selected by ?format=:
+//
+//   - "binary" (the default): a sequence of length-prefixed frames,
+//     each a uvarint byte count followed by one complete binary trace
+//     (the v2 delta/XOR codec of internal/trace) holding the samples
+//     that arrived since the previous frame. Framing keeps the codec's
+//     self-contained header/count layout intact while letting the
+//     server flush incrementally; a reader decodes frame-by-frame with
+//     ReadSampleFrame.
+//   - "ndjson": one SamplePoint JSON object per line, carrying the
+//     live monitor-side summary fields the binary form omits.
+
+// SampleStreamSeriesName is the series name sample frames carry.
+const SampleStreamSeriesName = "live"
+
+// SampleStreamUnit is the unit sample frames carry.
+const SampleStreamUnit = "mA"
+
+// WriteSampleFrame encodes points as one length-prefixed binary trace
+// frame. Empty batches write nothing.
+func WriteSampleFrame(w io.Writer, points []SamplePoint) error {
+	if len(points) == 0 {
+		return nil
+	}
+	s := trace.NewSeries(SampleStreamSeriesName, SampleStreamUnit)
+	for _, p := range points {
+		if err := s.Append(time.Unix(0, p.AtNS), p.CurrentMA); err != nil {
+			return fmt.Errorf("api: framing sample at %d: %w", p.AtNS, err)
+		}
+	}
+	var body bytes.Buffer
+	if err := s.WriteBinary(&body); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(body.Len()))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// ReadSampleFrame decodes the next frame from the stream, returning the
+// points it carried. io.EOF at a frame boundary signals a clean end of
+// stream.
+func ReadSampleFrame(br *bufio.Reader) ([]SamplePoint, error) {
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("api: reading frame length: %w", err)
+	}
+	if size > 64<<20 {
+		return nil, fmt.Errorf("api: sample frame of %d bytes exceeds the 64 MiB bound", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, fmt.Errorf("api: reading %d-byte frame: %w", size, err)
+	}
+	s, err := trace.ReadBinary(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("api: decoding sample frame: %w", err)
+	}
+	points := make([]SamplePoint, 0, s.Len())
+	s.Iter(func(smp trace.Sample) bool {
+		points = append(points, SamplePoint{AtNS: smp.T.UnixNano(), CurrentMA: smp.V})
+		return true
+	})
+	return points, nil
+}

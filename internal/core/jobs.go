@@ -6,23 +6,47 @@ import (
 	"fmt"
 	"strings"
 
+	"sync/atomic"
+
 	"batterylab/internal/accessserver"
+	"batterylab/internal/api"
 )
 
 // This file bridges the experiment runner into the access server's job
 // queue — the paper's actual workflow (§3.1): experimenters create jobs,
 // an admin approves the pipeline, the queue dispatches when the target
 // device is free, and the power-meter logs land in the job's workspace.
+// Since the v1 remote API the same pipeline body also backs spec
+// builds: phase transitions and live samples flow into the build's
+// Feed, where the streaming endpoints pick them up, and the finished
+// run leaves a wire-level summary on the build.
+
+// Artifact names a measurement build saves into its workspace.
+const (
+	ArtifactCurrentCSV    = "current.csv"
+	ArtifactCurrentTrace  = "current.trace"
+	ArtifactDeviceCPU     = "device-cpu.csv"
+	ArtifactControllerCPU = "controller-cpu.csv"
+)
 
 // MeasurementJob wraps an ExperimentSpec as an access-server pipeline
 // body. The build succeeds when the measurement completes; the current
 // trace is stored as "current.csv" plus the compact binary
 // "current.trace" (trace format v2 — at 5 kHz the CSV is ~3× larger),
 // and the CPU traces as "device-cpu.csv" / "controller-cpu.csv" in the
-// build workspace.
+// build workspace. The session's phase events and live samples are
+// forwarded to the build's feed, and Session.Cancel is registered as
+// the build's cancel hook, so remote clients can stream progress and
+// abort mid-run.
 func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 	return func(ctx *accessserver.BuildContext, done func(error)) {
-		sess, err := p.start(context.Background(), spec, nil, func(res *Result, err error) {
+		feed := ctx.Build.Feed()
+		var obs []Observer
+		if feed != nil {
+			obs = append(obs, feedObserver{build: ctx.Build.ID, feed: feed})
+		}
+		var sessRef atomic.Pointer[Session]
+		sess, err := p.start(context.Background(), spec, obs, func(res *Result, err error) {
 			if err != nil {
 				ctx.Logf("measurement failed: %v", err)
 				done(err)
@@ -36,7 +60,7 @@ func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 				ctx.Build.Workspace().Save(name, []byte(b.String()))
 				return nil
 			}
-			if err := saveSeries("current.csv", func(b *strings.Builder) error { return res.Current.WriteCSV(b) }); err != nil {
+			if err := saveSeries(ArtifactCurrentCSV, func(b *strings.Builder) error { return res.Current.WriteCSV(b) }); err != nil {
 				done(err)
 				return
 			}
@@ -45,15 +69,31 @@ func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 				done(err)
 				return
 			}
-			ctx.Build.Workspace().Save("current.trace", bin.Bytes())
-			if err := saveSeries("device-cpu.csv", func(b *strings.Builder) error { return res.DeviceCPU.WriteCSV(b) }); err != nil {
+			ctx.Build.Workspace().Save(ArtifactCurrentTrace, bin.Bytes())
+			if err := saveSeries(ArtifactDeviceCPU, func(b *strings.Builder) error { return res.DeviceCPU.WriteCSV(b) }); err != nil {
 				done(err)
 				return
 			}
-			if err := saveSeries("controller-cpu.csv", func(b *strings.Builder) error { return res.ControllerCPU.WriteCSV(b) }); err != nil {
+			if err := saveSeries(ArtifactControllerCPU, func(b *strings.Builder) error { return res.ControllerCPU.WriteCSV(b) }); err != nil {
 				done(err)
 				return
 			}
+			summary := res.Current.Summary()
+			live := res.Current.Live()
+			var dropped int64
+			if sess := sessRef.Load(); sess != nil {
+				dropped = sess.DroppedSamples()
+			}
+			ctx.Build.SetSummary(api.RunSummary{
+				Samples:            int64(res.Current.Len()),
+				MeanMA:             summary.Mean,
+				P50MA:              live.P50,
+				P95MA:              live.P95,
+				EnergyMAH:          res.EnergyMAH,
+				DurationNS:         int64(res.Duration),
+				MirrorUploadBytes:  res.MirrorUploadBytes,
+				DroppedLiveSamples: dropped,
+			})
 			ctx.Logf("measured %s: %.2f mAh over %s (%d samples)",
 				spec.Device, res.EnergyMAH, res.Duration, res.Current.Len())
 			done(nil)
@@ -62,8 +102,49 @@ func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 			done(err)
 			return
 		}
+		sessRef.Store(sess)
+		ctx.Build.OnCancel(sess.Cancel)
 		ctx.Logf("experiment scheduled: ~%s of device time", sess.Scripted())
 	}
+}
+
+// feedObserver forwards a session's progress into its build's feed.
+// OnPhase runs on the clock-dispatch context and OnSample on the
+// session's delivery goroutine; Feed appends never block either (the
+// buffers are bounded, drop-under-backpressure), so a slow or stalled
+// HTTP consumer downstream cannot stall the capture loop.
+type feedObserver struct {
+	build int
+	feed  *accessserver.Feed
+}
+
+// OnPhase implements Observer.
+func (o feedObserver) OnPhase(e PhaseChange) {
+	ev := api.BuildEvent{
+		Build:  o.build,
+		Node:   e.Node,
+		Device: e.Device,
+		Phase:  e.Phase.String(),
+		Step:   e.Step,
+		AtNS:   e.At.UnixNano(),
+	}
+	if e.Err != nil {
+		ev.Error = e.Err.Error()
+	}
+	o.feed.PostEvent(ev)
+}
+
+// OnSample implements Observer.
+func (o feedObserver) OnSample(s Sample) {
+	o.feed.PostSample(api.SamplePoint{
+		AtNS:      s.At.UnixNano(),
+		CurrentMA: s.CurrentMA,
+		N:         int64(s.Live.N),
+		MeanMA:    s.Live.Mean,
+		P50MA:     s.Live.P50,
+		P95MA:     s.Live.P95,
+		IntegralS: s.Live.IntegralSeconds,
+	})
 }
 
 // SubmitExperiment creates, and for admins immediately approves and

@@ -36,6 +36,10 @@ type Platform struct {
 	Zone   *dnsreg.Zone
 	CA     *certs.CA
 
+	// workloads is the named-workload registry the v1 remote API
+	// compiles declarative specs against.
+	workloads *WorkloadRegistry
+
 	mu    sync.Mutex
 	vps   map[string]*controller.Controller
 	certs map[string]*certs.Certificate // node -> deployed cert
@@ -52,15 +56,20 @@ func NewPlatform(clock simclock.Clock, seed uint64) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Platform{
-		clock:  clock,
-		seed:   seed,
-		Access: accessserver.New(clock, accessserver.Config{}),
-		Zone:   dnsreg.NewZone(Domain),
-		CA:     ca,
-		vps:    make(map[string]*controller.Controller),
-		certs:  make(map[string]*certs.Certificate),
-	}, nil
+	p := &Platform{
+		clock:     clock,
+		seed:      seed,
+		Access:    accessserver.New(clock, accessserver.Config{}),
+		Zone:      dnsreg.NewZone(Domain),
+		CA:        ca,
+		workloads: NewWorkloadRegistry(),
+		vps:       make(map[string]*controller.Controller),
+		certs:     make(map[string]*certs.Certificate),
+	}
+	// Wire the v1 remote-execution API: the access server compiles
+	// declarative specs through the platform's workload registry.
+	p.Access.SetSpecBackend(specBackend{p})
+	return p, nil
 }
 
 // Clock reports the platform clock.

@@ -75,6 +75,18 @@ func (p Phase) String() string {
 	}
 }
 
+// PhaseFromString inverts String for wire decoding (the remote client
+// reconstructs PhaseChange events from their NDJSON form). Unknown
+// strings report false.
+func PhaseFromString(s string) (Phase, bool) {
+	for p := PhasePending; p <= PhaseDone; p++ {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
 // PhaseChange is one phase-transition event delivered to observers.
 // Node and Device identify the run, so one observer can watch a whole
 // campaign's interleaved sessions and still attribute every event.

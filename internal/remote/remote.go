@@ -1,0 +1,618 @@
+// Package remote is the client side of BatteryLab's v1 remote
+// execution API: a location-transparent mirror of the in-process
+// experiment runner. remote.Platform speaks the wire protocol of
+// internal/api against an access server's /api/v1/ routes, and its
+// sessions expose the same Start/Wait/Cancel/Observer shape as
+// core.Session — experiments written against the shared backend
+// interface in the batterylab facade run unchanged whether the
+// platform is in this address space or across the network.
+//
+// A remote session's life:
+//
+//  1. StartExperiment POSTs the declarative spec; the server compiles
+//     it against its workload registry and queues a build.
+//  2. Two streams follow the build: NDJSON phase events
+//     (/builds/{id}/events) and live power samples
+//     (/builds/{id}/samples, length-prefixed binary trace frames).
+//     Observers receive the same PhaseChange/Sample callbacks a local
+//     session would deliver; Sample.Live is re-aggregated client-side
+//     from the live feed.
+//  3. When the build finishes, the session fetches the run summary and
+//     the workspace artifacts — the full binary current trace plus the
+//     CPU CSVs — and reconstructs a *core.Result. Because the binary
+//     codec is lossless and the streaming aggregators are recomputed
+//     in append order, Summary().Mean and EnergyMAH are bit-identical
+//     to the server's (and to a local run of the same spec).
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"batterylab/internal/api"
+	"batterylab/internal/core"
+	"batterylab/internal/samples"
+	"batterylab/internal/trace"
+)
+
+// Platform is a client handle to a remote access server. It is safe
+// for concurrent use; every session it starts shares its HTTP client.
+type Platform struct {
+	base  *url.URL
+	token string
+	hc    *http.Client
+}
+
+// Dial validates the server URL and returns a client bound to the
+// bearer token. No connection is made until the first request.
+func Dial(server, token string) (*Platform, error) {
+	u, err := url.Parse(server)
+	if err != nil {
+		return nil, fmt.Errorf("remote: parsing server URL %q: %w", server, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("remote: server URL %q needs an http(s) scheme", server)
+	}
+	return &Platform{base: u, token: token, hc: &http.Client{}}, nil
+}
+
+// SetHTTPClient swaps the underlying HTTP client (custom TLS,
+// timeouts). Call before starting sessions.
+func (p *Platform) SetHTTPClient(hc *http.Client) { p.hc = hc }
+
+// BaseURL reports the server URL the client dials.
+func (p *Platform) BaseURL() string { return p.base.String() }
+
+// url joins the base with a formatted path.
+func (p *Platform) url(format string, args ...any) string {
+	ref := &url.URL{Path: fmt.Sprintf(format, args...)}
+	return p.base.ResolveReference(ref).String()
+}
+
+// doJSON performs one request/response round trip. A non-2xx response
+// is decoded as the api.Error envelope (synthesized from the bare
+// status when the body is not an envelope) and returned as *api.Error.
+func (p *Platform) doJSON(ctx context.Context, method, u string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("remote: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+p.token)
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("remote: %s %s: %w", method, u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx response into *api.Error.
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env api.Envelope
+	if err := json.Unmarshal(data, &env); err == nil && env.Error != nil {
+		return env.Error
+	}
+	return &api.Error{
+		Code:    api.CodeForStatus(resp.StatusCode),
+		Message: strings.TrimSpace(string(data)),
+	}
+}
+
+// stream opens a streaming GET and returns the open body.
+func (p *Platform) stream(ctx context.Context, u string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+p.token)
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp.Body, nil
+}
+
+// Nodes lists the server's vantage points and their devices.
+func (p *Platform) Nodes(ctx context.Context) ([]api.NodeInfo, error) {
+	var out []api.NodeInfo
+	err := p.doJSON(ctx, http.MethodGet, p.url("/api/v1/nodes"), nil, &out)
+	return out, err
+}
+
+// WorkloadNames lists the server's registered workloads.
+func (p *Platform) WorkloadNames(ctx context.Context) ([]string, error) {
+	var out []string
+	err := p.doJSON(ctx, http.MethodGet, p.url("/api/v1/workloads"), nil, &out)
+	return out, err
+}
+
+// BuildStatus fetches one build's wire status.
+func (p *Platform) BuildStatus(ctx context.Context, build int) (api.BuildStatus, error) {
+	var out api.BuildStatus
+	err := p.doJSON(ctx, http.MethodGet, p.url("/api/v1/builds/%d", build), nil, &out)
+	return out, err
+}
+
+// Artifact fetches one workspace artifact's raw bytes.
+func (p *Platform) Artifact(ctx context.Context, build int, name string) ([]byte, error) {
+	rc, err := p.stream(ctx, p.url("/api/v1/builds/%d/artifacts/%s", build, name))
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
+}
+
+// StartExperiment submits a declarative spec and returns a live
+// session handle — the remote counterpart of
+// core.Platform.StartExperiment. Observers receive phase transitions
+// and live samples streamed from the server; cancelling ctx cancels
+// the remote build.
+func (p *Platform) StartExperiment(ctx context.Context, spec api.ExperimentSpec, obs ...core.Observer) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var resp api.SubmitResponse
+	if err := p.doJSON(ctx, http.MethodPost, p.url("/api/v1/experiments"), spec, &resp); err != nil {
+		return nil, err
+	}
+	return p.followBuild(ctx, resp.Build, spec.Node, spec.Device, obs), nil
+}
+
+// RunExperiment is the blocking shorthand: submit, stream, wait.
+func (p *Platform) RunExperiment(ctx context.Context, spec api.ExperimentSpec, obs ...core.Observer) (*core.Result, error) {
+	s, err := p.StartExperiment(ctx, spec, obs...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Wait(ctx)
+}
+
+// StartCampaign submits a campaign and returns a handle over its
+// builds. The server fans the runs out across vantage points through
+// its scheduler; each build gets its own event/sample streams.
+func (p *Platform) StartCampaign(ctx context.Context, spec api.CampaignSpec, obs ...core.Observer) (*Campaign, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var resp api.CampaignResponse
+	if err := p.doJSON(ctx, http.MethodPost, p.url("/api/v1/campaigns"), spec, &resp); err != nil {
+		return nil, err
+	}
+	c := &Campaign{p: p, ID: resp.Campaign, done: make(chan struct{})}
+	for i, build := range resp.Builds {
+		exp := spec.Experiments[i]
+		c.sessions = append(c.sessions, p.followBuild(ctx, build, exp.Node, exp.Device, obs))
+	}
+	go func() {
+		for _, s := range c.sessions {
+			<-s.Done()
+		}
+		close(c.done)
+	}()
+	return c, nil
+}
+
+// Session is a handle to one in-flight remote build. It satisfies the
+// same Wait/Cancel/Done/Phase session shape as core.Session.
+type Session struct {
+	p      *Platform
+	build  int
+	node   string
+	device string
+	obs    []core.Observer
+
+	done chan struct{}
+
+	mu        sync.Mutex
+	phase     core.Phase
+	doneEvent *core.PhaseChange
+	agg       *samples.StreamSummary
+	live      samples.LiveSummary
+	res       *core.Result
+	err       error
+	canceled  bool
+}
+
+// followBuild attaches streams to a submitted build and returns its
+// session.
+func (p *Platform) followBuild(ctx context.Context, build int, node, device string, obs []core.Observer) *Session {
+	// Streams live on their own context: they must outlast the submit
+	// ctx's happy path and end when the build does. The submit ctx is
+	// still honored for cancellation semantics below.
+	sctx, scancel := context.WithCancel(context.Background())
+	s := &Session{
+		p:      p,
+		build:  build,
+		node:   node,
+		device: device,
+		obs:    obs,
+		done:   make(chan struct{}),
+		agg:    samples.NewStreamSummary(),
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); s.eventLoop(sctx) }()
+	go func() { defer wg.Done(); s.sampleLoop(sctx) }()
+	go func() {
+		wg.Wait()
+		s.finalize(sctx)
+		scancel()
+		close(s.done)
+	}()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Cancel()
+			case <-s.done:
+			}
+		}()
+	}
+	return s
+}
+
+// Build reports the server-side build id backing this session.
+func (s *Session) Build() int { return s.build }
+
+// Done returns a channel closed when the remote run has finished and
+// the result (or error) is available. Every accepted sample and phase
+// event is delivered to observers before Done closes, with the
+// terminal PhaseDone event last — the same contract as core.Session.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Phase reports the latest phase observed on the event stream.
+func (s *Session) Phase() core.Phase {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.phase
+}
+
+// Live reports the client-side streaming summary of the live samples
+// received so far (mean/P50/P95/charge over the live feed's cadence —
+// an estimate of the monitor-side summary a local session exposes).
+func (s *Session) Live() samples.LiveSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// Result reports the outcome once Done is closed ((nil, nil) before).
+func (s *Session) Result() (*core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res, s.err
+}
+
+// Cancel asks the server to abort the build (queued: dropped from the
+// queue; running: the measurement session tears down at the earliest
+// safe point). Idempotent; the result still arrives through Wait with
+// an error matching core.ErrCanceled.
+func (s *Session) Cancel() {
+	s.mu.Lock()
+	already := s.canceled
+	s.canceled = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Conflict means the build already finished — not an error here.
+	err := s.p.doJSON(ctx, http.MethodPost, s.p.url("/api/v1/builds/%d/cancel", s.build), nil, nil)
+	var apiErr *api.Error
+	if err != nil && errors.As(err, &apiErr) && apiErr.Code == api.CodeConflict {
+		return
+	}
+}
+
+// Wait blocks until the remote run completes and returns its outcome.
+// Cancelling ctx cancels the build and still waits for its teardown,
+// mirroring core.Session.Wait.
+func (s *Session) Wait(ctx context.Context) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		s.Cancel()
+		<-s.done
+	}
+	return s.Result()
+}
+
+// eventLoop streams NDJSON phase events, forwarding them to observers
+// as core.PhaseChange. The terminal PhaseDone event is withheld and
+// delivered by finalize, after the sample stream has drained.
+func (s *Session) eventLoop(ctx context.Context) {
+	rc, err := s.p.stream(ctx, s.p.url("/api/v1/builds/%d/events", s.build))
+	if err != nil {
+		return // finalize polls status instead
+	}
+	defer rc.Close()
+	dec := json.NewDecoder(rc)
+	for {
+		var ev api.BuildEvent
+		if err := dec.Decode(&ev); err != nil {
+			return
+		}
+		phase, ok := core.PhaseFromString(ev.Phase)
+		if !ok {
+			continue // newer server: skip unknown phases
+		}
+		change := core.PhaseChange{
+			Node:   ev.Node,
+			Device: ev.Device,
+			Phase:  phase,
+			At:     time.Unix(0, ev.AtNS),
+			Step:   ev.Step,
+		}
+		if ev.Error != "" {
+			change.Err = errors.New(ev.Error)
+		}
+		s.mu.Lock()
+		if phase > s.phase {
+			s.phase = phase
+		}
+		if phase == core.PhaseDone {
+			s.doneEvent = &change
+		}
+		s.mu.Unlock()
+		if phase != core.PhaseDone {
+			for _, o := range s.obs {
+				o.OnPhase(change)
+			}
+		}
+	}
+}
+
+// sampleLoop streams binary sample frames, re-aggregates the live
+// summary client-side and forwards each point to observers.
+func (s *Session) sampleLoop(ctx context.Context) {
+	rc, err := s.p.stream(ctx, s.p.url("/api/v1/builds/%d/samples", s.build))
+	if err != nil {
+		return
+	}
+	defer rc.Close()
+	br := bufio.NewReader(rc)
+	for {
+		pts, err := api.ReadSampleFrame(br)
+		if err != nil {
+			return // io.EOF at a frame boundary is the clean end
+		}
+		for _, pt := range pts {
+			s.agg.Add(pt.AtNS, pt.CurrentMA)
+			live := s.agg.Snapshot()
+			s.mu.Lock()
+			s.live = live
+			s.mu.Unlock()
+			smp := core.Sample{
+				Node:      s.node,
+				Device:    s.device,
+				At:        time.Unix(0, pt.AtNS),
+				CurrentMA: pt.CurrentMA,
+				Live:      live,
+			}
+			for _, o := range s.obs {
+				o.OnSample(smp)
+			}
+		}
+	}
+}
+
+// finalize runs after both streams end: resolve the terminal build
+// state, reconstruct the Result from the workspace artifacts, and
+// deliver the withheld PhaseDone event.
+func (s *Session) finalize(ctx context.Context) {
+	st, err := s.waitTerminal(ctx)
+	var res *core.Result
+	var runErr error
+	switch {
+	case err != nil:
+		runErr = err
+	case st.State == "success":
+		res, runErr = s.fetchResult(ctx, st)
+	case st.State == "aborted":
+		runErr = fmt.Errorf("%w: build %d aborted while queued", core.ErrCanceled, s.build)
+	default: // failure
+		msg := st.Error
+		if msg == "" {
+			msg = "build " + st.State
+		}
+		if st.Canceled {
+			// Structured cancellation marker — never inferred from the
+			// message text, which the wire contract does not promise.
+			runErr = fmt.Errorf("%w: remote: %s", core.ErrCanceled, msg)
+		} else {
+			runErr = fmt.Errorf("remote: build %d failed: %s", s.build, msg)
+		}
+	}
+
+	s.mu.Lock()
+	s.res, s.err = res, runErr
+	s.phase = core.PhaseDone
+	doneEvent := s.doneEvent
+	s.mu.Unlock()
+
+	if doneEvent == nil {
+		doneEvent = &core.PhaseChange{
+			Node: s.node, Device: s.device,
+			Phase: core.PhaseDone, At: time.Now(), Err: runErr,
+		}
+	}
+	for _, o := range s.obs {
+		o.OnPhase(*doneEvent)
+	}
+}
+
+// waitTerminal polls the build status until it leaves the
+// queued/running states. The streams normally end exactly at finish,
+// so the first poll usually suffices; the retry loop covers stream
+// teardown racing the state transition.
+func (s *Session) waitTerminal(ctx context.Context) (api.BuildStatus, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := s.p.BuildStatus(ctx, s.build)
+		if err != nil {
+			return api.BuildStatus{}, err
+		}
+		switch st.State {
+		case "success", "failure", "aborted":
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("remote: build %d still %s after streams closed", s.build, st.State)
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// fetchResult reconstructs a *core.Result from the build's workspace:
+// the lossless binary current trace plus the CPU CSVs.
+func (s *Session) fetchResult(ctx context.Context, st api.BuildStatus) (*core.Result, error) {
+	cur, err := s.Artifact(ctx, core.ArtifactCurrentTrace)
+	if err != nil {
+		return nil, fmt.Errorf("remote: fetching current trace: %w", err)
+	}
+	current, err := trace.ReadBinary(bytes.NewReader(cur))
+	if err != nil {
+		return nil, fmt.Errorf("remote: decoding current trace: %w", err)
+	}
+	var t0 time.Time
+	if current.Len() > 0 {
+		t0 = current.At(0).T
+	}
+	readCSV := func(name, series, unit string) (*trace.Series, error) {
+		data, err := s.Artifact(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		return trace.ReadCSV(bytes.NewReader(data), series, unit, t0)
+	}
+	devCPU, err := readCSV(core.ArtifactDeviceCPU, "device-cpu", "percent")
+	if err != nil {
+		return nil, fmt.Errorf("remote: fetching device CPU trace: %w", err)
+	}
+	ctlCPU, err := readCSV(core.ArtifactControllerCPU, "controller-cpu", "percent")
+	if err != nil {
+		return nil, fmt.Errorf("remote: fetching controller CPU trace: %w", err)
+	}
+	res := &core.Result{
+		Current:       current,
+		DeviceCPU:     devCPU,
+		ControllerCPU: ctlCPU,
+		EnergyMAH:     current.EnergyMAH(),
+	}
+	if st.Summary != nil {
+		res.Duration = time.Duration(st.Summary.DurationNS)
+		res.MirrorUploadBytes = st.Summary.MirrorUploadBytes
+	}
+	return res, nil
+}
+
+// Artifact fetches one of this build's workspace artifacts.
+func (s *Session) Artifact(ctx context.Context, name string) ([]byte, error) {
+	return s.p.Artifact(ctx, s.build, name)
+}
+
+// Campaign is a handle to an in-flight remote campaign: one session
+// per submitted experiment, index-aligned with the spec.
+type Campaign struct {
+	p        *Platform
+	ID       int
+	sessions []*Session
+	done     chan struct{}
+}
+
+// CampaignRun is one experiment's outcome within a remote campaign.
+type CampaignRun struct {
+	Index  int
+	Build  int
+	Node   string
+	Device string
+	Result *core.Result
+	Err    error
+}
+
+// Sessions returns the campaign's per-build sessions in spec order.
+func (c *Campaign) Sessions() []*Session { return c.sessions }
+
+// Done returns a channel closed when every run has finished.
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// Cancel aborts every build in the campaign.
+func (c *Campaign) Cancel() {
+	for _, s := range c.sessions {
+		s.Cancel()
+	}
+}
+
+// Runs snapshots the per-run outcomes in spec order (final only once
+// Done is closed).
+func (c *Campaign) Runs() []CampaignRun {
+	out := make([]CampaignRun, len(c.sessions))
+	for i, s := range c.sessions {
+		res, err := s.Result()
+		out[i] = CampaignRun{
+			Index: i, Build: s.build,
+			Node: s.node, Device: s.device,
+			Result: res, Err: err,
+		}
+	}
+	return out
+}
+
+// Wait blocks until every run completes and returns the aggregated
+// outcomes. Cancelling ctx cancels the remaining builds, mirroring
+// core.CampaignSession.Wait.
+func (c *Campaign) Wait(ctx context.Context) ([]CampaignRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-c.done:
+		return c.Runs(), nil
+	case <-ctx.Done():
+		c.Cancel()
+		<-c.done
+		return c.Runs(), ctx.Err()
+	}
+}

@@ -13,10 +13,11 @@ import (
 //
 // The zero value is not usable; construct with NewVirtual.
 type Virtual struct {
-	mu   sync.Mutex
-	now  time.Time
-	heap timerHeap
-	seq  uint64 // tiebreak so equal deadlines fire FIFO
+	mu    sync.Mutex
+	now   time.Time
+	heap  timerHeap
+	seq   uint64 // tiebreak so equal deadlines fire FIFO
+	holds int    // suspended Step drivers (see Hold)
 }
 
 // Epoch is the default start time for virtual clocks: an arbitrary fixed
@@ -87,6 +88,49 @@ func (v *Virtual) RunUntil(t time.Time) {
 		v.mu.Unlock()
 		fn()
 	}
+}
+
+// Hold suspends Step drivers until the returned release runs. It lets
+// a goroutine that is synchronously scheduling a batch of timers (an
+// access server dispatching builds) keep a concurrent deadline-stepping
+// driver from jumping the clock to an unrelated far-future deadline in
+// the window before the batch's near-term timers exist. Holds nest;
+// release is idempotent. Hold gates only Step — RunUntil/Advance
+// callers own their timeline and are unaffected.
+func (v *Virtual) Hold() (release func()) {
+	v.mu.Lock()
+	v.holds++
+	v.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			v.mu.Lock()
+			v.holds--
+			v.mu.Unlock()
+		})
+	}
+}
+
+// Step fires the earliest pending timer, advancing the clock to its
+// deadline — one discrete-event iteration. It reports false (firing
+// nothing) when the clock is held or no timers are pending. Step is
+// the building block for drivers that serve real-time consumers from a
+// virtual timeline (batterylab.DriveBuilds).
+func (v *Virtual) Step() bool {
+	v.mu.Lock()
+	if v.holds > 0 || len(v.heap) == 0 {
+		v.mu.Unlock()
+		return false
+	}
+	ev := heap.Pop(&v.heap).(*event)
+	if ev.when.After(v.now) {
+		v.now = ev.when
+	}
+	fn := ev.fn
+	ev.fired = true
+	v.mu.Unlock()
+	fn()
+	return true
 }
 
 // NextDeadline reports the earliest pending timer's deadline. A second
