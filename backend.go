@@ -98,6 +98,9 @@ type (
 	Params = api.Params
 	// NodeInfo describes one vantage point and its devices.
 	NodeInfo = api.NodeInfo
+	// NodeDetail is one vantage point's lifecycle snapshot (health,
+	// heartbeat age, drain flag, leased builds).
+	NodeDetail = api.NodeDetail
 	// APIError is the typed error envelope of the v1 wire protocol;
 	// branch on its Code.
 	APIError = api.Error

@@ -173,6 +173,9 @@ var (
 	ErrUSBTransport  = core.ErrUSBTransport
 	ErrNoWorkload    = core.ErrNoWorkload
 	ErrCanceled      = core.ErrCanceled
+	// ErrNodeLost reports a remote run failed by vantage-point loss
+	// after the scheduler's failover budget was spent.
+	ErrNodeLost = core.ErrNodeLost
 )
 
 // VirtualClock returns a deterministic simulated clock starting at the

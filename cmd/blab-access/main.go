@@ -13,6 +13,15 @@
 //
 //	blab-access -http 127.0.0.1:9090 -sim 2
 //	blab-access -http 127.0.0.1:9090 -node node1=127.0.0.1:2222
+//	blab-access -sim 3 -flaky node2=30s/2m
+//
+// Every hosted and connected vantage point is health-monitored:
+// heartbeat probes drive the online/suspect/offline lifecycle, and
+// builds leased to a node that stops beating fail over automatically.
+// The -flaky flag injects failures into hosted nodes for testing that
+// machinery: `-flaky name=killAfter[/reviveAfter]` kills the named
+// simulated node after killAfter (and optionally revives it
+// reviveAfter after that).
 //
 // Then, from another terminal:
 //
@@ -27,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"batterylab"
 	"batterylab/internal/accessserver"
@@ -38,15 +48,55 @@ type nodeList []string
 func (n *nodeList) String() string     { return strings.Join(*n, ",") }
 func (n *nodeList) Set(v string) error { *n = append(*n, v); return nil }
 
+// flakySpec is one parsed -flaky directive.
+type flakySpec struct {
+	node   string
+	kill   time.Duration
+	revive time.Duration // 0 = stays dead
+}
+
+// parseFlaky parses "name=killAfter[/reviveAfter]".
+func parseFlaky(v string) (flakySpec, error) {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return flakySpec{}, fmt.Errorf("-flaky %q: want name=killAfter[/reviveAfter]", v)
+	}
+	killStr, reviveStr, hasRevive := strings.Cut(spec, "/")
+	kill, err := time.ParseDuration(killStr)
+	if err != nil {
+		return flakySpec{}, fmt.Errorf("-flaky %q: %v", v, err)
+	}
+	out := flakySpec{node: name, kill: kill}
+	if hasRevive {
+		revive, err := time.ParseDuration(reviveStr)
+		if err != nil {
+			return flakySpec{}, fmt.Errorf("-flaky %q: %v", v, err)
+		}
+		out.revive = revive
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		httpAddr = flag.String("http", "127.0.0.1:9090", "web console listen address")
 		sim      = flag.Int("sim", 1, "simulated vantage points to host in-process")
 		seed     = flag.Uint64("seed", 2019, "simulation seed for hosted vantage points")
 		nodes    nodeList
+		flaky    nodeList
 	)
 	flag.Var(&nodes, "node", "vantage point as name=addr (repeatable)")
+	flag.Var(&flaky, "flaky", "failure injection for a hosted node as name=killAfter[/reviveAfter] (repeatable)")
 	flag.Parse()
+
+	flakySpecs := make(map[string]flakySpec)
+	for _, v := range flaky {
+		fs, err := parseFlaky(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flakySpecs[fs.node] = fs
+	}
 
 	// The daemon runs on the real clock: hosted experiments take their
 	// actual scripted duration, like the physical testbed would.
@@ -78,8 +128,9 @@ func main() {
 	// each, joined through the §3.4 workflow, ready for v1 spec
 	// submissions against the builtin workload registry.
 	for i := 1; i <= *sim; i++ {
+		name := fmt.Sprintf("node%d", i)
 		_, dev, fqdn, err := batterylab.NewVantagePoint(clock, plat, batterylab.VantagePointConfig{
-			Name:      fmt.Sprintf("node%d", i),
+			Name:      name,
 			Seed:      *seed + uint64(i),
 			Addr:      fmt.Sprintf("198.51.100.%d:2222", i),
 			VideoPath: "/sdcard/blab.mp4",
@@ -87,7 +138,39 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  vantage point      : %s hosting %s (simulated)\n", fqdn, dev.Serial())
+		if fs, ok := flakySpecs[name]; ok {
+			// Re-register behind the failure injector, then schedule the
+			// kill (and optional revival) on the daemon clock.
+			inner, err := srv.Nodes.Get(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			flk := accessserver.NewFlakyNode(inner)
+			srv.Nodes.Remove(name)
+			if err := srv.Nodes.Register(flk); err != nil {
+				log.Fatal(err)
+			}
+			clock.AfterFunc(fs.kill, func() {
+				flk.Kill()
+				fmt.Printf("  failure injection  : killed %s\n", name)
+			})
+			if fs.revive > 0 {
+				clock.AfterFunc(fs.kill+fs.revive, func() {
+					flk.Revive()
+					fmt.Printf("  failure injection  : revived %s\n", name)
+				})
+			}
+			fmt.Printf("  failure injection  : %s dies in %s%s\n", name, fs.kill,
+				map[bool]string{true: fmt.Sprintf(", back %s later", fs.revive), false: " (for good)"}[fs.revive > 0])
+		}
+		if err := srv.MonitorNode(name); err != nil {
+			log.Fatal(err)
+		}
+		delete(flakySpecs, name)
+		fmt.Printf("  vantage point      : %s hosting %s (simulated, health-monitored)\n", fqdn, dev.Serial())
+	}
+	for name := range flakySpecs {
+		log.Fatalf("-flaky %s: no hosted vantage point by that name (have node1..node%d)", name, *sim)
 	}
 
 	// Remote vantage points over the sshx channel (status/maintenance
@@ -102,7 +185,7 @@ func main() {
 			log.Fatalf("connecting to %s at %s: %v", name, addr, err)
 		}
 		srv.Nodes.Approve(name)
-		if err := srv.Nodes.Register(accessserver.NewRemoteNode(name, cl)); err != nil {
+		if err := srv.RegisterNode(accessserver.NewRemoteNode(name, cl)); err != nil {
 			log.Fatal(err)
 		}
 		out, err := cl.Exec("ping")

@@ -12,6 +12,8 @@
 //	blab-bench -ablations  # design-choice ablations
 //	blab-bench -samples-bench -samples-bench-out BENCH_samples.json
 //	                       # streaming sample-pipeline microbenchmarks
+//	blab-bench -sched-bench -sched-bench-out BENCH_sched.json
+//	                       # scheduler dispatch throughput, healthy vs flaky fleet
 //
 // Scale knobs: -reps, -pages, -scrolls, -rate, -video-seconds, -seed.
 package main
@@ -39,6 +41,11 @@ func main() {
 		samplesBench    = flag.Bool("samples-bench", false, "micro-benchmark the streaming sample pipeline")
 		samplesBenchOut = flag.String("samples-bench-out", "", "write the samples benchmark JSON here (default stdout)")
 		samplesBenchN   = flag.Int("samples-bench-n", 1_000_000, "series length for -samples-bench")
+
+		schedBench      = flag.Bool("sched-bench", false, "benchmark scheduler dispatch throughput, healthy vs 30% flaky fleet")
+		schedBenchOut   = flag.String("sched-bench-out", "", "write the scheduler benchmark JSON here (default stdout)")
+		schedBenchN     = flag.Int("sched-bench-builds", 100, "queued builds for -sched-bench")
+		schedBenchNodes = flag.Int("sched-bench-nodes", 10, "vantage points for -sched-bench")
 
 		seed    = flag.Uint64("seed", 2019, "simulation seed")
 		reps    = flag.Int("reps", 5, "repetitions per configuration")
@@ -205,6 +212,17 @@ func main() {
 		}
 		if *samplesBenchOut != "" && *samplesBenchOut != "-" {
 			fmt.Printf("(samples benchmark written to %s)\n", *samplesBenchOut)
+		}
+	}
+
+	if *schedBench {
+		ran = true
+		if err := schedBenchTo(*schedBenchOut, *schedBenchN, *schedBenchNodes); err != nil {
+			fmt.Fprintf(os.Stderr, "sched-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *schedBenchOut != "" && *schedBenchOut != "-" {
+			fmt.Printf("(scheduler benchmark written to %s)\n", *schedBenchOut)
 		}
 	}
 

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"batterylab/internal/accessserver"
+	"batterylab/internal/api"
+	"batterylab/internal/simclock"
+)
+
+// schedBenchReport is the JSON baseline committed as BENCH_sched.json:
+// dispatch throughput of the fault-tolerant scheduler at fleet scale —
+// 100 queued builds across 10 vantage points, once with a healthy
+// fleet and once with 30% of the nodes killed mid-run (their builds
+// fail over to survivors).
+type schedBenchReport struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GoVersion string `json:"go_version"`
+
+	Builds int `json:"builds"`
+	Nodes  int `json:"nodes"`
+
+	Scenarios []schedScenario `json:"scenarios"`
+}
+
+// schedScenario is one fleet condition's outcome.
+type schedScenario struct {
+	Name string `json:"name"`
+	// WallNS is the real time the whole simulated run took; the
+	// headline DispatchPerSec is Builds/WallNS.
+	WallNS         int64   `json:"wall_ns"`
+	DispatchPerSec float64 `json:"dispatch_per_sec"`
+	// SimulatedMS is the virtual-clock makespan of the run.
+	SimulatedMS int64 `json:"simulated_ms"`
+	Succeeded   int   `json:"succeeded"`
+	Failed      int   `json:"failed"`
+	// Failovers counts lease-break requeues across all builds.
+	Failovers int `json:"failovers"`
+}
+
+// benchNode is an instant in-process vantage point: pings succeed
+// unless killed, and it hosts one synthetic device.
+type benchNode struct {
+	name string
+	flk  *accessserver.FlakyNode
+}
+
+type rawBenchNode struct{ name string }
+
+func (n rawBenchNode) Name() string { return n.name }
+func (n rawBenchNode) Exec(cmd string, args ...string) (string, error) {
+	switch cmd {
+	case "ping":
+		return "pong", nil
+	case "list_devices":
+		return "dev-" + n.name, nil
+	case "status":
+		return "status: cpu=5.0%", nil
+	}
+	return "", nil
+}
+func (n rawBenchNode) Ping() error { return nil }
+
+// benchBackend compiles every spec into a 10-second simulated run.
+type benchBackend struct{ clock simclock.Clock }
+
+func (b benchBackend) Compile(spec api.ExperimentSpec) (accessserver.Constraints, accessserver.RunFunc, error) {
+	cons := accessserver.Constraints{
+		Node:     spec.Node,
+		Device:   spec.Device,
+		Fallback: spec.Constraints.AllowFallback,
+	}
+	return cons, func(ctx *accessserver.BuildContext, done func(error)) {
+		b.clock.AfterFunc(10*time.Second, func() {
+			// A run on a dead vantage point never reports back — the
+			// hang the lease watchdog exists to break. Live nodes
+			// complete normally.
+			if _, err := ctx.Node.Exec("ping"); err != nil {
+				return
+			}
+			done(nil)
+		})
+	}, nil
+}
+
+func (benchBackend) WorkloadNames() []string { return []string{"bench"} }
+
+// runSchedScenario queues builds across nodes and drives the virtual
+// clock to completion, optionally killing flakyCount nodes 30 s in.
+func runSchedScenario(name string, builds, nodeCount, flakyCount int) (schedScenario, error) {
+	clk := simclock.NewVirtual()
+	srv := accessserver.New(clk, accessserver.Config{
+		Executors:      nodeCount,
+		HeartbeatEvery: 5 * time.Second,
+		RetryBackoff:   5 * time.Second,
+		MaxRetries:     3,
+		PendingTimeout: 10 * time.Minute,
+	})
+	srv.SetSpecBackend(benchBackend{clock: clk})
+	admin, err := srv.Users.Add("bench", accessserver.RoleAdmin)
+	if err != nil {
+		return schedScenario{}, err
+	}
+	nodes := make([]benchNode, nodeCount)
+	for i := range nodes {
+		nm := fmt.Sprintf("node%02d", i)
+		flk := accessserver.NewFlakyNode(rawBenchNode{name: nm})
+		if err := srv.RegisterNode(flk); err != nil {
+			return schedScenario{}, err
+		}
+		nodes[i] = benchNode{name: nm, flk: flk}
+	}
+
+	start := time.Now()
+	t0 := clk.Now()
+	all := make([]*accessserver.Build, 0, builds)
+	for i := 0; i < builds; i++ {
+		n := nodes[i%nodeCount]
+		b, err := srv.SubmitSpec(admin, api.ExperimentSpec{
+			Node: n.name, Device: "dev-" + n.name,
+			Workload:    api.WorkloadSpec{Name: "bench"},
+			Constraints: api.ConstraintsSpec{AllowFallback: true},
+		})
+		if err != nil {
+			return schedScenario{}, err
+		}
+		all = append(all, b)
+	}
+	if flakyCount > 0 {
+		clk.AfterFunc(30*time.Second, func() {
+			for i := 0; i < flakyCount; i++ {
+				nodes[i].flk.Kill()
+			}
+		})
+	}
+
+	terminal := func(b *accessserver.Build) bool {
+		switch b.State() {
+		case accessserver.StateSuccess, accessserver.StateFailure, accessserver.StateAborted:
+			return true
+		}
+		return false
+	}
+	allDone := func() bool {
+		for _, b := range all {
+			if !terminal(b) {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDone() {
+		next, ok := clk.NextDeadline()
+		if !ok {
+			return schedScenario{}, fmt.Errorf("sched-bench %s: stalled with %d builds unfinished", name, srv.QueueLength())
+		}
+		clk.RunUntil(next)
+	}
+
+	sc := schedScenario{
+		Name:        name,
+		WallNS:      time.Since(start).Nanoseconds(),
+		SimulatedMS: clk.Now().Sub(t0).Milliseconds(),
+	}
+	for _, b := range all {
+		if b.State() == accessserver.StateSuccess {
+			sc.Succeeded++
+		} else {
+			sc.Failed++
+		}
+		sc.Failovers += b.Retries()
+	}
+	sc.DispatchPerSec = float64(builds) / (float64(sc.WallNS) / 1e9)
+	return sc, nil
+}
+
+// runSchedBench measures both fleet conditions and writes the JSON
+// report.
+func runSchedBench(w io.Writer, builds, nodes int) error {
+	rep := schedBenchReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		Builds:    builds,
+		Nodes:     nodes,
+	}
+	healthy, err := runSchedScenario("healthy", builds, nodes, 0)
+	if err != nil {
+		return err
+	}
+	flaky, err := runSchedScenario("flaky-30pct", builds, nodes, nodes*3/10)
+	if err != nil {
+		return err
+	}
+	rep.Scenarios = []schedScenario{healthy, flaky}
+	if flaky.Succeeded != builds {
+		return fmt.Errorf("sched-bench: only %d/%d builds survived the flaky fleet", flaky.Succeeded, builds)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// schedBenchTo writes the report to path ("" or "-" = stdout).
+func schedBenchTo(path string, builds, nodes int) error {
+	if path == "" || path == "-" {
+		return runSchedBench(os.Stdout, builds, nodes)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := runSchedBench(f, builds, nodes); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -21,4 +21,17 @@ var (
 	// with current state: duplicate job names, unapproved revisions,
 	// cancelling a finished build.
 	ErrConflict = errors.New("accessserver: conflict")
+	// ErrNodeLost reports a build that could not be completed because
+	// its vantage point died (or never appeared) and the failover
+	// budget is spent. The v1 wire status carries it as the node_lost
+	// flag.
+	ErrNodeLost = errors.New("accessserver: node lost")
+	// ErrJobDeleted reports a build whose job was deleted while it sat
+	// in the queue.
+	ErrJobDeleted = errors.New("accessserver: job deleted")
+	// ErrExpired reports a build id whose record aged out of the
+	// retention window — it existed, but only a tombstone remains. The
+	// v1 status endpoint answers it with an "expired" marker; every
+	// other route maps it to 404.
+	ErrExpired = errors.New("accessserver: build expired")
 )

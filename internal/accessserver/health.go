@@ -1,0 +1,428 @@
+package accessserver
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"batterylab/internal/simclock"
+)
+
+// Node lifecycle & fault tolerance. Vantage points are Raspberry Pis on
+// home networks: they crash, hang and drop off SSH, and the paper's
+// operational sibling ("Hot or not?") shows such failures are routine
+// at fleet scale. The scheduler therefore tracks a health state per
+// node, derived from heartbeats on the server clock:
+//
+//	online    recent heartbeat; dispatchable
+//	suspect   one missed-beat window; no new dispatch, leases intact
+//	offline   beats stopped; no dispatch, running leases break
+//	draining  admin-requested; no new dispatch, running builds finish
+//
+// Health tracking is armed per node with MonitorNode (or the
+// RegisterNode shorthand): a monitored node gets a heartbeat probe
+// ticker on the server clock — deterministic under the virtual clock,
+// since probes of in-process nodes (Pinger) run synchronously on the
+// clock-dispatch goroutine. Nodes registered through the plain
+// Nodes.Register path stay unmonitored and are treated as always
+// online, the pre-health behavior every single-node test relies on.
+
+// Health is a node's lifecycle state.
+type Health int
+
+// Health states.
+const (
+	HealthOnline Health = iota
+	HealthSuspect
+	HealthOffline
+	HealthDraining
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthOnline:
+		return "online"
+	case HealthSuspect:
+		return "suspect"
+	case HealthOffline:
+		return "offline"
+	default:
+		return "draining"
+	}
+}
+
+// Pinger is implemented by node handles that can answer a cheap
+// liveness probe without a network round trip (LocalNode, FlakyNode).
+// The heartbeat ticker probes Pinger nodes synchronously on the clock
+// goroutine — the deterministic path — and everything else (sshx
+// remotes) asynchronously, one probe in flight per node.
+type Pinger interface {
+	Ping() error
+}
+
+// NodeStatus is the introspection snapshot of one node's lifecycle
+// state, served by GET /api/v1/nodes/{name}.
+type NodeStatus struct {
+	Name          string
+	Health        Health
+	Monitored     bool
+	Draining      bool
+	Removed       bool
+	LastHeartbeat time.Time
+	// Running counts builds currently leased to the node; Queued counts
+	// queued builds whose preferred node it is.
+	Running int
+	Queued  int
+	// Devices is the cached device list of a monitored node (captured
+	// at MonitorNode time) — status surfaces serve it instead of a live
+	// list_devices round trip, which could hang on a sick node.
+	Devices []string
+}
+
+// nodeRec is the server's per-node lifecycle record: heartbeat clock,
+// drain/remove flags, the cached device list used for fallback
+// placement, and the CPU probe cache that replaced the
+// probe-while-holding-s.mu dispatch path. Guarded by s.mu.
+type nodeRec struct {
+	name      string
+	monitored bool
+	draining  bool
+	removed   bool
+	lastBeat  time.Time
+	ticker    *simclock.Ticker
+	pinging   bool // async liveness probe in flight
+	running   int  // builds currently leased to this node
+
+	// devices is the fallback-placement cache, refreshed when the node
+	// is (re)monitored — device attach/detach between registrations is
+	// rare and a stale entry only costs one failed run.
+	devices []string
+
+	// CPU probe cache for RequireLowCPU dispatch: the scheduler never
+	// blocks on Exec("status") under s.mu; it reads this cache and
+	// launches at most one probe per node to refresh it. cpuProbeAt
+	// bounds the in-flight latch: a probe stuck on a half-open
+	// connection is written off after OfflineAfter and a fresh one may
+	// launch (the late result, if any, just refreshes the cache).
+	cpuPct     float64
+	cpuAt      time.Time
+	cpuOK      bool
+	cpuProbing bool
+	cpuProbeAt time.Time
+}
+
+// recLocked resolves (creating on first sight) a node's lifecycle
+// record. Callers hold s.mu.
+func (s *Server) recLocked(name string) *nodeRec {
+	rec, ok := s.nodeRecs[name]
+	if !ok {
+		rec = &nodeRec{name: name, lastBeat: s.clock.Now()}
+		s.nodeRecs[name] = rec
+	}
+	return rec
+}
+
+// healthLocked computes a node's state at now. Offline outranks
+// draining: a node that dies mid-drain must still break its build
+// leases — draining only labels the alive states, where its meaning
+// (no new dispatch, running builds finish) applies. Callers hold s.mu.
+func (s *Server) healthLocked(rec *nodeRec, now time.Time) Health {
+	if rec == nil {
+		return HealthOnline // unmonitored, never drained: pre-health behavior
+	}
+	if rec.removed {
+		return HealthOffline
+	}
+	if rec.monitored && now.Sub(rec.lastBeat) >= s.cfg.OfflineAfter {
+		return HealthOffline
+	}
+	if rec.draining {
+		return HealthDraining
+	}
+	if !rec.monitored {
+		return HealthOnline
+	}
+	if now.Sub(rec.lastBeat) < s.cfg.SuspectAfter {
+		return HealthOnline
+	}
+	return HealthSuspect
+}
+
+// MonitorNode arms heartbeat-driven health tracking for a registered
+// node: an initial beat is recorded, the device list is cached for
+// fallback placement, and a probe ticker starts on the server clock.
+// Idempotent.
+func (s *Server) MonitorNode(name string) error {
+	if _, err := s.Nodes.Get(name); err != nil {
+		return err
+	}
+	// Cache the device list outside s.mu: this is the one network round
+	// trip of monitoring, paid at arm time, never at dispatch time.
+	// Fallback placement depends on this cache, so a node that cannot
+	// enumerate its devices is not silently armed with an empty one.
+	devices, err := s.Nodes.Devices(name)
+	if err != nil {
+		return fmt.Errorf("monitoring %q: listing devices: %w", name, err)
+	}
+
+	s.mu.Lock()
+	rec := s.recLocked(name)
+	rec.removed = false
+	rec.devices = devices
+	rec.lastBeat = s.clock.Now()
+	if rec.monitored {
+		s.mu.Unlock()
+		return nil
+	}
+	// A fresh arm ends any previous drain lifecycle: re-registering a
+	// serviced node must put it back in rotation, not leave it
+	// silently undispatchable behind a stale drain flag.
+	rec.draining = false
+	rec.monitored = true
+	rec.ticker = simclock.NewTicker(s.clock, s.cfg.HeartbeatEvery, func(time.Time) {
+		s.probeNode(name)
+	})
+	s.mu.Unlock()
+	return nil
+}
+
+// RegisterNode registers a node and arms health monitoring — the
+// deployment path. (Nodes.Register alone keeps the legacy
+// always-online semantics.)
+func (s *Server) RegisterNode(n Node) error {
+	if err := s.Nodes.Register(n); err != nil {
+		return err
+	}
+	if err := s.MonitorNode(n.Name()); err != nil {
+		return err
+	}
+	s.dispatch()
+	return nil
+}
+
+// probeNode is one heartbeat probe. Pinger nodes answer synchronously
+// (deterministic under the virtual clock); others are probed on a
+// goroutine with at most one probe in flight, so a hung node can never
+// stall the ticker — its beats simply stop and it ages into suspect
+// and then offline.
+func (s *Server) probeNode(name string) {
+	n, err := s.Nodes.Get(name)
+	if err != nil {
+		return // unregistered: no beat
+	}
+	if p, ok := n.(Pinger); ok {
+		if p.Ping() == nil {
+			s.Heartbeat(name)
+		}
+		return
+	}
+	s.mu.Lock()
+	rec := s.recLocked(name)
+	if rec.pinging {
+		s.mu.Unlock()
+		return
+	}
+	rec.pinging = true
+	s.mu.Unlock()
+	go func() {
+		_, err := n.Exec("ping")
+		s.mu.Lock()
+		rec.pinging = false
+		s.mu.Unlock()
+		if err == nil {
+			s.Heartbeat(name)
+		}
+	}()
+}
+
+// Heartbeat records a liveness beat for a node on the server clock.
+// A beat that brings the node back online re-kicks the queue so its
+// pending builds dispatch immediately; steady-state beats of an
+// already-online node change no placement decision and skip the scan.
+func (s *Server) Heartbeat(name string) {
+	s.mu.Lock()
+	rec := s.recLocked(name)
+	wasOnline := s.healthLocked(rec, s.clock.Now()) == HealthOnline
+	rec.lastBeat = s.clock.Now()
+	pending := len(s.queue)
+	s.mu.Unlock()
+	if pending > 0 && !wasOnline {
+		s.dispatch()
+	}
+}
+
+// DrainNode stops new dispatch to a node while letting its running
+// builds finish — the maintenance workflow before unplugging a Pi. The
+// user needs PermManageNodes.
+func (s *Server) DrainNode(user *User, name string) error {
+	if !Allowed(user.Role, PermManageNodes) {
+		return fmt.Errorf("%w: %s (%s) may not manage nodes", ErrForbidden, user.Name, user.Role)
+	}
+	if _, err := s.Nodes.Get(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.recLocked(name).draining = true
+	s.mu.Unlock()
+	return nil
+}
+
+// UndrainNode reopens a drained node for dispatch. The user needs
+// PermManageNodes.
+func (s *Server) UndrainNode(user *User, name string) error {
+	if !Allowed(user.Role, PermManageNodes) {
+		return fmt.Errorf("%w: %s (%s) may not manage nodes", ErrForbidden, user.Name, user.Role)
+	}
+	if _, err := s.Nodes.Get(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.recLocked(name).draining = false
+	s.mu.Unlock()
+	s.dispatch()
+	return nil
+}
+
+// RemoveNode unregisters a node: new dispatch stops immediately,
+// running builds finish (their lease is not broken — removal is an
+// admin decision, not a failure), and queued builds that were pinned to
+// it fail with ErrNodeLost unless fallback placement can move them.
+// The user needs PermManageNodes.
+func (s *Server) RemoveNode(user *User, name string) error {
+	if !Allowed(user.Role, PermManageNodes) {
+		return fmt.Errorf("%w: %s (%s) may not manage nodes", ErrForbidden, user.Name, user.Role)
+	}
+	if err := s.Nodes.Remove(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	rec := s.recLocked(name)
+	rec.removed = true
+	rec.monitored = false
+	// Removal ends the drain lifecycle: a future registration of this
+	// name starts fresh instead of inheriting an undispatchable state.
+	rec.draining = false
+	if rec.ticker != nil {
+		rec.ticker.Stop()
+		rec.ticker = nil
+	}
+	var failed []*Build
+	kept := s.queue[:0]
+	for _, b := range s.queue {
+		cons, _, err := s.pipelineLocked(b)
+		if err == nil && cons.Node == name && !cons.Fallback {
+			s.terminateLocked(b, fmt.Errorf("%w: node %q removed while build %d was queued", ErrNodeLost, name, b.ID))
+			failed = append(failed, b)
+			continue
+		}
+		kept = append(kept, b)
+	}
+	s.queue = kept
+	s.mu.Unlock()
+	for _, b := range failed {
+		b.feed.close()
+	}
+	s.dispatch() // fallback builds re-place onto survivors
+	return nil
+}
+
+// NodeHealth reports a node's lifecycle snapshot. Unregistered,
+// never-seen nodes report offline with a zero LastHeartbeat.
+func (s *Server) NodeHealth(name string) NodeStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodeStatusLocked(name)
+}
+
+// HealthOf reports a node's lifecycle state plus, for monitored nodes,
+// the cached device list — O(1), no queue scan and no network round
+// trip. The fleet listing uses it; NodeHealth serves the full
+// snapshot. monitored=false means the caller must list devices live if
+// it wants them.
+func (s *Server) HealthOf(name string) (health Health, devices []string, monitored bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	registered := false
+	if _, err := s.Nodes.Get(name); err == nil {
+		registered = true
+	}
+	rec := s.nodeRecs[name]
+	if rec == nil {
+		if registered {
+			return HealthOnline, nil, false
+		}
+		return HealthOffline, nil, false
+	}
+	// A removed node that reappeared through the plain registry path is
+	// back: clear the tombstone so it is not reported (and skipped by
+	// placement) as removed forever.
+	if rec.removed && registered {
+		rec.removed = false
+	}
+	if !registered && !rec.removed {
+		return HealthOffline, nil, rec.monitored
+	}
+	return s.healthLocked(rec, s.clock.Now()), append([]string(nil), rec.devices...), rec.monitored
+}
+
+func (s *Server) nodeStatusLocked(name string) NodeStatus {
+	now := s.clock.Now()
+	st := NodeStatus{Name: name}
+	rec := s.nodeRecs[name]
+	registered := false
+	if _, err := s.Nodes.Get(name); err == nil {
+		registered = true
+	}
+	if rec == nil {
+		if registered {
+			st.Health = HealthOnline
+		} else {
+			st.Health = HealthOffline
+		}
+		return st
+	}
+	if rec.removed && registered {
+		rec.removed = false // node re-registered after removal
+	}
+	st.Monitored = rec.monitored
+	st.Draining = rec.draining
+	st.Removed = rec.removed
+	st.LastHeartbeat = rec.lastBeat
+	st.Running = rec.running
+	st.Devices = append([]string(nil), rec.devices...)
+	if !registered && !rec.removed {
+		st.Health = HealthOffline
+	} else {
+		st.Health = s.healthLocked(rec, now)
+	}
+	for _, b := range s.queue {
+		if cons, _, err := s.pipelineLocked(b); err == nil && cons.Node == name {
+			st.Queued++
+		}
+	}
+	return st
+}
+
+// NodeStatuses snapshots every known node (registered or remembered),
+// sorted by name.
+func (s *Server) NodeStatuses() []NodeStatus {
+	names := map[string]bool{}
+	for _, n := range s.Nodes.List() {
+		names[n] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for n := range s.nodeRecs {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	out := make([]NodeStatus, 0, len(sorted))
+	for _, n := range sorted {
+		out = append(out, s.nodeStatusLocked(n))
+	}
+	return out
+}

@@ -167,6 +167,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	code := codeInternal
 	switch {
+	case errors.Is(err, ErrExpired):
+		// The resource existed but aged out of retention; only the v1
+		// build-status route serves the explicit "expired" marker.
+		code = codeNotFound
+	case errors.Is(err, ErrJobDeleted):
+		code = codeNotFound
 	case errors.Is(err, ErrNotFound):
 		code = codeNotFound
 	case errors.Is(err, ErrForbidden):

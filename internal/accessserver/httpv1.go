@@ -2,6 +2,7 @@ package accessserver
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 
@@ -11,7 +12,11 @@ import (
 // The versioned remote-execution API. Wire types and the JSON schema
 // live in internal/api; this file is the HTTP binding:
 //
-//	GET  /api/v1/nodes                        vantage points + devices
+//	GET  /api/v1/nodes                        vantage points + devices + health
+//	GET  /api/v1/nodes/{name}                 node lifecycle detail
+//	POST /api/v1/nodes/{name}/drain           stop new dispatch (admin)
+//	POST /api/v1/nodes/{name}/undrain         reopen for dispatch (admin)
+//	POST /api/v1/nodes/{name}/remove          unregister; running builds finish (admin)
 //	GET  /api/v1/workloads                    registry workload names
 //	POST /api/v1/experiments                  submit an ExperimentSpec → build
 //	POST /api/v1/campaigns                    submit a CampaignSpec → builds
@@ -71,11 +76,68 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 		names := s.Nodes.List()
 		infos := make([]api.NodeInfo, 0, len(names))
 		for _, name := range names {
-			devs, _ := s.Nodes.Devices(name)
-			infos = append(infos, api.NodeInfo{Name: name, Devices: devs})
+			// Monitored nodes serve the cached device list: one hung
+			// vantage point must not stall the whole fleet listing on a
+			// live list_devices round trip.
+			health, devs, monitored := s.HealthOf(name)
+			if !monitored {
+				devs, _ = s.Nodes.Devices(name)
+			}
+			infos = append(infos, api.NodeInfo{
+				Name:    name,
+				Devices: devs,
+				Health:  health.String(),
+			})
 		}
 		writeJSON(w, http.StatusOK, infos)
 	})
+	mux.HandleFunc("GET /api/v1/nodes/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if s.auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		name := r.PathValue("name")
+		st := s.NodeHealth(name)
+		if _, err := s.Nodes.Get(name); err != nil && !st.Removed && !st.Monitored {
+			writeError(w, err)
+			return
+		}
+		// Monitored nodes serve the cached device list: this endpoint
+		// diagnoses sick nodes, so it must never block on a live
+		// list_devices round trip to one.
+		devs := st.Devices
+		if !st.Monitored {
+			devs, _ = s.Nodes.Devices(name)
+		}
+		detail := api.NodeDetail{
+			Name:          name,
+			Devices:       devs,
+			Health:        st.Health.String(),
+			Monitored:     st.Monitored,
+			Draining:      st.Draining,
+			RunningBuilds: st.Running,
+			QueuedBuilds:  st.Queued,
+		}
+		if !st.LastHeartbeat.IsZero() {
+			detail.LastHeartbeatNS = st.LastHeartbeat.UnixNano()
+		}
+		writeJSON(w, http.StatusOK, detail)
+	})
+	nodeAdmin := func(action func(*User, string) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			user := s.auth(w, r, PermManageNodes)
+			if user == nil {
+				return
+			}
+			if err := action(user, r.PathValue("name")); err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+		}
+	}
+	mux.HandleFunc("POST /api/v1/nodes/{name}/drain", nodeAdmin(s.DrainNode))
+	mux.HandleFunc("POST /api/v1/nodes/{name}/undrain", nodeAdmin(s.UndrainNode))
+	mux.HandleFunc("POST /api/v1/nodes/{name}/remove", nodeAdmin(s.RemoveNode))
 	mux.HandleFunc("GET /api/v1/workloads", func(w http.ResponseWriter, r *http.Request) {
 		if s.auth(w, r, PermViewConsole) == nil {
 			return
@@ -133,20 +195,45 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 			writeAPIError(w, apiError(codeBadRequest, "campaign id must be an integer"))
 			return
 		}
-		builds, err := s.CampaignBuilds(id)
+		ids, err := s.CampaignBuildIDs(id)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		status := api.CampaignStatus{Campaign: id}
-		for _, b := range builds {
+		for _, bid := range ids {
+			b, err := s.Build(bid)
+			if errors.Is(err, ErrExpired) {
+				// Tombstoned member: the record aged out of retention.
+				status.Builds = append(status.Builds, api.BuildStatus{ID: bid, State: api.StateExpired})
+				continue
+			}
+			if err != nil {
+				writeError(w, err)
+				return
+			}
 			status.Builds = append(status.Builds, buildStatus(b))
 		}
 		writeJSON(w, http.StatusOK, status)
 	})
 	mux.HandleFunc("GET /api/v1/builds/{id}", func(w http.ResponseWriter, r *http.Request) {
-		b := s.buildFromPath(w, r)
-		if b == nil {
+		if s.auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeAPIError(w, apiError(codeBadRequest, "build id must be an integer"))
+			return
+		}
+		b, err := s.Build(id)
+		if errors.Is(err, ErrExpired) {
+			// The build existed but aged out: an explicit marker, not a
+			// 404 — clients distinguish "expired" from "never existed".
+			writeJSON(w, http.StatusOK, api.BuildStatus{ID: id, State: api.StateExpired})
+			return
+		}
+		if err != nil {
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, buildStatus(b))
@@ -213,9 +300,15 @@ func buildStatus(b *Build) api.BuildStatus {
 		Campaign: b.CampaignID(),
 		Canceled: b.CancelRequested(),
 		Summary:  b.Summary(),
+		Node:     b.NodeName(),
+		Attempts: b.Attempts(),
+	}
+	if b.State() == StateQueued {
+		st.PendingReason = b.PendingReason()
 	}
 	if err := b.Err(); err != nil {
 		st.Error = err.Error()
+		st.NodeLost = errors.Is(err, ErrNodeLost)
 	}
 	return st
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"batterylab/internal/api"
+	"batterylab/internal/simclock"
 )
 
 // RunFunc is a job's pipeline body. It receives the build context and a
@@ -29,6 +30,11 @@ type Constraints struct {
 	// RequireLowCPU defers dispatch until the controller's CPU is below
 	// 50 % (the optional condition of §4.2).
 	RequireLowCPU bool
+	// Fallback lets the scheduler substitute another online monitored
+	// node (and one of its devices) when the preferred node is
+	// unavailable — the failover policy behind campaign completion on
+	// surviving vantage points.
+	Fallback bool
 }
 
 // Job is a stored pipeline. New jobs and every revision require
@@ -121,6 +127,19 @@ type Build struct {
 	summary    *api.RunSummary
 	canceler   func()
 	cancelWant bool
+
+	// Fault-tolerance state. attempt is the dispatch token: each
+	// dispatch increments it, and completions carrying an older token
+	// (a pipeline the scheduler already reclaimed from a lost node) are
+	// stale. retries counts failover requeues against the retry budget.
+	attempt       int
+	retries       int
+	nodeName      string // node of the current/last attempt
+	pendingReason string // why a queued build is not running yet
+	heldLocks     []string
+	leaseTimer    simclock.Timer
+	retryTimer    simclock.Timer
+	agingTimer    simclock.Timer
 }
 
 // State reports the build state.
@@ -128,6 +147,55 @@ func (b *Build) State() BuildState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
+}
+
+// Attempts reports how many times the build has been dispatched (0
+// while it has never left the queue).
+func (b *Build) Attempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// Retries reports how many failover requeues the build has consumed.
+func (b *Build) Retries() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.retries
+}
+
+// NodeName reports the vantage point of the current (or last) attempt —
+// after a fallback placement this differs from the spec's node.
+func (b *Build) NodeName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nodeName
+}
+
+// PendingReason reports why a queued build is not running yet ("" when
+// running, finished, or simply next in line).
+func (b *Build) PendingReason() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pendingReason
+}
+
+// setPendingReason records the scheduler's skip reason for this scan.
+func (b *Build) setPendingReason(reason string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pendingReason = reason
+}
+
+// stopTimersLocked cancels the build's lease, retry and aging timers on
+// a terminal transition. Callers hold b.mu.
+func (b *Build) stopTimersLocked() {
+	for _, t := range []simclock.Timer{b.leaseTimer, b.retryTimer, b.agingTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	b.leaseTimer, b.retryTimer, b.agingTimer = nil, nil, nil
 }
 
 // Err reports the failure cause for failed builds.
@@ -174,9 +242,36 @@ func (b *Build) Summary() *api.RunSummary {
 
 // OnCancel registers the pipeline's cancel hook. If an abort request
 // arrived before the hook was registered (the submit/abort race), the
-// hook runs immediately.
+// hook runs immediately. Pipelines should prefer BuildContext.OnCancel,
+// which additionally rejects registrations from attempts the scheduler
+// has already reclaimed.
 func (b *Build) OnCancel(fn func()) {
 	b.mu.Lock()
+	b.canceler = fn
+	want := b.cancelWant
+	b.mu.Unlock()
+	if want && fn != nil {
+		fn()
+	}
+}
+
+// onCancelForAttempt is OnCancel with a staleness gate: a hook from a
+// failed-over attempt (its pipeline finally came back after the
+// scheduler reclaimed the build) must not displace the live attempt's
+// hook — Abort would then cancel a dead session while the real run
+// kept measuring. The stale hook is invoked instead of stored: it is
+// the only handle to the orphaned session (failover found no hook to
+// detach), and left alone that session would run its full workload on
+// a device the retry may have re-locked.
+func (b *Build) onCancelForAttempt(attempt int, fn func()) {
+	b.mu.Lock()
+	if b.attempt != attempt || b.state != StateRunning {
+		b.mu.Unlock()
+		if fn != nil {
+			fn() // tear the orphaned attempt down
+		}
+		return
+	}
 	b.canceler = fn
 	want := b.cancelWant
 	b.mu.Unlock()
@@ -229,7 +324,9 @@ func (b *Build) Duration() time.Duration {
 	return b.finishedAt.Sub(b.startedAt)
 }
 
-// BuildContext is what a RunFunc sees.
+// BuildContext is what a RunFunc sees. It is per-attempt: after a
+// failover, the retried dispatch gets a fresh context, and the old
+// one's staleness-gated methods (OnCancel, Stale) turn inert.
 type BuildContext struct {
 	// Build identifies the running build.
 	Build *Build
@@ -237,6 +334,8 @@ type BuildContext struct {
 	Node Node
 	// Device is the target device serial ("" if none).
 	Device string
+	// attempt is the dispatch token this context belongs to.
+	attempt int
 }
 
 // Logf appends to the build console log.
@@ -244,6 +343,22 @@ func (ctx *BuildContext) Logf(format string, args ...any) {
 	ctx.Build.mu.Lock()
 	defer ctx.Build.mu.Unlock()
 	fmt.Fprintf(&ctx.Build.log, format+"\n", args...)
+}
+
+// OnCancel registers this attempt's cancel hook; registrations from
+// attempts the scheduler has already reclaimed are ignored.
+func (ctx *BuildContext) OnCancel(fn func()) {
+	ctx.Build.onCancelForAttempt(ctx.attempt, fn)
+}
+
+// Stale reports whether the scheduler has reclaimed this attempt (the
+// build failed over, finished, or was aborted out from under it). A
+// stale attempt's pipeline must not write artifacts or summaries: the
+// live attempt owns the workspace.
+func (ctx *BuildContext) Stale() bool {
+	ctx.Build.mu.Lock()
+	defer ctx.Build.mu.Unlock()
+	return ctx.Build.attempt != ctx.attempt || ctx.Build.state != StateRunning
 }
 
 // Workspace is a build's artifact store: named byte files kept for the

@@ -42,6 +42,13 @@ func (n *LocalNode) Exec(cmd string, args ...string) (string, error) {
 	return n.ctl.Exec(cmd, args...)
 }
 
+// Ping implements Pinger: an in-process liveness probe that the
+// heartbeat ticker may run synchronously on the clock goroutine.
+func (n *LocalNode) Ping() error {
+	_, err := n.ctl.Exec("ping")
+	return err
+}
+
 // RemoteNode reaches a vantage point over sshx.
 type RemoteNode struct {
 	name string

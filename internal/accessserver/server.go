@@ -17,10 +17,36 @@ type Config struct {
 	// Executors bounds concurrently running builds (Jenkins executors).
 	Executors int
 	// Retention is how long finished builds keep logs and artifacts
-	// ("several days", §3.1).
+	// ("several days", §3.1). After the window the build record itself
+	// is evicted to a tombstone: status reads answer "expired" instead
+	// of growing s.builds forever.
 	Retention time.Duration
 	// LowCPUThreshold gates RequireLowCPU dispatch.
 	LowCPUThreshold float64
+	// CPUProbeTTL is how long a node's probed CPU reading stays fresh
+	// for RequireLowCPU dispatch decisions (default 1s, the controller
+	// CPU-sampling cadence). Probes run outside s.mu — a hung node can
+	// no longer stall the scheduler.
+	CPUProbeTTL time.Duration
+
+	// HeartbeatEvery is the monitored-node probe cadence (default 15s).
+	HeartbeatEvery time.Duration
+	// SuspectAfter is the silence after which a monitored node turns
+	// suspect — no new dispatch (default 2×HeartbeatEvery).
+	SuspectAfter time.Duration
+	// OfflineAfter is the silence after which a monitored node turns
+	// offline and its build leases break (default 4×HeartbeatEvery).
+	OfflineAfter time.Duration
+	// MaxRetries bounds failover requeues per build after node loss
+	// (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the first requeue delay after a failover,
+	// doubling per retry (default 15s).
+	RetryBackoff time.Duration
+	// PendingTimeout ages out queued builds whose target node never
+	// appears (or has gone offline): instead of pending forever they
+	// fail with a reason (default 30m).
+	PendingTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -32,6 +58,30 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LowCPUThreshold == 0 {
 		c.LowCPUThreshold = 50
+	}
+	if c.CPUProbeTTL == 0 {
+		c.CPUProbeTTL = time.Second
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 15 * time.Second
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 2 * c.HeartbeatEvery
+	}
+	if c.OfflineAfter == 0 {
+		c.OfflineAfter = 4 * c.HeartbeatEvery
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 15 * time.Second
+	}
+	if c.PendingTimeout == 0 {
+		c.PendingTimeout = 30 * time.Minute
 	}
 	return c
 }
@@ -68,6 +118,8 @@ type Server struct {
 	// locks: "node/device" and "node" keys held by running builds.
 	locks map[string]int // key -> build ID
 	crons []*cronEntry
+	// nodeRecs is the per-node lifecycle state (see health.go).
+	nodeRecs map[string]*nodeRec
 
 	specs        SpecBackend
 	campaigns    map[int]*campaignRec
@@ -98,6 +150,7 @@ func New(clock simclock.Clock, cfg Config) *Server {
 		builds:       make(map[int]*Build),
 		nextID:       1,
 		locks:        make(map[string]int),
+		nodeRecs:     make(map[string]*nodeRec),
 		campaigns:    make(map[int]*campaignRec),
 		nextCampaign: 1,
 	}
@@ -182,6 +235,41 @@ func (s *Server) ApproveJob(user *User, name string) error {
 	return nil
 }
 
+// DeleteJob removes a stored pipeline. Queued builds of the job fail
+// immediately with a typed error instead of rotting in the queue;
+// running builds finish. Owners and admins may delete (with
+// PermEditJob).
+func (s *Server) DeleteJob(user *User, name string) error {
+	if !Allowed(user.Role, PermEditJob) {
+		return fmt.Errorf("%w: %s (%s) may not delete jobs", ErrForbidden, user.Name, user.Role)
+	}
+	j, err := s.Job(name)
+	if err != nil {
+		return err
+	}
+	if user.Role != RoleAdmin && j.Owner != user.Name {
+		return fmt.Errorf("%w: job %q belongs to %s", ErrForbidden, name, j.Owner)
+	}
+	s.mu.Lock()
+	delete(s.jobs, name)
+	var failed []*Build
+	kept := s.queue[:0]
+	for _, b := range s.queue {
+		if b.run == nil && b.Job == name {
+			s.terminateLocked(b, fmt.Errorf("%w: job %q deleted while build %d was queued", ErrJobDeleted, name, b.ID))
+			failed = append(failed, b)
+			continue
+		}
+		kept = append(kept, b)
+	}
+	s.queue = kept
+	s.mu.Unlock()
+	for _, b := range failed {
+		b.feed.close()
+	}
+	return nil
+}
+
 // Job resolves a job by name.
 func (s *Server) Job(name string) (*Job, error) {
 	s.mu.Lock()
@@ -227,8 +315,10 @@ func (s *Server) Submit(user *User, jobName string) (*Build, error) {
 
 // enqueueLocked creates a build and appends it to the queue. run is nil
 // for job builds (the pipeline is looked up at dispatch time) and set
-// for spec builds, which carry their own constraints and body. Callers
-// hold s.mu.
+// for spec builds, which carry their own constraints and body. Every
+// build gets an aging timer: if it is still queued after PendingTimeout
+// and its node never appeared (or has gone offline), it fails with a
+// reason instead of pending forever. Callers hold s.mu.
 func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constraints, run RunFunc) *Build {
 	b := &Build{
 		ID:        s.nextID,
@@ -244,6 +334,7 @@ func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constra
 	s.nextID++
 	s.builds[b.ID] = b
 	s.queue = append(s.queue, b)
+	b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
 	return b
 }
 
@@ -333,27 +424,29 @@ func specJobName(spec api.ExperimentSpec) string {
 	return "spec:" + spec.Workload.Name + "@" + spec.Node
 }
 
-// CampaignBuilds resolves a campaign's builds in submission order.
-func (s *Server) CampaignBuilds(id int) ([]*Build, error) {
+// CampaignBuildIDs resolves a campaign's build ids in submission order
+// (stable even after individual builds expire — resolve each id with
+// Build, which answers ErrExpired for tombstoned members). A campaign
+// whose every member aged out is itself evicted and answers
+// ErrExpired.
+func (s *Server) CampaignBuildIDs(id int) ([]int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.campaigns[id]
 	if !ok {
+		if id >= 1 && id < s.nextCampaign {
+			return nil, fmt.Errorf("%w: campaign %d expired after its %s retention window", ErrExpired, id, s.cfg.Retention)
+		}
 		return nil, fmt.Errorf("%w: no campaign %d", ErrNotFound, id)
 	}
-	out := make([]*Build, len(rec.builds))
-	for i, bid := range rec.builds {
-		out[i] = s.builds[bid]
-	}
-	return out, nil
+	return append([]int(nil), rec.builds...), nil
 }
 
 // Abort cancels a build: a queued build is removed from the queue and
 // marked aborted; a running build has its pipeline's cancel hook
 // invoked (the measurement session tears down and the build finishes
-// with its cancellation error). Aborting a finished build is a
-// conflict. The user needs PermRunJob and must own the build (admins
-// may cancel anyone's).
+// canceled). Aborting a finished build is a conflict. The user needs
+// PermRunJob and must own the build (admins may cancel anyone's).
 func (s *Server) Abort(user *User, id int) error {
 	if !Allowed(user.Role, PermRunJob) {
 		return fmt.Errorf("%w: %s (%s) may not cancel builds", ErrForbidden, user.Name, user.Role)
@@ -383,9 +476,11 @@ func (s *Server) Abort(user *User, id int) error {
 		b.state = StateAborted
 		b.cancelWant = true
 		b.finishedAt = s.clock.Now()
+		b.stopTimersLocked()
 		fmt.Fprintf(&b.log, "build aborted while queued\n")
 		b.mu.Unlock()
 		b.feed.close()
+		s.scheduleRetention(b)
 		return nil
 	}
 	switch b.State() {
@@ -393,8 +488,9 @@ func (s *Server) Abort(user *User, id int) error {
 		b.requestCancel()
 		return nil
 	case StateQueued:
-		// Dispatch is picking it up right now; arm the pending-cancel
-		// flag so the pipeline's OnCancel fires as soon as registered.
+		// Dispatch is picking it up right now — or the build sits in a
+		// failover backoff window; arm the pending-cancel flag so the
+		// pipeline's OnCancel (or the retry timer) settles it.
 		b.requestCancel()
 		return nil
 	default:
@@ -402,12 +498,18 @@ func (s *Server) Abort(user *User, id int) error {
 	}
 }
 
-// Build resolves a build by id.
+// Build resolves a build by id. Builds past their retention window are
+// evicted; asking for one returns ErrExpired (ids are monotonic, so any
+// id below the high-water mark that is absent from the table must have
+// existed and aged out).
 func (s *Server) Build(id int) (*Build, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.builds[id]
 	if !ok {
+		if id >= 1 && id < s.nextID {
+			return nil, fmt.Errorf("%w: build %d expired after its %s retention window", ErrExpired, id, s.cfg.Retention)
+		}
 		return nil, fmt.Errorf("%w: no build %d", ErrNotFound, id)
 	}
 	return b, nil
@@ -425,6 +527,20 @@ func (s *Server) Running() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.running
+}
+
+// pipelineLocked resolves a build's effective constraints and body:
+// spec builds carry their own, job builds reference the job store.
+// Callers hold s.mu.
+func (s *Server) pipelineLocked(b *Build) (Constraints, RunFunc, error) {
+	if b.run != nil {
+		return b.cons, b.run, nil
+	}
+	job, ok := s.jobs[b.Job]
+	if !ok {
+		return Constraints{}, nil, fmt.Errorf("%w: job %q", ErrJobDeleted, b.Job)
+	}
+	return job.Constraints(), job.run, nil
 }
 
 // dispatch scans the queue and starts every build whose constraints are
@@ -447,76 +563,250 @@ func (s *Server) dispatch() {
 	}
 }
 
+// cpuProbe is one pending RequireLowCPU probe request, carried out of
+// the scheduler lock.
+type cpuProbe struct {
+	name string
+	node Node
+}
+
+// pick is one dispatchable build with its resolved placement.
+type pick struct {
+	b      *Build
+	run    RunFunc
+	node   Node
+	device string
+	locks  []string
+}
+
 // dispatchOne starts the first dispatchable build, reporting whether it
-// started one.
+// started one. Node probes (CPU gating) never run under s.mu: fresh
+// cache values decide immediately; stale ones trigger a probe — in
+// place for in-process nodes, on a goroutine for remote ones — and the
+// candidate is skipped for this scan, so one hung node cannot delay
+// dispatch (or Submit, Abort, status) for everyone else.
 func (s *Server) dispatchOne() bool {
-	s.mu.Lock()
-	if s.running >= s.cfg.Executors {
+	for {
+		s.mu.Lock()
+		p, probes, failed := s.pickLocked()
 		s.mu.Unlock()
-		return false
-	}
-	var (
-		b     *Build
-		run   RunFunc
-		cons  Constraints
-		node  Node
-		idx   = -1
-		locks []string
-	)
-	for i, cand := range s.queue {
-		candCons, candRun := cand.cons, cand.run
-		if candRun == nil {
-			// Job build: the pipeline lives in the job store.
-			job, ok := s.jobs[cand.Job]
-			if !ok {
+
+		for _, b := range failed {
+			b.feed.close()
+		}
+		// Launch every collected probe whether or not a build was also
+		// picked: pickLocked latched cpuProbing for each, and dropping
+		// one here would leave its node skipped ("probing controller
+		// CPU") on every future scan with no probe ever in flight.
+		progressed := false
+		for _, pr := range probes {
+			if _, inProcess := pr.node.(Pinger); inProcess {
+				// In-process (the same marker the heartbeat prober
+				// uses): probe synchronously — cheap, cannot hang, and
+				// deterministic under the virtual clock — then rescan
+				// with the fresh reading.
+				pct, ok := parseCPU(pr.node.Exec("status"))
+				s.recordCPU(pr.name, pct, ok)
+				progressed = true
 				continue
 			}
-			candCons, candRun = job.Constraints(), job.run
+			go func(pr cpuProbe) {
+				pct, ok := parseCPU(pr.node.Exec("status"))
+				s.recordCPU(pr.name, pct, ok)
+				s.dispatch()
+			}(pr)
 		}
-		n, err := s.Nodes.Get(candCons.Node)
+		if p == nil {
+			if progressed {
+				continue
+			}
+			return false
+		}
+
+		s.startPicked(p)
+		return true
+	}
+}
+
+// pickLocked scans the queue for the first build that can start now,
+// removing it from the queue and claiming its locks. It also collects
+// CPU probes to launch and builds to fail (deleted jobs). Callers hold
+// s.mu.
+func (s *Server) pickLocked() (*pick, []cpuProbe, []*Build) {
+	if s.running >= s.cfg.Executors {
+		return nil, nil, nil
+	}
+	var probes []cpuProbe
+	var failed []*Build
+	now := s.clock.Now()
+	for i := 0; i < len(s.queue); i++ {
+		cand := s.queue[i]
+		cons, run, err := s.pipelineLocked(cand)
 		if err != nil {
-			continue // node not registered (yet)
+			// Deleted job: fail the build immediately instead of skipping
+			// it forever.
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			i--
+			s.terminateLocked(cand, fmt.Errorf("build %d: %w (deleted while queued)", cand.ID, err))
+			failed = append(failed, cand)
+			continue
 		}
 		if rec := s.campaigns[cand.campaign]; rec != nil &&
 			rec.maxConcurrent > 0 && rec.running >= rec.maxConcurrent {
+			cand.setPendingReason("campaign concurrency cap reached")
 			continue
 		}
-		keys := lockKeys(candCons)
+		node, device, reason := s.placeLocked(cons, now)
+		if node == nil {
+			cand.setPendingReason(reason)
+			continue
+		}
+		keys := lockKeysFor(node.Name(), device)
 		if s.locksHeld(keys) {
+			cand.setPendingReason(fmt.Sprintf("waiting for %s", keys[0]))
 			continue
 		}
-		if candCons.RequireLowCPU && !s.nodeCPULowLocked(n) {
-			continue
+		if cons.RequireLowCPU {
+			rec := s.recLocked(node.Name())
+			fresh := rec.cpuOK && rec.cpuAt.Add(s.cfg.CPUProbeTTL).After(now)
+			if !fresh {
+				// A probe counts as in flight only within the node-loss
+				// window; past it, the probe is presumed stuck on a
+				// half-open connection and a new one may launch.
+				inFlight := rec.cpuProbing && now.Sub(rec.cpuProbeAt) < s.cfg.OfflineAfter
+				if !inFlight {
+					rec.cpuProbing = true
+					rec.cpuProbeAt = now
+					probes = append(probes, cpuProbe{name: node.Name(), node: node})
+				}
+				cand.setPendingReason("probing controller CPU")
+				continue
+			}
+			if rec.cpuPct >= s.cfg.LowCPUThreshold {
+				cand.setPendingReason(fmt.Sprintf("controller CPU %.0f%% above the %.0f%% gate", rec.cpuPct, s.cfg.LowCPUThreshold))
+				continue
+			}
 		}
-		b, run, cons, node, idx, locks = cand, candRun, candCons, n, i, keys
-		break
-	}
-	if b == nil {
-		s.mu.Unlock()
-		return false
-	}
-	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
-	for _, k := range locks {
-		s.locks[k] = b.ID
-	}
-	s.running++
-	if rec := s.campaigns[b.campaign]; rec != nil {
-		rec.running++
-	}
-	s.mu.Unlock()
 
+		// Claim: remove from queue, take locks, bump counters, lease.
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		for _, k := range keys {
+			s.locks[k] = cand.ID
+		}
+		s.running++
+		if rec := s.campaigns[cand.campaign]; rec != nil {
+			rec.running++
+		}
+		nrec := s.recLocked(node.Name())
+		nrec.running++
+
+		cand.mu.Lock()
+		cand.state = StateRunning
+		cand.startedAt = now
+		cand.attempt++
+		cand.nodeName = node.Name()
+		cand.pendingReason = ""
+		cand.heldLocks = keys
+		// The enqueue-time aging timer is done: left armed, it would
+		// outlive a failover and fail the requeued build against the
+		// original deadline instead of the re-armed one.
+		if cand.agingTimer != nil {
+			cand.agingTimer.Stop()
+			cand.agingTimer = nil
+		}
+		attempt := cand.attempt
+		if nrec.monitored {
+			cand.leaseTimer = s.clock.AfterFunc(s.cfg.OfflineAfter, func() {
+				s.checkLease(cand, attempt)
+			})
+		}
+		cand.mu.Unlock()
+
+		return &pick{b: cand, run: run, node: node, device: device, locks: keys}, probes, failed
+	}
+	return nil, probes, failed
+}
+
+// placeLocked resolves where a build may run right now: its preferred
+// node when registered and online, or — for fallback-enabled builds —
+// any other online monitored node with a free cached device. A nil node
+// comes with the human-readable reason the build keeps waiting. Callers
+// hold s.mu.
+func (s *Server) placeLocked(cons Constraints, now time.Time) (Node, string, string) {
+	rec := s.nodeRecs[cons.Node]
+	n, err := s.Nodes.Get(cons.Node)
+	// A removed node that reappeared through the plain registry path is
+	// back; clear the tombstone so it is placeable again.
+	if err == nil && rec != nil && rec.removed {
+		rec.removed = false
+	}
+	var reason string
+	switch {
+	case err == nil && (rec == nil || !rec.removed):
+		h := s.healthLocked(rec, now)
+		if h == HealthOnline {
+			return n, cons.Device, ""
+		}
+		reason = fmt.Sprintf("node %q is %s", cons.Node, h)
+	case rec != nil && rec.removed:
+		reason = fmt.Sprintf("node %q was removed", cons.Node)
+	default:
+		reason = fmt.Sprintf("waiting for node %q to register", cons.Node)
+	}
+	if !cons.Fallback {
+		return nil, "", reason
+	}
+	// Fallback placement: sorted scan keeps substitution deterministic.
+	names := make([]string, 0, len(s.nodeRecs))
+	for name := range s.nodeRecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sub := s.nodeRecs[name]
+		if name == cons.Node || !sub.monitored || sub.removed {
+			continue
+		}
+		if s.healthLocked(sub, now) != HealthOnline {
+			continue
+		}
+		subNode, err := s.Nodes.Get(name)
+		if err != nil {
+			continue
+		}
+		if cons.Device == "" {
+			if !s.locksHeld(lockKeysFor(name, "")) {
+				return subNode, "", ""
+			}
+			continue
+		}
+		for _, d := range sub.devices {
+			if !s.locksHeld(lockKeysFor(name, d)) {
+				return subNode, d, ""
+			}
+		}
+	}
+	return nil, "", reason + "; no fallback node available"
+}
+
+// startPicked runs a claimed build's pipeline.
+func (s *Server) startPicked(p *pick) {
+	b := p.b
 	b.mu.Lock()
-	b.state = StateRunning
-	b.startedAt = s.clock.Now()
+	attempt := b.attempt
 	b.mu.Unlock()
 
-	ctx := &BuildContext{Build: b, Node: node, Device: cons.Device}
-	ctx.Logf("build #%d of %s started on %s", b.ID, b.Job, cons.Node)
+	ctx := &BuildContext{Build: b, Node: p.node, Device: p.device, attempt: attempt}
+	if attempt > 1 {
+		ctx.Logf("build #%d of %s started on %s (attempt %d)", b.ID, b.Job, p.node.Name(), attempt)
+	} else {
+		ctx.Logf("build #%d of %s started on %s", b.ID, b.Job, p.node.Name())
+	}
 
 	var once sync.Once
 	done := func(err error) {
 		once.Do(func() {
-			s.finish(b, locks, err)
+			s.finish(b, attempt, p.locks, err)
 		})
 	}
 	func() {
@@ -525,18 +815,17 @@ func (s *Server) dispatchOne() bool {
 				done(fmt.Errorf("pipeline panic: %v", r))
 			}
 		}()
-		run(ctx, done)
+		p.run(ctx, done)
 	}()
-	return true
 }
 
-// lockKeys computes the mutual-exclusion keys for a constraint set.
-func lockKeys(cons Constraints) []string {
-	if cons.Device != "" {
-		return []string{cons.Node + "/" + cons.Device}
+// lockKeysFor computes the mutual-exclusion keys for a placement.
+func lockKeysFor(node, device string) []string {
+	if device != "" {
+		return []string{node + "/" + device}
 	}
 	// Jobs without a device still serialize per node.
-	return []string{cons.Node}
+	return []string{node}
 }
 
 func (s *Server) locksHeld(keys []string) bool {
@@ -561,42 +850,303 @@ func (s *Server) locksHeld(keys []string) bool {
 	return false
 }
 
-// nodeCPULowLocked asks the node for its CPU via status.
-func (s *Server) nodeCPULowLocked(n Node) bool {
-	out, err := n.Exec("status")
+// parseCPU extracts the cpu=NN.N% field from a node's status output.
+func parseCPU(out string, err error) (float64, bool) {
 	if err != nil {
-		return false
+		return 0, false
 	}
-	// status: ... cpu=NN.N% ...
 	for _, f := range strings.Fields(out) {
 		if strings.HasPrefix(f, "cpu=") {
 			v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(f, "cpu="), "%"), 64)
 			if err != nil {
-				return false
+				return 0, false
 			}
-			return v < s.cfg.LowCPUThreshold
+			return v, true
 		}
 	}
-	return false
+	return 0, false
+}
+
+// recordCPU stores a probe result in the node's cache. A failed probe
+// records "not low" so the gate stays closed until the node answers.
+func (s *Server) recordCPU(name string, pct float64, ok bool) {
+	s.mu.Lock()
+	rec := s.recLocked(name)
+	rec.cpuProbing = false
+	rec.cpuOK = true
+	rec.cpuAt = s.clock.Now()
+	if ok {
+		rec.cpuPct = pct
+	} else {
+		rec.cpuPct = 100
+	}
+	s.mu.Unlock()
+}
+
+// checkLease is the per-attempt lease watchdog for builds running on
+// monitored nodes. If the node has gone offline the build fails over;
+// while the node keeps beating, the lease re-arms off the latest beat.
+// Removal is not a lease break: admin-removed nodes let running builds
+// finish (see RemoveNode).
+func (s *Server) checkLease(b *Build, attempt int) {
+	s.mu.Lock()
+	b.mu.Lock()
+	if b.state != StateRunning || b.attempt != attempt {
+		b.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	nodeName := b.nodeName
+	b.mu.Unlock()
+	rec := s.nodeRecs[nodeName]
+	if rec == nil || !rec.monitored || rec.removed {
+		// Dormant, not dead: removal intentionally lets running builds
+		// finish and unmonitored nodes hold no lease — but keep the
+		// watchdog armed so protection resumes if the node is
+		// re-monitored later and then dies.
+		b.mu.Lock()
+		b.leaseTimer = s.clock.AfterFunc(s.cfg.OfflineAfter, func() { s.checkLease(b, attempt) })
+		b.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	now := s.clock.Now()
+	if s.healthLocked(rec, now) != HealthOffline {
+		// Node still beating (or merely suspect): renew the lease to one
+		// offline window past its latest beat.
+		next := rec.lastBeat.Add(s.cfg.OfflineAfter).Sub(now)
+		if next < s.cfg.HeartbeatEvery {
+			next = s.cfg.HeartbeatEvery
+		}
+		b.mu.Lock()
+		b.leaseTimer = s.clock.AfterFunc(next, func() { s.checkLease(b, attempt) })
+		b.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	cancel := s.failoverLocked(b, fmt.Sprintf("node %q offline (last heartbeat %s ago)", nodeName, now.Sub(rec.lastBeat)))
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.dispatch()
+}
+
+// failoverLocked reclaims a running build from a lost node: locks are
+// released, the executor slot is freed, and the build is either
+// requeued with exponential backoff (retry budget permitting) or failed
+// with ErrNodeLost. It returns the abandoned attempt's cancel hook for
+// the caller to invoke outside the lock (tearing down a session that
+// might still be alive on a merely-partitioned node). Callers hold
+// s.mu.
+func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
+	now := s.clock.Now()
+	for _, k := range b.heldLocks {
+		delete(s.locks, k)
+	}
+	b.heldLocks = nil
+	s.running--
+	if rec := s.campaigns[b.campaign]; rec != nil {
+		rec.running--
+	}
+	b.mu.Lock()
+	if rec := s.nodeRecs[b.nodeName]; rec != nil && rec.running > 0 {
+		rec.running--
+	}
+	if b.leaseTimer != nil {
+		b.leaseTimer.Stop()
+		b.leaseTimer = nil
+	}
+	// Abandon the attempt: later done() calls from its pipeline are
+	// stale (attempt/state guarded in finish); its cancel hook is
+	// detached — NOT via requestCancel, which would taint the retried
+	// build with the canceled flag.
+	cancel = b.canceler
+	b.canceler = nil
+
+	b.feed.PostEvent(api.BuildEvent{
+		Build: b.ID,
+		Node:  b.nodeName,
+		Phase: api.EventFailover,
+		AtNS:  now.UnixNano(),
+		Error: reason,
+	})
+
+	if b.retries >= s.cfg.MaxRetries {
+		fmt.Fprintf(&b.log, "build lost: %s; retry budget (%d) spent\n", reason, s.cfg.MaxRetries)
+		b.state = StateFailure
+		b.err = fmt.Errorf("%w: %s after %d retries", ErrNodeLost, reason, b.retries)
+		b.finishedAt = now
+		b.stopTimersLocked()
+		b.mu.Unlock()
+		b.feed.close()
+		s.scheduleRetention(b)
+		return cancel
+	}
+
+	b.retries++
+	backoff := s.cfg.RetryBackoff << (b.retries - 1)
+	b.state = StateQueued
+	b.pendingReason = fmt.Sprintf("%s; retry %d/%d in %s", reason, b.retries, s.cfg.MaxRetries, backoff)
+	attempt := b.attempt
+	fmt.Fprintf(&b.log, "build requeued: %s (retry %d/%d in %s)\n", reason, b.retries, s.cfg.MaxRetries, backoff)
+	b.retryTimer = s.clock.AfterFunc(backoff, func() { s.requeue(b, attempt) })
+	b.mu.Unlock()
+	return cancel
+}
+
+// requeue returns a failed-over build to the queue once its backoff
+// elapses. An abort that arrived during the backoff settles the build
+// as aborted instead.
+func (s *Server) requeue(b *Build, attempt int) {
+	s.mu.Lock()
+	b.mu.Lock()
+	if b.state != StateQueued || b.attempt != attempt {
+		b.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	b.retryTimer = nil
+	if b.cancelWant {
+		b.state = StateAborted
+		b.finishedAt = s.clock.Now()
+		b.stopTimersLocked()
+		fmt.Fprintf(&b.log, "build aborted during failover backoff\n")
+		b.mu.Unlock()
+		s.mu.Unlock()
+		b.feed.close()
+		s.scheduleRetention(b)
+		return
+	}
+	// Back in the queue: re-arm aging so a node that never returns
+	// (with no fallback available) still bounds the wait.
+	b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
+	b.mu.Unlock()
+	s.queue = append(s.queue, b)
+	s.mu.Unlock()
+	s.dispatch()
+}
+
+// checkAging fails a build that is still queued after PendingTimeout
+// with no node to run it: the target never registered, was removed, or
+// is offline. Builds waiting on a live-but-busy node are untouched.
+func (s *Server) checkAging(b *Build) {
+	s.mu.Lock()
+	idx := -1
+	for i, cand := range s.queue {
+		if cand == b {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || b.State() != StateQueued {
+		s.mu.Unlock()
+		return // dispatched, finished, or in a failover backoff window
+	}
+	rearm := func() {
+		b.mu.Lock()
+		b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
+		b.mu.Unlock()
+	}
+	cons, _, err := s.pipelineLocked(b)
+	if err == nil {
+		now := s.clock.Now()
+		node, _, _ := s.placeLocked(cons, now)
+		if node != nil {
+			// Placeable: the wait is lock/executor pressure, not node
+			// loss. Keep watching in case the node dies later.
+			rearm()
+			s.mu.Unlock()
+			return
+		}
+		// Aging only fires when no viable node is alive: the preferred
+		// node, or — for fallback builds — any online monitored
+		// substitute. A live-but-busy node means the queue is draining
+		// and the build will run; killing it would lose campaign tails
+		// whose backlog on the survivor exceeds PendingTimeout.
+		rec := s.nodeRecs[cons.Node]
+		alive := false
+		if _, regErr := s.Nodes.Get(cons.Node); regErr == nil &&
+			(rec == nil || !rec.removed) && s.healthLocked(rec, now) != HealthOffline {
+			alive = true
+		}
+		if !alive && cons.Fallback {
+			for name, sub := range s.nodeRecs {
+				if name == cons.Node || !sub.monitored || sub.removed {
+					continue
+				}
+				if s.healthLocked(sub, now) != HealthOnline {
+					continue
+				}
+				if _, regErr := s.Nodes.Get(name); regErr == nil {
+					alive = true
+					break
+				}
+			}
+		}
+		if alive {
+			rearm()
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+	reason := b.PendingReason()
+	if reason == "" {
+		reason = "its node never appeared"
+	}
+	s.terminateLocked(b, fmt.Errorf("%w: build %d waited %s: %s",
+		ErrNodeLost, b.ID, s.cfg.PendingTimeout, reason))
+	s.mu.Unlock()
+	b.feed.close()
+}
+
+// terminateLocked marks a never-dispatched build failed. Callers hold
+// s.mu (but not b.mu) and must close the feed after releasing s.mu.
+func (s *Server) terminateLocked(b *Build, err error) {
+	b.mu.Lock()
+	b.state = StateFailure
+	b.err = err
+	b.finishedAt = s.clock.Now()
+	b.stopTimersLocked()
+	fmt.Fprintf(&b.log, "build failed: %v\n", err)
+	b.mu.Unlock()
+	s.scheduleRetention(b)
 }
 
 // finish completes a build, releases its locks and re-runs dispatch.
-func (s *Server) finish(b *Build, locks []string, err error) {
+// Completions from a failed-over attempt (the done() of a pipeline the
+// scheduler already reclaimed) are stale and ignored. A build whose
+// pipeline errored after an explicit cancel request finishes as
+// aborted, not failed — the distinction the v1 Canceled flag carries to
+// remote clients.
+func (s *Server) finish(b *Build, attempt int, locks []string, err error) {
+	s.mu.Lock()
 	b.mu.Lock()
+	if b.state != StateRunning || b.attempt != attempt {
+		fmt.Fprintf(&b.log, "ignoring stale completion from attempt %d\n", attempt)
+		b.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
 	b.finishedAt = s.clock.Now()
-	if err != nil {
+	switch {
+	case err != nil && b.cancelWant:
+		b.state = StateAborted
+		b.err = err
+		fmt.Fprintf(&b.log, "build canceled: %v\n", err)
+	case err != nil:
 		b.state = StateFailure
 		b.err = err
 		fmt.Fprintf(&b.log, "build failed: %v\n", err)
-	} else {
+	default:
 		b.state = StateSuccess
 		fmt.Fprintf(&b.log, "build succeeded\n")
 	}
+	b.stopTimersLocked()
+	nodeName := b.nodeName
 	b.mu.Unlock()
 
-	b.feed.close()
-
-	s.mu.Lock()
 	for _, k := range locks {
 		delete(s.locks, k)
 	}
@@ -604,16 +1154,44 @@ func (s *Server) finish(b *Build, locks []string, err error) {
 	if rec := s.campaigns[b.campaign]; rec != nil {
 		rec.running--
 	}
+	if rec := s.nodeRecs[nodeName]; rec != nil && rec.running > 0 {
+		rec.running--
+	}
 	s.mu.Unlock()
 
-	// Retention: purge the workspace and log after the window.
+	b.feed.close()
+	s.scheduleRetention(b)
+	s.dispatch()
+}
+
+// scheduleRetention purges a finished build's workspace and log after
+// the retention window and evicts the record itself to a tombstone:
+// s.builds stops growing without bound, and Build(id) answers
+// ErrExpired for ids that aged out. A campaign whose last member
+// expires is evicted with it, closing the same growth leak one level
+// up.
+func (s *Server) scheduleRetention(b *Build) {
 	s.clock.AfterFunc(s.cfg.Retention, func() {
 		b.workspace.purge()
 		b.mu.Lock()
 		b.log.Reset()
 		b.mu.Unlock()
+		s.mu.Lock()
+		delete(s.builds, b.ID)
+		if rec := s.campaigns[b.campaign]; rec != nil {
+			live := false
+			for _, bid := range rec.builds {
+				if _, ok := s.builds[bid]; ok {
+					live = true
+					break
+				}
+			}
+			if !live {
+				delete(s.campaigns, b.campaign)
+			}
+		}
+		s.mu.Unlock()
 	})
-	s.dispatch()
 }
 
 // Kick re-evaluates the queue (used after node registration and by the

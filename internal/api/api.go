@@ -169,6 +169,12 @@ type ConstraintsSpec struct {
 	// RequireLowCPU defers dispatch until the controller CPU is below
 	// the server's threshold (§4.2's optional condition).
 	RequireLowCPU bool `json:"require_low_cpu,omitempty"`
+	// AllowFallback lets the scheduler move the run to another online
+	// vantage point (and one of its devices) when the named node is
+	// dead, draining or removed — the campaign-survives-a-node-kill
+	// policy. Off by default: measurements are usually pinned to the
+	// exact device they were calibrated for.
+	AllowFallback bool `json:"allow_fallback,omitempty"`
 }
 
 // ExperimentSpec is the declarative wire form of one measurement run.
@@ -263,6 +269,35 @@ type CampaignStatus struct {
 type NodeInfo struct {
 	Name    string   `json:"name"`
 	Devices []string `json:"devices,omitempty"`
+	// Health is the node's lifecycle state: "online", "suspect",
+	// "offline" or "draining" (empty from pre-health servers).
+	Health string `json:"health,omitempty"`
+}
+
+// Node health strings on the wire.
+const (
+	HealthOnline   = "online"
+	HealthSuspect  = "suspect"
+	HealthOffline  = "offline"
+	HealthDraining = "draining"
+)
+
+// NodeDetail is one vantage point's full lifecycle snapshot
+// (GET /api/v1/nodes/{name}).
+type NodeDetail struct {
+	Name    string   `json:"name"`
+	Devices []string `json:"devices,omitempty"`
+	Health  string   `json:"health"`
+	// Monitored reports whether heartbeat tracking is armed; an
+	// unmonitored node is always treated as online.
+	Monitored bool `json:"monitored,omitempty"`
+	Draining  bool `json:"draining,omitempty"`
+	// LastHeartbeatNS is the server-clock time of the latest beat.
+	LastHeartbeatNS int64 `json:"last_heartbeat_ns,omitempty"`
+	// RunningBuilds counts builds currently leased to the node;
+	// QueuedBuilds counts queued builds preferring it.
+	RunningBuilds int `json:"running_builds"`
+	QueuedBuilds  int `json:"queued_builds"`
 }
 
 // RunSummary is the server-side digest of a finished measurement —
@@ -280,8 +315,11 @@ type RunSummary struct {
 }
 
 // BuildStatus reports one build over the wire. Canceled marks builds
-// ended by an explicit cancel request — clients branch on it (not on
-// the error message) to map the failure onto their cancellation error.
+// ended by an explicit cancel request and NodeLost marks builds failed
+// by vantage-point loss — clients branch on these flags (never on the
+// error message) to map failures onto their typed errors. The state
+// "expired" marks a build whose record aged out of the retention
+// window; only ID and State are meaningful then.
 type BuildStatus struct {
 	ID       int         `json:"id"`
 	Job      string      `json:"job"`
@@ -289,9 +327,27 @@ type BuildStatus struct {
 	State    string      `json:"state"`
 	Campaign int         `json:"campaign,omitempty"`
 	Canceled bool        `json:"canceled,omitempty"`
+	NodeLost bool        `json:"node_lost,omitempty"`
 	Error    string      `json:"error,omitempty"`
 	Summary  *RunSummary `json:"summary,omitempty"`
+	// Node is where the current/last attempt ran — after a fallback
+	// placement it differs from the submitted spec's node.
+	Node string `json:"node,omitempty"`
+	// Attempts counts dispatches (2+ means the build failed over).
+	Attempts int `json:"attempts,omitempty"`
+	// PendingReason explains why a queued build is not running yet.
+	PendingReason string `json:"pending_reason,omitempty"`
 }
+
+// StateExpired is the BuildStatus.State of a tombstoned build.
+const StateExpired = "expired"
+
+// EventFailover is the BuildEvent.Phase of a scheduler failover
+// record: the build's node was lost and the build is being requeued
+// (or failed, once the retry budget is spent). Error carries the
+// reason. It is not an experiment phase; clients that only understand
+// experiment phases skip it.
+const EventFailover = "failover"
 
 // BuildEvent is one phase-transition record on the NDJSON event stream
 // (GET /api/v1/builds/{id}/events). Seq is a per-build cursor: a client

@@ -41,6 +41,10 @@ var (
 	// ErrCanceled reports a run ended by Session.Cancel, Campaign
 	// cancellation or context cancellation. Teardown still completed.
 	ErrCanceled = errors.New("core: experiment canceled")
+	// ErrNodeLost reports a remote run that failed because its vantage
+	// point died (and the scheduler's failover budget was spent). The
+	// client maps the v1 node_lost status flag onto it.
+	ErrNodeLost = errors.New("core: vantage point lost")
 )
 
 // ExperimentSpec describes one battery measurement run — the programmatic

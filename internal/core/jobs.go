@@ -40,6 +40,20 @@ const (
 // abort mid-run.
 func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 	return func(ctx *accessserver.BuildContext, done func(error)) {
+		// Per-attempt copy: the captured spec is shared across dispatch
+		// attempts of this RunFunc, and an abandoned attempt may still
+		// be reading it while a retry runs.
+		spec := spec
+		// Fallback placement: the scheduler may have leased this attempt
+		// to a different vantage point than the spec named (the original
+		// died mid-campaign). The run follows the build context — the
+		// spec's node/device are only the preferred placement.
+		if name := ctx.Node.Name(); name != spec.Node && ctx.Device != "" {
+			ctx.Logf("placed on fallback node %s device %s (spec named %s/%s)",
+				name, ctx.Device, spec.Node, spec.Device)
+			spec.Node = name
+			spec.Device = ctx.Device
+		}
 		feed := ctx.Build.Feed()
 		var obs []Observer
 		if feed != nil {
@@ -47,6 +61,13 @@ func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 		}
 		var sessRef atomic.Pointer[Session]
 		sess, err := p.start(context.Background(), spec, obs, func(res *Result, err error) {
+			if ctx.Stale() {
+				// The scheduler reclaimed this attempt (failover) and a
+				// retry owns the build now: writing artifacts or the
+				// summary here would overwrite the live attempt's data.
+				// done() would be ignored as stale anyway.
+				return
+			}
 			if err != nil {
 				ctx.Logf("measurement failed: %v", err)
 				done(err)
@@ -103,7 +124,10 @@ func (p *Platform) MeasurementJob(spec ExperimentSpec) accessserver.RunFunc {
 			return
 		}
 		sessRef.Store(sess)
-		ctx.Build.OnCancel(sess.Cancel)
+		// Attempt-gated: if the scheduler failed this attempt over while
+		// setup blocked, the registration is dropped instead of
+		// displacing the retry's cancel hook.
+		ctx.OnCancel(sess.Cancel)
 		ctx.Logf("experiment scheduled: ~%s of device time", sess.Scripted())
 	}
 }

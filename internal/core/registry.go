@@ -232,6 +232,7 @@ func (b specBackend) Compile(ws api.ExperimentSpec) (accessserver.Constraints, a
 		Node:          spec.Node,
 		Device:        spec.Device,
 		RequireLowCPU: ws.Constraints.RequireLowCPU,
+		Fallback:      ws.Constraints.AllowFallback,
 	}
 	return cons, b.p.MeasurementJob(spec), nil
 }

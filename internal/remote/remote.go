@@ -145,10 +145,19 @@ func (p *Platform) stream(ctx context.Context, u string) (io.ReadCloser, error) 
 	return resp.Body, nil
 }
 
-// Nodes lists the server's vantage points and their devices.
+// Nodes lists the server's vantage points with their devices and
+// health states.
 func (p *Platform) Nodes(ctx context.Context) ([]api.NodeInfo, error) {
 	var out []api.NodeInfo
 	err := p.doJSON(ctx, http.MethodGet, p.url("/api/v1/nodes"), nil, &out)
+	return out, err
+}
+
+// NodeDetail fetches one vantage point's lifecycle snapshot: health
+// state, heartbeat age, drain flag, leased and queued builds.
+func (p *Platform) NodeDetail(ctx context.Context, name string) (api.NodeDetail, error) {
+	var out api.NodeDetail
+	err := p.doJSON(ctx, http.MethodGet, p.url("/api/v1/nodes/%s", name), nil, &out)
 	return out, err
 }
 
@@ -245,6 +254,8 @@ type Session struct {
 	res       *core.Result
 	err       error
 	canceled  bool
+	failovers int
+	lastRetry string
 }
 
 // followBuild attaches streams to a submitted build and returns its
@@ -299,6 +310,17 @@ func (s *Session) Phase() core.Phase {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.phase
+}
+
+// Failovers reports how many scheduler failover events the session has
+// observed on its event stream: each one means the build's vantage
+// point was lost and the server requeued the run (on the same node
+// once it returns, or a fallback node). The last failover's reason is
+// the second return.
+func (s *Session) Failovers() (int, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failovers, s.lastRetry
 }
 
 // Live reports the client-side streaming summary of the live samples
@@ -369,6 +391,15 @@ func (s *Session) eventLoop(ctx context.Context) {
 		var ev api.BuildEvent
 		if err := dec.Decode(&ev); err != nil {
 			return
+		}
+		if ev.Phase == api.EventFailover {
+			// Scheduler retry transition, not an experiment phase: the
+			// node was lost and the build is being requeued.
+			s.mu.Lock()
+			s.failovers++
+			s.lastRetry = ev.Error
+			s.mu.Unlock()
+			continue
 		}
 		phase, ok := core.PhaseFromString(ev.Phase)
 		if !ok {
@@ -447,17 +478,24 @@ func (s *Session) finalize(ctx context.Context) {
 	case st.State == "success":
 		res, runErr = s.fetchResult(ctx, st)
 	case st.State == "aborted":
-		runErr = fmt.Errorf("%w: build %d aborted while queued", core.ErrCanceled, s.build)
+		runErr = fmt.Errorf("%w: build %d aborted", core.ErrCanceled, s.build)
+	case st.State == api.StateExpired:
+		runErr = fmt.Errorf("remote: build %d expired from the server's retention window", s.build)
 	default: // failure
 		msg := st.Error
 		if msg == "" {
 			msg = "build " + st.State
 		}
-		if st.Canceled {
+		switch {
+		case st.Canceled:
 			// Structured cancellation marker — never inferred from the
 			// message text, which the wire contract does not promise.
 			runErr = fmt.Errorf("%w: remote: %s", core.ErrCanceled, msg)
-		} else {
+		case st.NodeLost:
+			// Structured node-loss marker: the scheduler spent its
+			// failover budget on dead vantage points.
+			runErr = fmt.Errorf("%w: remote: %s", core.ErrNodeLost, msg)
+		default:
 			runErr = fmt.Errorf("remote: build %d failed: %s", s.build, msg)
 		}
 	}
@@ -491,7 +529,7 @@ func (s *Session) waitTerminal(ctx context.Context) (api.BuildStatus, error) {
 			return api.BuildStatus{}, err
 		}
 		switch st.State {
-		case "success", "failure", "aborted":
+		case "success", "failure", "aborted", api.StateExpired:
 			return st, nil
 		}
 		if time.Now().After(deadline) {

@@ -319,6 +319,48 @@ func TestRemoteCancel(t *testing.T) {
 	}
 }
 
+// TestRemoteCancelMidRun aborts a build that is already measuring: the
+// session must finish as canceled — core.ErrCanceled from Wait, the
+// structured Canceled flag on the wire status, and the "aborted" (not
+// "failure") state through accessserver.finish.
+func TestRemoteCancelMidRun(t *testing.T) {
+	server := newLab(t)
+	client := server.serve(t)
+	ctx := context.Background()
+
+	firstSample := make(chan struct{})
+	var once sync.Once
+	sess, err := client.StartExperiment(ctx, api.ExperimentSpec{
+		Node: server.nodes[0], Device: server.devices[0],
+		Monitor:  api.MonitorSpec{SampleRateHz: 500},
+		Workload: api.WorkloadSpec{Name: "idle", Params: api.Params{"duration_ms": 600000}},
+	}, core.ObserverFuncs{
+		Sample: func(core.Sample) { once.Do(func() { close(firstSample) }) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-firstSample // the run is demonstrably mid-measurement
+	sess.Cancel()
+	if _, err := sess.Wait(ctx); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("Wait after mid-run Cancel = %v, want ErrCanceled", err)
+	}
+
+	st, err := client.BuildStatus(ctx, sess.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "aborted" {
+		t.Fatalf("wire state = %q, want aborted (not failure)", st.State)
+	}
+	if !st.Canceled {
+		t.Fatal("canceled flag lost on the wire status")
+	}
+	if st.NodeLost {
+		t.Fatal("node_lost flag set on a user cancellation")
+	}
+}
+
 // TestRemoteSubmitErrors pins the typed error envelope on the client
 // side: wrong token, unknown node, unknown workload, bad params.
 func TestRemoteSubmitErrors(t *testing.T) {
