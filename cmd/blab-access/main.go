@@ -14,6 +14,16 @@
 //	blab-access -http 127.0.0.1:9090 -sim 2
 //	blab-access -http 127.0.0.1:9090 -node node1=127.0.0.1:2222
 //	blab-access -sim 3 -flaky node2=30s/2m
+//	blab-access -sim 2 -data /var/lib/batterylab   # durable: survives restarts
+//	blab-access -sim 2 -data ./state -credits      # + §5 credit economy
+//
+// With -data the server keeps a write-ahead log plus periodic
+// snapshots under the directory and replays them at startup: users
+// (tokens intact), jobs, node lifecycle state, builds, campaigns and
+// the credit ledger all survive a crash or restart, and builds that
+// were mid-run fail over and complete. With -credits submissions are
+// gated on the §5 ledger (402 insufficient_credits over the API) and
+// finished runs debit their measured device time.
 //
 // Every hosted and connected vantage point is health-monitored:
 // heartbeat probes drive the online/suspect/offline lifecycle, and
@@ -40,6 +50,7 @@ import (
 
 	"batterylab"
 	"batterylab/internal/accessserver"
+	"batterylab/internal/accessserver/store"
 	"batterylab/internal/sshx"
 )
 
@@ -82,11 +93,15 @@ func main() {
 		httpAddr = flag.String("http", "127.0.0.1:9090", "web console listen address")
 		sim      = flag.Int("sim", 1, "simulated vantage points to host in-process")
 		seed     = flag.Uint64("seed", 2019, "simulation seed for hosted vantage points")
+		dataDir  = flag.String("data", "", "state directory for WAL+snapshot crash recovery (empty = in-memory only)")
+		credits  = flag.Bool("credits", false, "enforce the §5 credit economy (admins exempt; experimenter gets a starter grant)")
 		nodes    nodeList
 		flaky    nodeList
+		owners   nodeList
 	)
 	flag.Var(&nodes, "node", "vantage point as name=addr (repeatable)")
 	flag.Var(&flaky, "flaky", "failure injection for a hosted node as name=killAfter[/reviveAfter] (repeatable)")
+	flag.Var(&owners, "owner", "hosting member as node=user; the owner earns §5 contribution credits for the node's online time (repeatable)")
 	flag.Parse()
 
 	flakySpecs := make(map[string]flakySpec)
@@ -107,21 +122,11 @@ func main() {
 	}
 	srv := plat.Access
 
-	admin, err := srv.Users.Add("admin", accessserver.RoleAdmin)
-	if err != nil {
-		log.Fatal(err)
-	}
-	exp, err := srv.Users.Add("experimenter", accessserver.RoleExperimenter)
-	if err != nil {
-		log.Fatal(err)
-	}
 	clientKey, err := sshx.GenerateKeypair()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("access server up\n")
-	fmt.Printf("  admin token        : %s\n", admin.Token)
-	fmt.Printf("  experimenter token : %s\n", exp.Token)
 	fmt.Printf("  client public key  : %x\n", []byte(clientKey.Pub))
 
 	// Hosted simulated vantage points: a controller + device + monitor
@@ -196,6 +201,75 @@ func main() {
 			name, addr, out, sshx.Fingerprint(cl.HostKey()))
 	}
 
+	// Durable state: replay snapshot+WAL from the data directory — after
+	// the nodes above are registered, so interrupted spec builds can
+	// recompile and dispatch — then log every mutation from here on. A
+	// restart picks up users (tokens intact), jobs, node lifecycle,
+	// builds, campaigns and the credit ledger where the last process
+	// left them.
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := srv.AttachStore(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  durable state      : %s (recovered %d users, %d jobs, %d builds; %d requeued, %d resumed via failover)\n",
+			*dataDir, stats.Users, stats.Jobs, stats.Builds, stats.Requeued, stats.Resumed)
+	}
+
+	// Bootstrap users after the store attach: on a restart the persisted
+	// users (and tokens) are already back, so only a first boot creates
+	// them.
+	ensureUser := func(name string, role accessserver.Role) *accessserver.User {
+		if u, err := srv.Users.Lookup(name); err == nil {
+			return u
+		}
+		u, err := srv.Users.Add(name, role)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return u
+	}
+	admin := ensureUser("admin", accessserver.RoleAdmin)
+	exp := ensureUser("experimenter", accessserver.RoleExperimenter)
+	fmt.Printf("  admin token        : %s\n", admin.Token)
+	fmt.Printf("  experimenter token : %s\n", exp.Token)
+
+	// Node ownership (after the store attach, so assignments are
+	// logged; idempotent across restarts).
+	for _, spec := range owners {
+		node, user, ok := strings.Cut(spec, "=")
+		if !ok || node == "" || user == "" {
+			log.Fatalf("-owner %q: want node=user", spec)
+		}
+		if _, err := srv.Nodes.Get(node); err != nil {
+			log.Fatalf("-owner %s: %v", spec, err)
+		}
+		// Same check as the v1 route: credits must not accrue to a
+		// nonexistent member (a typo would earn into the void).
+		if _, err := srv.Users.Lookup(user); err != nil {
+			log.Fatalf("-owner %s: %v", spec, err)
+		}
+		srv.SetNodeOwner(node, user)
+		fmt.Printf("  node owner         : %s hosts %s (earns %.1f credits/h online)\n",
+			user, node, accessserver.ContributionRate)
+	}
+
+	if *credits {
+		srv.SetCreditEnforcement(true)
+		// First boot only: any prior ledger movement (even one that
+		// drained the balance to zero) means no fresh grant — otherwise
+		// a broke experimenter could refill by bouncing the server.
+		if len(srv.Ledger.History(exp.Name)) == 0 {
+			srv.Ledger.Grant(exp.Name, 60, "starter grant")
+		}
+		fmt.Printf("  credit economy     : enforced (experimenter balance %.1f; contribute node time to earn %.1f/h)\n",
+			srv.Ledger.Balance(exp.Name), accessserver.ContributionRate)
+	}
+
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
 	go func() {
 		if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
@@ -211,5 +285,12 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	httpSrv.Close()
+	if *dataDir != "" {
+		// A parting snapshot keeps the next replay minimal; skipping it
+		// would only mean replaying more WAL.
+		if err := srv.CompactStore(); err != nil {
+			log.Printf("final snapshot: %v", err)
+		}
+	}
 	fmt.Println("shutting down")
 }

@@ -14,6 +14,8 @@
 //	                       # streaming sample-pipeline microbenchmarks
 //	blab-bench -sched-bench -sched-bench-out BENCH_sched.json
 //	                       # scheduler dispatch throughput, healthy vs flaky fleet
+//	blab-bench -store-bench -store-bench-out BENCH_store.json
+//	                       # WAL append/replay/compaction microbenchmark
 //
 // Scale knobs: -reps, -pages, -scrolls, -rate, -video-seconds, -seed.
 package main
@@ -46,6 +48,10 @@ func main() {
 		schedBenchOut   = flag.String("sched-bench-out", "", "write the scheduler benchmark JSON here (default stdout)")
 		schedBenchN     = flag.Int("sched-bench-builds", 100, "queued builds for -sched-bench")
 		schedBenchNodes = flag.Int("sched-bench-nodes", 10, "vantage points for -sched-bench")
+
+		storeBench    = flag.Bool("store-bench", false, "micro-benchmark the WAL append/replay/compaction path")
+		storeBenchOut = flag.String("store-bench-out", "", "write the store benchmark JSON here (default stdout)")
+		storeBenchN   = flag.Int("store-bench-builds", 10_000, "build lifecycles to log for -store-bench")
 
 		seed    = flag.Uint64("seed", 2019, "simulation seed")
 		reps    = flag.Int("reps", 5, "repetitions per configuration")
@@ -223,6 +229,17 @@ func main() {
 		}
 		if *schedBenchOut != "" && *schedBenchOut != "-" {
 			fmt.Printf("(scheduler benchmark written to %s)\n", *schedBenchOut)
+		}
+	}
+
+	if *storeBench {
+		ran = true
+		if err := storeBenchTo(*storeBenchOut, *storeBenchN); err != nil {
+			fmt.Fprintf(os.Stderr, "store-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *storeBenchOut != "" && *storeBenchOut != "-" {
+			fmt.Printf("(store benchmark written to %s)\n", *storeBenchOut)
 		}
 	}
 

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"batterylab/internal/accessserver/store"
+	"batterylab/internal/api"
+)
+
+// storeBenchReport is the JSON baseline committed as BENCH_store.json:
+// throughput of the access server's durability layer — WAL appends of
+// a realistic build-lifecycle record mix, a full replay of the
+// resulting log, and one snapshot compaction.
+type storeBenchReport struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GoVersion string `json:"go_version"`
+
+	Records int `json:"records"`
+
+	AppendWallNS    int64   `json:"append_wall_ns"`
+	AppendsPerSec   float64 `json:"appends_per_sec"`
+	WALBytes        int64   `json:"wal_bytes"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+	ReplayWallNS    int64   `json:"replay_wall_ns"`
+	ReplaysPerSec   float64 `json:"replays_per_sec"` // records re-read per second
+	CompactWallNS   int64   `json:"compact_wall_ns"`
+	SnapshotBytes   int64   `json:"snapshot_bytes"`
+	PostCompactRecs int     `json:"post_compact_records"`
+}
+
+// storeBenchTo appends n build lifecycles (queued → started →
+// finished) to a fresh WAL, replays it, compacts it, and writes the
+// JSON report to path ("" or "-" = stdout).
+func storeBenchTo(path string, n int) error {
+	dir, err := os.MkdirTemp("", "blab-store-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	spec := &api.ExperimentSpec{
+		Node: "node1", Device: "R58M12ABCDE",
+		Workload: api.WorkloadSpec{Name: "browser", Params: api.Params{"browser": "Brave", "pages": 3}},
+	}
+	records := 0
+	start := time.Now()
+	for i := 1; i <= n; i++ {
+		recs := []store.Record{
+			{T: store.TBuildQueued, Build: &store.BuildRec{
+				ID: i, Job: "spec:browser@node1", Owner: "bob",
+				Spec: spec, State: "queued", QueuedAtNS: int64(i),
+			}},
+			{T: store.TBuildStarted, BuildID: i, NodeName: "node1", Attempt: 1, AtNS: int64(i) + 1},
+			{T: store.TBuildFinished, BuildID: i, State: "success", AtNS: int64(i) + 2,
+				Summary: &api.RunSummary{Samples: 300000, MeanMA: 142.5, EnergyMAH: 3.2}},
+		}
+		for _, r := range recs {
+			if err := st.Append(r); err != nil {
+				return err
+			}
+			records++
+		}
+	}
+	appendWall := time.Since(start)
+	if err := st.Sync(); err != nil {
+		return err
+	}
+	info, err := os.Stat(dir + "/wal.log")
+	if err != nil {
+		return err
+	}
+	walBytes := info.Size()
+	st.Close()
+
+	start = time.Now()
+	st2, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	_, replayed := st2.Load()
+	replayWall := time.Since(start)
+	if len(replayed) != records {
+		return fmt.Errorf("replay read %d records, wrote %d", len(replayed), records)
+	}
+
+	// One compaction: everything folds into a snapshot of n terminal
+	// builds.
+	snap := &store.Snapshot{NextBuild: n + 1, NextCampaign: 1}
+	for i := 1; i <= n; i++ {
+		snap.Builds = append(snap.Builds, store.BuildRec{
+			ID: i, Job: "spec:browser@node1", Owner: "bob", State: "success",
+			Summary: &api.RunSummary{Samples: 300000, MeanMA: 142.5, EnergyMAH: 3.2},
+		})
+	}
+	start = time.Now()
+	if err := st2.Compact(snap); err != nil {
+		return err
+	}
+	compactWall := time.Since(start)
+	snapInfo, err := os.Stat(dir + "/snapshot.bin")
+	if err != nil {
+		return err
+	}
+	st2.Close()
+
+	rep := storeBenchReport{
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		GoVersion:       runtime.Version(),
+		Records:         records,
+		AppendWallNS:    appendWall.Nanoseconds(),
+		AppendsPerSec:   float64(records) / appendWall.Seconds(),
+		WALBytes:        walBytes,
+		BytesPerRecord:  float64(walBytes) / float64(records),
+		ReplayWallNS:    replayWall.Nanoseconds(),
+		ReplaysPerSec:   float64(records) / replayWall.Seconds(),
+		CompactWallNS:   compactWall.Nanoseconds(),
+		SnapshotBytes:   snapInfo.Size(),
+		PostCompactRecs: st2.Appended(),
+	}
+
+	var w io.Writer = os.Stdout
+	if path != "" && path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -34,4 +34,30 @@ var (
 	// v1 status endpoint answers it with an "expired" marker; every
 	// other route maps it to 404.
 	ErrExpired = errors.New("accessserver: build expired")
+	// ErrInsufficientCredits reports a submission rejected by the §5
+	// credit economy: the member's ledger balance cannot cover the
+	// experiment. The v1 API maps it to 402 (insufficient_credits).
+	ErrInsufficientCredits = errors.New("accessserver: insufficient credits")
 )
+
+// recoveredErr is a failure cause reconstructed from the store: the
+// original error value (a wrapped chain) is gone, but the message and
+// the typed markers that crossed the WAL survive, so errors.Is keeps
+// working against recovered builds and the wire status is byte-
+// identical to the pre-crash one.
+type recoveredErr struct {
+	msg       string
+	sentinels []error
+}
+
+func (e *recoveredErr) Error() string { return e.msg }
+
+// Is reports whether target is one of the persisted typed markers.
+func (e *recoveredErr) Is(target error) bool {
+	for _, s := range e.sentinels {
+		if target == s {
+			return true
+		}
+	}
+	return false
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"batterylab/internal/accessserver/store"
 	"batterylab/internal/simclock"
 )
 
@@ -92,6 +93,13 @@ type nodeRec struct {
 	ticker    *simclock.Ticker
 	pinging   bool // async liveness probe in flight
 	running   int  // builds currently leased to this node
+	// owner is the member who hosts this vantage point; while set, the
+	// heartbeat stream accrues them §5 contribution credits for the
+	// node's online time. owedHosting accumulates attested online time
+	// between ledger flushes, so the ledger gets one coalesced entry
+	// per contributionFlushEvery of hosting instead of one per beat.
+	owner       string
+	owedHosting time.Duration
 
 	// devices is the fallback-placement cache, refreshed when the node
 	// is (re)monitored — device attach/detach between registrations is
@@ -182,8 +190,28 @@ func (s *Server) MonitorNode(name string) error {
 	rec.ticker = simclock.NewTicker(s.clock, s.cfg.HeartbeatEvery, func(time.Time) {
 		s.probeNode(name)
 	})
+	s.logStore(store.Record{T: store.TNodeMonitored, Node: &store.NodeRec{
+		Name: name, Owner: rec.owner, Monitored: true, Devices: append([]string(nil), devices...),
+	}})
 	s.mu.Unlock()
 	return nil
+}
+
+// SetNodeOwner records which member hosts a vantage point; their ledger
+// accrues contribution credits for the node's heartbeat-attested online
+// time ("" stops accrual). Hosting time accrued but not yet flushed is
+// credited to the outgoing owner first — a transfer must not hand the
+// predecessor's earned time to the successor. Programmatic deployment
+// configuration, like MonitorNode.
+func (s *Server) SetNodeOwner(name, owner string) {
+	s.mu.Lock()
+	rec := s.recLocked(name)
+	if prev := rec.owner; prev != owner {
+		s.flushHostingLocked(rec, prev)
+	}
+	rec.owner = owner
+	s.logStore(store.Record{T: store.TNodeOwner, Name: name, Owner: owner})
+	s.mu.Unlock()
 }
 
 // RegisterNode registers a node and arms health monitoring — the
@@ -235,15 +263,55 @@ func (s *Server) probeNode(name string) {
 	}()
 }
 
+// contributionFlushEvery is how much attested hosting time accumulates
+// before it lands in the ledger as one coalesced contribution entry
+// (15 minutes = 1 credit at ContributionRate). Per-beat entries would
+// grow the ledger history, the WAL and every snapshot by thousands of
+// rows per node-day for no audit value.
+const contributionFlushEvery = 15 * time.Minute
+
+// flushHostingLocked credits a node's accrued hosting time to owner
+// and zeroes the accrual, writing the single combined WAL record —
+// zeroing and credit replay together or not at all, so a crash can
+// neither double-pay nor drop one half. Callers hold s.mu (the lock
+// order snapshot compaction cuts under).
+func (s *Server) flushHostingLocked(rec *nodeRec, owner string) {
+	dur := rec.owedHosting
+	if owner == "" || dur <= 0 {
+		rec.owedHosting = 0
+		return
+	}
+	rec.owedHosting = 0
+	s.Ledger.creditHostingQuiet(owner, rec.name, dur)
+	s.logStore(store.Record{T: store.TNodeHostingFlush, Name: rec.name, Owner: owner, AtNS: int64(dur)})
+}
+
 // Heartbeat records a liveness beat for a node on the server clock.
 // A beat that brings the node back online re-kicks the queue so its
 // pending builds dispatch immediately; steady-state beats of an
 // already-online node change no placement decision and skip the scan.
+// For owned nodes each beat also accrues the owner's §5 contribution
+// time: the time since the previous beat, attested online time,
+// capped at the offline window so a node that vanished for a week does
+// not earn the gap when it returns. Accrued time is credited to the
+// ledger in contributionFlushEvery lumps.
 func (s *Server) Heartbeat(name string) {
+	now := s.clock.Now()
 	s.mu.Lock()
 	rec := s.recLocked(name)
-	wasOnline := s.healthLocked(rec, s.clock.Now()) == HealthOnline
-	rec.lastBeat = s.clock.Now()
+	wasOnline := s.healthLocked(rec, now) == HealthOnline
+	if rec.owner != "" && rec.monitored {
+		if d := now.Sub(rec.lastBeat); d > 0 {
+			if d > s.cfg.OfflineAfter {
+				d = s.cfg.OfflineAfter
+			}
+			rec.owedHosting += d
+		}
+		if rec.owedHosting >= contributionFlushEvery {
+			s.flushHostingLocked(rec, rec.owner)
+		}
+	}
+	rec.lastBeat = now
 	pending := len(s.queue)
 	s.mu.Unlock()
 	if pending > 0 && !wasOnline {
@@ -263,6 +331,7 @@ func (s *Server) DrainNode(user *User, name string) error {
 	}
 	s.mu.Lock()
 	s.recLocked(name).draining = true
+	s.logStore(store.Record{T: store.TNodeDrain, Name: name, Draining: true})
 	s.mu.Unlock()
 	return nil
 }
@@ -278,6 +347,7 @@ func (s *Server) UndrainNode(user *User, name string) error {
 	}
 	s.mu.Lock()
 	s.recLocked(name).draining = false
+	s.logStore(store.Record{T: store.TNodeDrain, Name: name, Draining: false})
 	s.mu.Unlock()
 	s.dispatch()
 	return nil
@@ -306,6 +376,10 @@ func (s *Server) RemoveNode(user *User, name string) error {
 		rec.ticker.Stop()
 		rec.ticker = nil
 	}
+	// Final contribution flush: hosting time accrued below the lump
+	// threshold still belongs to the owner.
+	s.flushHostingLocked(rec, rec.owner)
+	s.logStore(store.Record{T: store.TNodeRemoved, Name: name})
 	var failed []*Build
 	kept := s.queue[:0]
 	for _, b := range s.queue {

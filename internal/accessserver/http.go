@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+
+	"batterylab/internal/api"
 )
 
 // Handler returns the web console's REST API. Every request needs a
@@ -181,6 +183,9 @@ func writeError(w http.ResponseWriter, err error) {
 		code = codeBadRequest
 	case errors.Is(err, ErrConflict):
 		code = codeConflict
+	case errors.Is(err, ErrInsufficientCredits):
+		// 402: the §5 credit economy rejected the submission.
+		code = api.CodeInsufficientCredits
 	}
 	writeAPIError(w, apiError(code, err.Error()))
 }

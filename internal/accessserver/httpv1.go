@@ -17,6 +17,8 @@ import (
 //	POST /api/v1/nodes/{name}/drain           stop new dispatch (admin)
 //	POST /api/v1/nodes/{name}/undrain         reopen for dispatch (admin)
 //	POST /api/v1/nodes/{name}/remove          unregister; running builds finish (admin)
+//	POST /api/v1/nodes/{name}/owner           set the hosting member who earns
+//	                                          contribution credits (admin)
 //	GET  /api/v1/workloads                    registry workload names
 //	POST /api/v1/experiments                  submit an ExperimentSpec → build
 //	POST /api/v1/campaigns                    submit a CampaignSpec → builds
@@ -138,6 +140,33 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 	mux.HandleFunc("POST /api/v1/nodes/{name}/drain", nodeAdmin(s.DrainNode))
 	mux.HandleFunc("POST /api/v1/nodes/{name}/undrain", nodeAdmin(s.UndrainNode))
 	mux.HandleFunc("POST /api/v1/nodes/{name}/remove", nodeAdmin(s.RemoveNode))
+	mux.HandleFunc("POST /api/v1/nodes/{name}/owner", func(w http.ResponseWriter, r *http.Request) {
+		if s.auth(w, r, PermManageNodes) == nil {
+			return
+		}
+		var body struct {
+			Owner string `json:"owner"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBodyBytes)).Decode(&body); err != nil {
+			writeAPIError(w, apiError(codeBadRequest, "decoding owner body: "+err.Error()))
+			return
+		}
+		name := r.PathValue("name")
+		if _, err := s.Nodes.Get(name); err != nil {
+			writeError(w, err)
+			return
+		}
+		// "" clears ownership; otherwise the owner must be a member, or
+		// their contribution credits would accrue to a void.
+		if body.Owner != "" {
+			if _, err := s.Users.Lookup(body.Owner); err != nil {
+				writeAPIError(w, apiError(codeNotFound, "no member "+body.Owner))
+				return
+			}
+		}
+		s.SetNodeOwner(name, body.Owner)
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
 	mux.HandleFunc("GET /api/v1/workloads", func(w http.ResponseWriter, r *http.Request) {
 		if s.auth(w, r, PermViewConsole) == nil {
 			return
@@ -293,16 +322,22 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 // buildStatus snapshots a build as its wire form.
 func buildStatus(b *Build) api.BuildStatus {
 	st := api.BuildStatus{
-		ID:       b.ID,
-		Job:      b.Job,
-		Owner:    b.Owner,
-		State:    b.State().String(),
-		Campaign: b.CampaignID(),
-		Canceled: b.CancelRequested(),
-		Summary:  b.Summary(),
-		Node:     b.NodeName(),
-		Attempts: b.Attempts(),
+		ID:        b.ID,
+		Job:       b.Job,
+		Owner:     b.Owner,
+		State:     b.State().String(),
+		Campaign:  b.CampaignID(),
+		Canceled:  b.CancelRequested(),
+		Summary:   b.Summary(),
+		Node:      b.NodeName(),
+		Attempts:  b.Attempts(),
+		Recovered: b.Recovered(),
+		FeedEpoch: b.FeedEpoch(),
 	}
+	// Feed-loss counters: a streaming client that sees a non-zero value
+	// knows its replay is missing records instead of trusting a silently
+	// truncated stream.
+	st.DroppedEvents, st.DroppedSamples = b.Feed().Dropped()
 	if b.State() == StateQueued {
 		st.PendingReason = b.PendingReason()
 	}
@@ -361,9 +396,11 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, b *Build) 
 // binary trace frames by default (the compact v2 codec of
 // internal/trace, see api.WriteSampleFrame), or NDJSON SamplePoint
 // lines with ?format=ndjson. Like the event stream it replays the
-// build's buffered samples first and then follows. The feed it reads
-// is bounded and drop-under-backpressure, so however slowly this
-// consumer drains, the capture loop never blocks.
+// build's buffered samples from the ?from= cursor (default 0, counting
+// samples) and then follows — a client that lost its connection after
+// n samples resumes with ?from=n. The feed it reads is bounded and
+// drop-under-backpressure, so however slowly this consumer drains, the
+// capture loop never blocks.
 func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, b *Build) {
 	format := r.URL.Query().Get("format")
 	switch format {
@@ -371,6 +408,15 @@ func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, b *Build)
 	default:
 		writeAPIError(w, apiError(codeBadRequest, "?format= must be binary or ndjson"))
 		return
+	}
+	cursor := 0
+	if from := r.URL.Query().Get("from"); from != "" {
+		n, err := strconv.Atoi(from)
+		if err != nil || n < 0 {
+			writeAPIError(w, apiError(codeBadRequest, "?from= must be a non-negative integer"))
+			return
+		}
+		cursor = n
 	}
 	ndjson := format == "ndjson"
 	if ndjson {
@@ -381,7 +427,6 @@ func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, b *Build)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	cursor := 0
 	for {
 		pts, closed, changed := b.Feed().SamplesSince(cursor)
 		if len(pts) > 0 {

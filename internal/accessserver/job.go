@@ -57,6 +57,16 @@ func (j *Job) Approved() bool {
 	return j.approved
 }
 
+// Runnable reports whether the job has a pipeline body. A job recovered
+// from the store keeps its metadata and approval but not its body — a
+// Go closure does not survive a restart — and needs EditJob to
+// reinstall it before builds can run.
+func (j *Job) Runnable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.run != nil
+}
+
 // Revision reports the current revision number.
 func (j *Job) Revision() int {
 	j.mu.Lock()
@@ -113,6 +123,16 @@ type Build struct {
 	// instead of referencing the job store.
 	cons Constraints
 	run  RunFunc
+	// wireSpec is the declarative spec a spec build was compiled from,
+	// retained so crash recovery can recompile the pipeline through the
+	// SpecBackend (closures do not survive a restart).
+	wireSpec *api.ExperimentSpec
+	// recovered marks a build reconstructed from the store after a
+	// restart (the wire status carries it to clients); feedEpoch counts
+	// how many times the feed started over (once per recovery), so
+	// streaming clients can invalidate stale resume cursors.
+	recovered bool
+	feedEpoch int
 	// feed streams the build's phase events and live samples.
 	feed *Feed
 
@@ -163,6 +183,14 @@ func (b *Build) Retries() int {
 	defer b.mu.Unlock()
 	return b.retries
 }
+
+// Recovered reports whether this build's state was reconstructed from
+// the server's WAL+snapshot store after a restart.
+func (b *Build) Recovered() bool { return b.recovered }
+
+// FeedEpoch reports how many times the build's feed started over (once
+// per server recovery).
+func (b *Build) FeedEpoch() int { return b.feedEpoch }
 
 // NodeName reports the vantage point of the current (or last) attempt —
 // after a fallback placement this differs from the spec's node.
@@ -287,20 +315,6 @@ func (b *Build) CancelRequested() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.cancelWant
-}
-
-// requestCancel invokes the registered cancel hook, or arms the
-// pending flag for a hook registered later. Reports whether a hook ran.
-func (b *Build) requestCancel() bool {
-	b.mu.Lock()
-	fn := b.canceler
-	b.cancelWant = true
-	b.mu.Unlock()
-	if fn != nil {
-		fn()
-		return true
-	}
-	return false
 }
 
 // QueueTime reports how long the build waited before dispatch (zero

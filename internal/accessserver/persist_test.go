@@ -1,0 +1,758 @@
+package accessserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"batterylab/internal/accessserver/store"
+	"batterylab/internal/api"
+	"batterylab/internal/simclock"
+)
+
+// slowBackend compiles every spec into a pipeline that succeeds after
+// a fixed simulated duration — enough scheduler surface (dispatch,
+// locks, leases) without the full measurement stack.
+func slowBackend(clk simclock.Clock, dur time.Duration) SpecBackend {
+	return funcBackend(func(spec api.ExperimentSpec) (Constraints, RunFunc, error) {
+		cons := Constraints{Node: spec.Node, Device: spec.Device, Fallback: spec.Constraints.AllowFallback}
+		run := func(ctx *BuildContext, done func(error)) {
+			clk.AfterFunc(dur, func() { done(nil) })
+		}
+		return cons, run, nil
+	})
+}
+
+func testSpec(node, device string) api.ExperimentSpec {
+	return api.ExperimentSpec{
+		Node: node, Device: device,
+		Workload: api.WorkloadSpec{Name: "idle", Params: api.Params{"duration_ms": float64(120000)}},
+	}
+}
+
+// drainServer advances the virtual clock event-by-event until every
+// given build is terminal.
+func drainServer(t *testing.T, clk *simclock.Virtual, builds []*Build) {
+	t.Helper()
+	deadline := clk.Now().Add(12 * time.Hour)
+	for {
+		done := true
+		for _, b := range builds {
+			switch b.State() {
+			case StateSuccess, StateFailure, StateAborted:
+			default:
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		next, ok := clk.NextDeadline()
+		if !ok {
+			t.Fatalf("stalled: no pending timers")
+		}
+		if next.After(deadline) {
+			t.Fatalf("did not finish within the simulated budget")
+		}
+		clk.RunUntil(next)
+	}
+}
+
+// TestRecoverControlPlaneState: users (with tokens), jobs (metadata +
+// approval), node lifecycle flags and the ledger all survive a
+// restart from the WAL.
+func TestRecoverControlPlaneState(t *testing.T) {
+	dir := t.TempDir()
+	r := newRig(t)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.srv.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutations after attach are logged: a user, a job (created by an
+	// experimenter, approved by the admin), node drain + owner, ledger
+	// movements.
+	carol, err := r.srv.Users.Add("carol", RoleExperimenter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.srv.CreateJob(r.exp, "nightly", Constraints{Node: "node1"}, noopJob); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.ApproveJob(r.admin, "nightly"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.MonitorNode("node1"); err != nil {
+		t.Fatal(err)
+	}
+	r.srv.SetNodeOwner("node1", "carol")
+	if err := r.srv.DrainNode(r.admin, "node1"); err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Ledger.Grant("carol", 30, "starter grant")
+	r.srv.Ledger.DebitExperiment("carol", 5*time.Minute)
+	st.Close()
+
+	// Restart: fresh server on the same directory. The node registers
+	// first (handles are live objects), then the store attaches.
+	r2 := newRig(t)
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r2.srv.AttachStore(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Users != 4 || stats.Jobs != 1 {
+		t.Fatalf("stats = %+v, want 4 users and 1 job", stats)
+	}
+
+	// Tokens survive — including carol's, and the newRig-created bob is
+	// replaced by the persisted bob (same name, persisted token wins).
+	if _, err := r2.srv.Users.Authenticate(carol.Token); err != nil {
+		t.Fatalf("carol's token did not survive: %v", err)
+	}
+	// The job is back with its approval but without its closure body.
+	j, err := r2.srv.Job("nightly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Approved() || j.Runnable() {
+		t.Fatalf("recovered job approved=%v runnable=%v, want approved and not runnable", j.Approved(), j.Runnable())
+	}
+	if _, err := r2.srv.Submit(r2.admin, "nightly"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("submit of body-less job = %v, want ErrConflict", err)
+	}
+	// Re-editing reinstalls the body and makes it runnable again.
+	if err := r2.srv.EditJob(r2.admin, "nightly", Constraints{Node: "node1"}, noopJob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.srv.Submit(r2.admin, "nightly"); err != nil {
+		t.Fatalf("submit after re-edit: %v", err)
+	}
+	// Drain flag and owner survived.
+	if !r2.srv.NodeHealth("node1").Draining {
+		t.Fatal("drain flag lost in restart")
+	}
+	// Ledger balance and history replay exactly.
+	if got, want := r2.srv.Ledger.Balance("carol"), 25.0; got != want {
+		t.Fatalf("carol balance = %v, want %v", got, want)
+	}
+	if h := r2.srv.Ledger.History("carol"); len(h) != 2 || h[0].Reason != "starter grant" {
+		t.Fatalf("carol history = %+v", h)
+	}
+}
+
+// TestRecoverBuilds: a campaign crashes with two builds running and
+// one queued. After restart the running builds go through the
+// failover contract (retry, failover feed event), the queued one
+// re-enqueues, and the campaign completes — while an already-finished
+// build's wire status comes back byte-identical (modulo the explicit
+// recovered marker).
+func TestRecoverBuilds(t *testing.T) {
+	dir := t.TempDir()
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{Executors: 2})
+	srv.SetSpecBackend(slowBackend(clk, 2*time.Minute))
+	if err := srv.Nodes.Register(staticNode{name: "node1"}); err != nil {
+		t.Fatal(err)
+	}
+	admin, _ := srv.Users.Add("alice", RoleAdmin)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// A standalone build that finishes before the crash.
+	fin, err := srv.SubmitSpec(admin, testSpec("node1", "devA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainServer(t, clk, []*Build{fin})
+	if fin.State() != StateSuccess {
+		t.Fatalf("pre-crash build state = %v", fin.State())
+	}
+	preStatus, err := json.Marshal(buildStatus(fin))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The campaign: three builds on distinct devices; two dispatch
+	// (executor cap), one stays queued. Then the "crash".
+	cs := api.CampaignSpec{Experiments: []api.ExperimentSpec{
+		testSpec("node1", "dev1"), testSpec("node1", "dev2"), testSpec("node1", "dev3"),
+	}}
+	campID, builds, err := srv.SubmitCampaign(admin, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(30 * time.Second)
+	if builds[0].State() != StateRunning || builds[1].State() != StateRunning || builds[2].State() != StateQueued {
+		t.Fatalf("pre-crash states = %v %v %v", builds[0].State(), builds[1].State(), builds[2].State())
+	}
+	st.Close() // crash: the server object is abandoned mid-campaign
+
+	// Restart on a fresh clock and server.
+	clk2 := simclock.NewVirtual()
+	srv2 := New(clk2, Config{Executors: 2})
+	srv2.SetSpecBackend(slowBackend(clk2, 2*time.Minute))
+	if err := srv2.Nodes.Register(staticNode{name: "node1"}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := srv2.AttachStore(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 2 || stats.Requeued != 1 {
+		t.Fatalf("stats = %+v, want 2 resumed + 1 requeued", stats)
+	}
+
+	// The finished build's status is byte-identical apart from the
+	// recovery marker and the (empty) feed counters.
+	rb, err := srv2.Build(fin.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRec := buildStatus(rb)
+	if !stRec.Recovered {
+		t.Fatal("recovered build not marked recovered")
+	}
+	if stRec.FeedEpoch != 1 {
+		t.Fatalf("recovered build feed_epoch = %d, want 1 (one feed restart)", stRec.FeedEpoch)
+	}
+	// Recovered and FeedEpoch are the explicit recovery markers; the
+	// rest of the status must be byte-identical.
+	stRec.Recovered = false
+	stRec.FeedEpoch = 0
+	postStatus, err := json.Marshal(stRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(preStatus) != string(postStatus) {
+		t.Fatalf("finished build status changed across restart:\n pre %s\npost %s", preStatus, postStatus)
+	}
+
+	// Campaign membership is intact; the interrupted builds carry a
+	// failover event and a consumed retry.
+	ids, err := srv2.CampaignBuildIDs(campID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("campaign has %d builds, want 3", len(ids))
+	}
+	var members []*Build
+	for _, id := range ids {
+		b, err := srv2.Build(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, b)
+	}
+	if members[0].Retries() != 1 {
+		t.Fatalf("interrupted build retries = %d, want 1", members[0].Retries())
+	}
+	evs, _, _ := members[0].Feed().EventsSince(0)
+	sawFailover := false
+	for _, e := range evs {
+		if e.Phase == api.EventFailover && strings.Contains(e.Error, "restarted") {
+			sawFailover = true
+		}
+	}
+	if !sawFailover {
+		t.Fatal("no restart failover event on the interrupted build's feed")
+	}
+
+	// The campaign runs to completion after restart.
+	drainServer(t, clk2, members)
+	for i, b := range members {
+		if b.State() != StateSuccess {
+			t.Fatalf("post-restart build %d state = %v (%v)", i, b.State(), b.Err())
+		}
+	}
+}
+
+// TestRecoverRetryBudgetSpent: a build that already burned its
+// failover budget and was running at the crash fails with the typed
+// ErrNodeLost instead of looping forever.
+func TestRecoverRetryBudgetSpent(t *testing.T) {
+	dir := t.TempDir()
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{MaxRetries: -1}) // negative = zero budget
+	srv.SetSpecBackend(slowBackend(clk, 2*time.Minute))
+	if err := srv.Nodes.Register(staticNode{name: "node1"}); err != nil {
+		t.Fatal(err)
+	}
+	admin, _ := srv.Users.Add("alice", RoleAdmin)
+	st, _ := store.Open(dir)
+	if _, err := srv.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.SubmitSpec(admin, testSpec("node1", "dev1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if b.State() != StateRunning {
+		t.Fatalf("state = %v, want running", b.State())
+	}
+	st.Close()
+
+	clk2 := simclock.NewVirtual()
+	srv2 := New(clk2, Config{MaxRetries: -1})
+	srv2.SetSpecBackend(slowBackend(clk2, 2*time.Minute))
+	srv2.Nodes.Register(staticNode{name: "node1"})
+	st2, _ := store.Open(dir)
+	stats, err := srv2.AttachStore(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 1 {
+		t.Fatalf("stats = %+v, want 1 failed", stats)
+	}
+	rb, err := srv2.Build(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.State() != StateFailure || !errors.Is(rb.Err(), ErrNodeLost) {
+		t.Fatalf("state=%v err=%v, want failure wrapping ErrNodeLost", rb.State(), rb.Err())
+	}
+}
+
+// TestRecoverCanceledRunningBuild: an abort of a running build that
+// never settled before the crash recovers as aborted — not as a rerun
+// of an experiment its owner canceled.
+func TestRecoverCanceledRunningBuild(t *testing.T) {
+	dir := t.TempDir()
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{})
+	srv.SetSpecBackend(slowBackend(clk, 2*time.Minute))
+	srv.Nodes.Register(staticNode{name: "node1"})
+	admin, _ := srv.Users.Add("alice", RoleAdmin)
+	st, _ := store.Open(dir)
+	if _, err := srv.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.SubmitSpec(admin, testSpec("node1", "dev1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if b.State() != StateRunning {
+		t.Fatalf("state = %v, want running", b.State())
+	}
+	// slowBackend registers no cancel hook, so the abort arms the
+	// pending flag and the build stays running — then the crash.
+	if err := srv.Abort(admin, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	clk2 := simclock.NewVirtual()
+	srv2 := New(clk2, Config{})
+	srv2.SetSpecBackend(slowBackend(clk2, 2*time.Minute))
+	srv2.Nodes.Register(staticNode{name: "node1"})
+	st2, _ := store.Open(dir)
+	if _, err := srv2.AttachStore(st2); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := srv2.Build(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.State() != StateAborted {
+		t.Fatalf("recovered state = %v, want aborted", rb.State())
+	}
+	if !rb.CancelRequested() {
+		t.Fatal("recovered build lost its canceled marker")
+	}
+}
+
+// TestRecoveredTombstonesStayExpired: builds evicted to tombstones
+// before the crash still answer ErrExpired after recovery.
+func TestRecoveredTombstonesStayExpired(t *testing.T) {
+	dir := t.TempDir()
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{Retention: time.Hour})
+	srv.SetSpecBackend(slowBackend(clk, time.Minute))
+	srv.Nodes.Register(staticNode{name: "node1"})
+	admin, _ := srv.Users.Add("alice", RoleAdmin)
+	st, _ := store.Open(dir)
+	if _, err := srv.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.SubmitSpec(admin, testSpec("node1", "dev1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainServer(t, clk, []*Build{b})
+	clk.Advance(2 * time.Hour) // past retention: evicted to a tombstone
+	if _, err := srv.Build(b.ID); !errors.Is(err, ErrExpired) {
+		t.Fatalf("pre-crash expired build err = %v", err)
+	}
+	st.Close()
+
+	clk2 := simclock.NewVirtual()
+	srv2 := New(clk2, Config{Retention: time.Hour})
+	srv2.SetSpecBackend(slowBackend(clk2, time.Minute))
+	srv2.Nodes.Register(staticNode{name: "node1"})
+	st2, _ := store.Open(dir)
+	if _, err := srv2.AttachStore(st2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv2.Build(b.ID); !errors.Is(err, ErrExpired) {
+		t.Fatalf("post-restart expired build err = %v, want ErrExpired", err)
+	}
+}
+
+// TestSnapshotCompactionRoundTrip: state recovered from snapshot+WAL
+// equals state recovered from WAL alone.
+func TestSnapshotCompactionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{})
+	srv.SetSpecBackend(slowBackend(clk, time.Minute))
+	srv.Nodes.Register(staticNode{name: "node1"})
+	admin, _ := srv.Users.Add("alice", RoleAdmin)
+	st, _ := store.Open(dir)
+	if _, err := srv.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := srv.SubmitSpec(admin, testSpec("node1", "dev1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainServer(t, clk, []*Build{b1})
+	if err := srv.CompactStore(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Appended() != 0 {
+		t.Fatalf("WAL not truncated by compaction: %d records", st.Appended())
+	}
+	// More state on top of the snapshot.
+	b2, err := srv.SubmitSpec(admin, testSpec("node1", "dev2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainServer(t, clk, []*Build{b2})
+	st.Close()
+
+	clk2 := simclock.NewVirtual()
+	srv2 := New(clk2, Config{})
+	srv2.SetSpecBackend(slowBackend(clk2, time.Minute))
+	srv2.Nodes.Register(staticNode{name: "node1"})
+	st2, _ := store.Open(dir)
+	stats, err := srv2.AttachStore(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Builds != 2 {
+		t.Fatalf("recovered %d builds, want 2 (one from snapshot, one from WAL)", stats.Builds)
+	}
+	for _, id := range []int{b1.ID, b2.ID} {
+		rb, err := srv2.Build(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.State() != StateSuccess {
+			t.Fatalf("build %d state = %v, want success", id, rb.State())
+		}
+	}
+}
+
+// TestPeriodicCompaction: the snapshot ticker compacts the WAL on the
+// server clock once records accumulate.
+func TestPeriodicCompaction(t *testing.T) {
+	dir := t.TempDir()
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{SnapshotEvery: 5 * time.Minute})
+	st, _ := store.Open(dir)
+	if _, err := srv.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Users.Add("dana", RoleExperimenter); err != nil {
+		t.Fatal(err)
+	}
+	if st.Appended() == 0 {
+		t.Fatal("user creation not logged")
+	}
+	clk.Advance(6 * time.Minute)
+	if st.Appended() != 0 {
+		t.Fatalf("ticker did not compact: %d records pending", st.Appended())
+	}
+	snap, _ := st.Load()
+	if snap == nil || len(snap.Users) != 1 {
+		t.Fatalf("snapshot missing the user: %+v", snap)
+	}
+}
+
+// staticNode is a minimal always-up Node.
+type staticNode struct{ name string }
+
+func (n staticNode) Name() string { return n.name }
+func (n staticNode) Exec(cmd string, args ...string) (string, error) {
+	if cmd == "list_devices" {
+		return "dev1\ndev2\ndev3", nil
+	}
+	return "ok", nil
+}
+
+// Ping implements Pinger so heartbeat probes run synchronously on the
+// clock goroutine — deterministic under the virtual clock.
+func (n staticNode) Ping() error { return nil }
+
+// TestCreditGateAndCharge: with enforcement on, an experimenter with
+// no credits is rejected with the typed error; granted credits they
+// run, and the finished build debits its actual device time.
+func TestCreditGateAndCharge(t *testing.T) {
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{EnforceCredits: true})
+	srv.SetSpecBackend(slowBackend(clk, 2*time.Minute))
+	srv.Nodes.Register(staticNode{name: "node1"})
+	admin, _ := srv.Users.Add("alice", RoleAdmin)
+	exp, _ := srv.Users.Add("bob", RoleExperimenter)
+
+	if _, err := srv.SubmitSpec(exp, testSpec("node1", "dev1")); !errors.Is(err, ErrInsufficientCredits) {
+		t.Fatalf("broke submit err = %v, want ErrInsufficientCredits", err)
+	}
+	// Campaigns gate on the whole batch.
+	cs := api.CampaignSpec{Experiments: []api.ExperimentSpec{
+		testSpec("node1", "dev1"), testSpec("node1", "dev2"),
+	}}
+	srv.Ledger.Grant("bob", 1.5, "not enough for two")
+	if _, _, err := srv.SubmitCampaign(exp, cs); !errors.Is(err, ErrInsufficientCredits) {
+		t.Fatalf("campaign submit err = %v, want ErrInsufficientCredits", err)
+	}
+	// Admins are exempt.
+	if _, err := srv.SubmitSpec(admin, testSpec("node1", "dev3")); err != nil {
+		t.Fatalf("admin submit gated: %v", err)
+	}
+
+	srv.Ledger.Grant("bob", 8.5, "starter grant") // now 10
+	b, err := srv.SubmitSpec(exp, testSpec("node1", "dev1"))
+	if err != nil {
+		t.Fatalf("funded submit: %v", err)
+	}
+	drainServer(t, clk, []*Build{b})
+	if b.State() != StateSuccess {
+		t.Fatalf("state = %v (%v)", b.State(), b.Err())
+	}
+	// The 2-minute run cost 2 credits: 10 - 2 = 8.
+	if got := srv.Ledger.Balance("bob"); got != 8 {
+		t.Fatalf("post-run balance = %v, want 8", got)
+	}
+}
+
+// TestContributionAccrual: heartbeats of an owned monitored node
+// accrue the §5 contribution credits for attested online time,
+// flushed to the ledger in coalesced 15-minute lumps (one history
+// entry per lump, not per beat).
+func TestContributionAccrual(t *testing.T) {
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{})
+	srv.Nodes.Register(staticNode{name: "node1"})
+	if err := srv.MonitorNode("node1"); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetNodeOwner("node1", "carol")
+	clk.Advance(time.Hour)
+	// One hour of 15 s heartbeats at ContributionRate 4/h ≈ 4 credits.
+	got := srv.Ledger.Balance("carol")
+	if got < 3.9 || got > 4.1 {
+		t.Fatalf("carol accrued %v credits over an hour, want ~4", got)
+	}
+	// Coalescing: an hour of 15 s beats lands as ~4 flush entries, not
+	// ~240 per-beat rows.
+	if h := srv.Ledger.History("carol"); len(h) > 5 {
+		t.Fatalf("contribution history has %d entries for one hour, want coalesced (~4)", len(h))
+	}
+	// Accrual keeps flowing in lumps: another half hour adds ~2 more.
+	before := srv.Ledger.Balance("carol")
+	clk.Advance(30 * time.Minute)
+	after := srv.Ledger.Balance("carol")
+	if after <= before {
+		t.Fatalf("no accrual across 30 minutes: %v -> %v", before, after)
+	}
+	// An ownership transfer flushes the outgoing owner's sub-threshold
+	// remainder instead of handing it to the successor.
+	clk.Advance(10 * time.Minute) // below the 15m lump: owed, unflushed
+	preTransfer := srv.Ledger.Balance("carol")
+	srv.SetNodeOwner("node1", "dave")
+	if got := srv.Ledger.Balance("carol"); got <= preTransfer {
+		t.Fatalf("transfer did not flush carol's owed hosting: %v -> %v", preTransfer, got)
+	}
+	if got := srv.Ledger.Balance("dave"); got != 0 {
+		t.Fatalf("dave inherited %v credits of carol's hosting time", got)
+	}
+}
+
+// TestInsufficientCreditsOverV1: the typed rejection crosses the wire
+// as a 402 with code insufficient_credits.
+func TestInsufficientCreditsOverV1(t *testing.T) {
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{EnforceCredits: true})
+	srv.SetSpecBackend(slowBackend(clk, time.Minute))
+	srv.Nodes.Register(staticNode{name: "node1"})
+	exp, _ := srv.Users.Add("bob", RoleExperimenter)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := strings.NewReader(`{"node":"node1","device":"dev1","workload":{"name":"idle"}}`)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/experiments", body)
+	req.Header.Set("Authorization", "Bearer "+exp.Token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPaymentRequired {
+		t.Fatalf("status = %d, want 402", resp.StatusCode)
+	}
+	var env api.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error == nil || env.Error.Code != api.CodeInsufficientCredits {
+		t.Fatalf("envelope = %+v, want code insufficient_credits", env.Error)
+	}
+}
+
+// TestNodeOwnerRoute: ownership — the earning half of the §5 economy —
+// is assignable over the v1 API, admin-gated, and starts accrual.
+func TestNodeOwnerRoute(t *testing.T) {
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{})
+	srv.Nodes.Register(staticNode{name: "node1"})
+	if err := srv.MonitorNode("node1"); err != nil {
+		t.Fatal(err)
+	}
+	admin, _ := srv.Users.Add("alice", RoleAdmin)
+	exp, _ := srv.Users.Add("bob", RoleExperimenter)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(token, node, owner string) int {
+		body := strings.NewReader(fmt.Sprintf(`{"owner":%q}`, owner))
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/nodes/"+node+"/owner", body)
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(exp.Token, "node1", "bob"); code != http.StatusForbidden {
+		t.Fatalf("experimenter set owner: status %d, want 403", code)
+	}
+	if code := post(admin.Token, "ghost", "bob"); code != http.StatusNotFound {
+		t.Fatalf("unknown node: status %d, want 404", code)
+	}
+	if code := post(admin.Token, "node1", "nobody"); code != http.StatusNotFound {
+		t.Fatalf("unknown member: status %d, want 404", code)
+	}
+	if code := post(admin.Token, "node1", "bob"); code != http.StatusOK {
+		t.Fatalf("admin set owner: status %d, want 200", code)
+	}
+	clk.Advance(time.Hour)
+	if got := srv.Ledger.Balance("bob"); got < 3.9 {
+		t.Fatalf("bob accrued %v over an hour of hosting, want ~4", got)
+	}
+}
+
+// TestDroppedCountersOnStatus: feed losses surface in the wire status
+// instead of silently truncating the replay.
+func TestDroppedCountersOnStatus(t *testing.T) {
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{})
+	srv.SetSpecBackend(funcBackend(func(spec api.ExperimentSpec) (Constraints, RunFunc, error) {
+		run := func(ctx *BuildContext, done func(error)) {
+			feed := ctx.Build.Feed()
+			for i := 0; i < feedEventCap+5; i++ {
+				feed.PostEvent(api.BuildEvent{Build: ctx.Build.ID, Phase: "workload"})
+			}
+			for i := 0; i < 3; i++ {
+				feed.PostSample(api.SamplePoint{AtNS: int64(i), CurrentMA: 1})
+			}
+			done(nil)
+		}
+		return Constraints{Node: spec.Node}, run, nil
+	}))
+	srv.Nodes.Register(staticNode{name: "node1"})
+	admin, _ := srv.Users.Add("alice", RoleAdmin)
+	b, err := srv.SubmitSpec(admin, testSpec("node1", "dev1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainServer(t, clk, []*Build{b})
+	st := buildStatus(b)
+	if st.DroppedEvents != 5 {
+		t.Fatalf("dropped_events = %d, want 5", st.DroppedEvents)
+	}
+	if st.DroppedSamples != 0 {
+		t.Fatalf("dropped_samples = %d, want 0", st.DroppedSamples)
+	}
+}
+
+// TestSampleStreamCursor: GET /builds/{id}/samples honors ?from= so a
+// reconnecting client resumes instead of replaying (or losing) the
+// prefix.
+func TestSampleStreamCursor(t *testing.T) {
+	clk := simclock.NewVirtual()
+	srv := New(clk, Config{})
+	srv.SetSpecBackend(funcBackend(func(spec api.ExperimentSpec) (Constraints, RunFunc, error) {
+		run := func(ctx *BuildContext, done func(error)) {
+			for i := 0; i < 5; i++ {
+				ctx.Build.Feed().PostSample(api.SamplePoint{AtNS: int64(i), CurrentMA: float64(i)})
+			}
+			done(nil)
+		}
+		return Constraints{Node: spec.Node}, run, nil
+	}))
+	srv.Nodes.Register(staticNode{name: "node1"})
+	admin, _ := srv.Users.Add("alice", RoleAdmin)
+	b, err := srv.SubmitSpec(admin, testSpec("node1", "dev1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainServer(t, clk, []*Build{b})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/api/v1/builds/%d/samples?format=ndjson&from=3", ts.URL, b.ID), nil)
+	req.Header.Set("Authorization", "Bearer "+admin.Token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var got []api.SamplePoint
+	for dec.More() {
+		var p api.SamplePoint
+		if err := dec.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p)
+	}
+	if len(got) != 2 || got[0].AtNS != 3 || got[1].AtNS != 4 {
+		t.Fatalf("?from=3 returned %+v, want samples 3 and 4", got)
+	}
+}

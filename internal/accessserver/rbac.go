@@ -111,6 +111,32 @@ type Users struct {
 	mu      sync.RWMutex
 	byToken map[string]*User
 	byName  map[string]*User
+	// hook observes membership changes (the WAL append when a store is
+	// attached). Called under u.mu; it must not re-enter the store.
+	hook func(u User, removed bool)
+}
+
+// setHook installs the membership observer. Entries installed via
+// restore never reach it.
+func (u *Users) setHook(fn func(u User, removed bool)) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.hook = fn
+}
+
+// restore reinstates a member with their original token (recovery
+// path). An existing entry by the same name — a daemon that re-created
+// its bootstrap users before attaching the store — is replaced, so the
+// persisted token stays the valid one.
+func (u *Users) restore(name string, role Role, token string) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if old, ok := u.byName[name]; ok {
+		delete(u.byToken, old.Token)
+	}
+	user := &User{Name: name, Role: role, Token: token}
+	u.byName[name] = user
+	u.byToken[token] = user
 }
 
 // NewUsers returns an empty store.
@@ -132,6 +158,9 @@ func (u *Users) Add(name string, role Role) (*User, error) {
 	user := &User{Name: name, Role: role, Token: hex.EncodeToString(tok)}
 	u.byToken[user.Token] = user
 	u.byName[name] = user
+	if u.hook != nil {
+		u.hook(*user, false)
+	}
 	return user, nil
 }
 
@@ -167,6 +196,9 @@ func (u *Users) Remove(name string) error {
 	}
 	delete(u.byName, name)
 	delete(u.byToken, user.Token)
+	if u.hook != nil {
+		u.hook(*user, true)
+	}
 	return nil
 }
 

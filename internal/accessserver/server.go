@@ -6,8 +6,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"batterylab/internal/accessserver/store"
 	"batterylab/internal/api"
 	"batterylab/internal/simclock"
 )
@@ -47,6 +49,26 @@ type Config struct {
 	// appears (or has gone offline): instead of pending forever they
 	// fail with a reason (default 30m).
 	PendingTimeout time.Duration
+
+	// EnforceCredits turns on the §5 credit economy: submissions are
+	// gated on the submitter's ledger balance and finished runs are
+	// charged their actual device time. Admins are exempt (they operate
+	// the platform rather than buy access). Off by default; can also be
+	// toggled later with SetCreditEnforcement.
+	EnforceCredits bool
+	// SubmitCharge is the device time one experiment must be able to
+	// cover at submission time when credits are enforced (default 1m).
+	// The real charge on finish is the measured duration.
+	SubmitCharge time.Duration
+	// SnapshotEvery is the store compaction cadence when a store is
+	// attached: every tick with new WAL records, the server writes a
+	// snapshot and truncates the log (default 10m).
+	SnapshotEvery time.Duration
+	// WALSyncEvery is the group-commit cadence: WAL appends are fsynced
+	// on this interval (default 1s), bounding what a power loss can
+	// lose. A process crash alone loses nothing — appends reach the
+	// kernel immediately.
+	WALSyncEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +105,15 @@ func (c Config) withDefaults() Config {
 	if c.PendingTimeout == 0 {
 		c.PendingTimeout = 30 * time.Minute
 	}
+	if c.SubmitCharge == 0 {
+		c.SubmitCharge = time.Minute
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 10 * time.Minute
+	}
+	if c.WALSyncEvery == 0 {
+		c.WALSyncEvery = time.Second
+	}
 	return c
 }
 
@@ -108,6 +139,10 @@ type Server struct {
 
 	Users *Users
 	Nodes *Nodes
+	// Ledger is the §5 credit economy: contribution credits accrue from
+	// node-online time, experiments debit device time. Enforcement is
+	// gated by Config.EnforceCredits / SetCreditEnforcement.
+	Ledger *Ledger
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -124,6 +159,22 @@ type Server struct {
 	specs        SpecBackend
 	campaigns    map[int]*campaignRec
 	nextCampaign int
+
+	// creditsOn gates the ledger checks without a config rebuild.
+	creditsOn atomic.Bool
+
+	// Persistence (see persist.go). storeMu is a leaf mutex: it may be
+	// taken under s.mu and b.mu but never takes either itself.
+	// storeFailed latches after a failed WAL append; appends stay
+	// suppressed until a compaction re-establishes a complete snapshot.
+	storeMu     sync.Mutex
+	store       *store.Store
+	storeFailed bool
+	snapTicker  *simclock.Ticker
+	syncTicker  *simclock.Ticker
+	// compactMu serializes whole compaction cycles (ticker vs shutdown)
+	// without making either hold the scheduler locks across disk I/O.
+	compactMu sync.Mutex
 }
 
 // campaignRec tracks one campaign's builds and its concurrency cap.
@@ -141,11 +192,12 @@ type cronEntry struct {
 
 // New creates an access server.
 func New(clock simclock.Clock, cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		cfg:          cfg.withDefaults(),
 		clock:        clock,
 		Users:        NewUsers(),
 		Nodes:        NewNodes(),
+		Ledger:       NewLedger(),
 		jobs:         make(map[string]*Job),
 		builds:       make(map[int]*Build),
 		nextID:       1,
@@ -154,7 +206,14 @@ func New(clock simclock.Clock, cfg Config) *Server {
 		campaigns:    make(map[int]*campaignRec),
 		nextCampaign: 1,
 	}
+	s.creditsOn.Store(s.cfg.EnforceCredits)
+	return s
 }
+
+// SetCreditEnforcement toggles the §5 credit economy at runtime (the
+// daemon's -credits flag; Config.EnforceCredits sets the initial
+// state).
+func (s *Server) SetCreditEnforcement(on bool) { s.creditsOn.Store(on) }
 
 // SetSpecBackend installs the declarative spec compiler. Without one,
 // v1 experiment submission is rejected with ErrInvalid.
@@ -197,6 +256,7 @@ func (s *Server) CreateJob(user *User, name string, cons Constraints, run RunFun
 	// Admins' own pipelines are implicitly approved.
 	j.approved = user.Role == RoleAdmin
 	s.jobs[name] = j
+	s.logJob(j)
 	return j, nil
 }
 
@@ -211,12 +271,18 @@ func (s *Server) EditJob(user *User, name string, cons Constraints, run RunFunc)
 	if err != nil {
 		return err
 	}
+	// s.mu spans the mutation and its WAL append: job writers must use
+	// the same lock order as snapshot compaction, or the record could
+	// fall between a snapshot read and the log truncation.
+	s.mu.Lock()
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.constraints = cons
 	j.run = run
 	j.revision++
 	j.approved = user.Role == RoleAdmin
+	j.mu.Unlock()
+	s.logJob(j)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -229,9 +295,12 @@ func (s *Server) ApproveJob(user *User, name string) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.approved = true
+	j.mu.Unlock()
+	s.logJob(j)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -252,6 +321,7 @@ func (s *Server) DeleteJob(user *User, name string) error {
 	}
 	s.mu.Lock()
 	delete(s.jobs, name)
+	s.logStore(store.Record{T: store.TJobDeleted, Name: name})
 	var failed []*Build
 	kept := s.queue[:0]
 	for _, b := range s.queue {
@@ -306,8 +376,14 @@ func (s *Server) Submit(user *User, jobName string) (*Build, error) {
 	if !j.Approved() {
 		return nil, fmt.Errorf("%w: job %q revision %d awaits admin approval", ErrConflict, jobName, j.Revision())
 	}
+	if !j.Runnable() {
+		return nil, fmt.Errorf("%w: job %q was recovered without its pipeline body; edit it to reinstall one", ErrConflict, jobName)
+	}
+	if err := s.creditGate(user, 1); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
-	b := s.enqueueLocked(user.Name, jobName, 0, Constraints{}, nil)
+	b := s.enqueueLocked(user.Name, jobName, 0, Constraints{}, nil, nil)
 	s.mu.Unlock()
 	s.dispatch()
 	return b, nil
@@ -315,11 +391,12 @@ func (s *Server) Submit(user *User, jobName string) (*Build, error) {
 
 // enqueueLocked creates a build and appends it to the queue. run is nil
 // for job builds (the pipeline is looked up at dispatch time) and set
-// for spec builds, which carry their own constraints and body. Every
-// build gets an aging timer: if it is still queued after PendingTimeout
-// and its node never appeared (or has gone offline), it fails with a
-// reason instead of pending forever. Callers hold s.mu.
-func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constraints, run RunFunc) *Build {
+// for spec builds, which carry their own constraints and body plus the
+// wire spec the store needs for crash recovery. Every build gets an
+// aging timer: if it is still queued after PendingTimeout and its node
+// never appeared (or has gone offline), it fails with a reason instead
+// of pending forever. Callers hold s.mu.
+func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constraints, run RunFunc, spec *api.ExperimentSpec) *Build {
 	b := &Build{
 		ID:        s.nextID,
 		Job:       jobName,
@@ -327,6 +404,7 @@ func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constra
 		campaign:  campaign,
 		cons:      cons,
 		run:       run,
+		wireSpec:  spec,
 		queuedAt:  s.clock.Now(),
 		workspace: NewWorkspace(),
 		feed:      newFeed(),
@@ -335,6 +413,10 @@ func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constra
 	s.builds[b.ID] = b
 	s.queue = append(s.queue, b)
 	b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
+	s.logStore(store.Record{T: store.TBuildQueued, Build: &store.BuildRec{
+		ID: b.ID, Job: b.Job, Owner: b.Owner, Campaign: b.campaign,
+		Spec: b.wireSpec, State: StateQueued.String(), QueuedAtNS: b.queuedAt.UnixNano(),
+	}})
 	return b
 }
 
@@ -353,12 +435,15 @@ func (s *Server) SubmitSpec(user *User, spec api.ExperimentSpec) (*Build, error)
 	if backend == nil {
 		return nil, fmt.Errorf("%w: this server has no spec backend; submit jobs instead", ErrInvalid)
 	}
+	if err := s.creditGate(user, 1); err != nil {
+		return nil, err
+	}
 	cons, run, err := backend.Compile(spec)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
-	b := s.enqueueLocked(user.Name, specJobName(spec), 0, cons, run)
+	b := s.enqueueLocked(user.Name, specJobName(spec), 0, cons, run, &spec)
 	s.mu.Unlock()
 	s.dispatch()
 	return b, nil
@@ -387,6 +472,9 @@ func (s *Server) SubmitCampaign(user *User, cs api.CampaignSpec) (int, []*Build,
 		return 0, nil, fmt.Errorf("%w: campaign has %d experiments (max %d)",
 			ErrInvalid, len(cs.Experiments), MaxCampaignExperiments)
 	}
+	if err := s.creditGate(user, len(cs.Experiments)); err != nil {
+		return 0, nil, err
+	}
 	type compiled struct {
 		cons Constraints
 		run  RunFunc
@@ -407,9 +495,13 @@ func (s *Server) SubmitCampaign(user *User, cs api.CampaignSpec) (int, []*Build,
 	s.campaigns[id] = rec
 	builds := make([]*Build, len(pipelines))
 	for i, p := range pipelines {
-		builds[i] = s.enqueueLocked(user.Name, p.name, id, p.cons, p.run)
+		spec := cs.Experiments[i]
+		builds[i] = s.enqueueLocked(user.Name, p.name, id, p.cons, p.run, &spec)
 		rec.builds = append(rec.builds, builds[i].ID)
 	}
+	s.logStore(store.Record{T: store.TCampaign, Campaign: &store.CampaignRec{
+		ID: id, MaxConcurrent: rec.maxConcurrent, Builds: append([]int(nil), rec.builds...),
+	}})
 	s.mu.Unlock()
 	s.dispatch()
 	return id, builds, nil
@@ -468,33 +560,53 @@ func (s *Server) Abort(user *User, id int) error {
 	}
 	if queuedAt >= 0 {
 		s.queue = append(s.queue[:queuedAt], s.queue[queuedAt+1:]...)
-	}
-	s.mu.Unlock()
-
-	if queuedAt >= 0 {
+		// Settle the aborted build while still holding s.mu: the WAL
+		// append below must be serialized against snapshot compaction
+		// (which cuts the log under s.mu), or the abort record could
+		// fall between a snapshot that read "queued" and the truncation.
 		b.mu.Lock()
 		b.state = StateAborted
 		b.cancelWant = true
 		b.finishedAt = s.clock.Now()
 		b.stopTimersLocked()
 		fmt.Fprintf(&b.log, "build aborted while queued\n")
+		s.logBuildFinishedLocked(b)
 		b.mu.Unlock()
+		s.mu.Unlock()
 		b.feed.close()
 		s.scheduleRetention(b)
 		return nil
 	}
-	switch b.State() {
-	case StateRunning:
-		b.requestCancel()
-		return nil
-	case StateQueued:
-		// Dispatch is picking it up right now — or the build sits in a
-		// failover backoff window; arm the pending-cancel flag so the
-		// pipeline's OnCancel (or the retry timer) settles it.
-		b.requestCancel()
+	// Still under the s.mu from the queue scan: every state transition
+	// (finish, requeue, aging, failover) takes it, so none interleaves
+	// between the scan and this switch — a finished build reliably
+	// answers conflict instead of gaining a bogus persisted canceled
+	// marker.
+	b.mu.Lock()
+	switch b.state {
+	case StateRunning, StateQueued:
+		// Running — or dispatch is picking it up right now, or it sits
+		// in a failover backoff window: arm the pending-cancel flag so
+		// the pipeline's OnCancel (or the retry timer) settles it. The
+		// flag is WAL-logged under the compaction lock order, so a
+		// server that crashes before the build settles recovers it as
+		// aborted instead of rerunning a canceled experiment; the hook
+		// itself runs outside the locks (it tears down a session, which
+		// may re-enter the server through the build's done callback).
+		b.cancelWant = true
+		fn := b.canceler
+		s.logStore(store.Record{T: store.TBuildCancelWant, BuildID: b.ID})
+		b.mu.Unlock()
+		s.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
 		return nil
 	default:
-		return fmt.Errorf("%w: build %d already finished (%s)", ErrConflict, id, b.State())
+		state := b.state
+		b.mu.Unlock()
+		s.mu.Unlock()
+		return fmt.Errorf("%w: build %d already finished (%s)", ErrConflict, id, state)
 	}
 }
 
@@ -539,6 +651,12 @@ func (s *Server) pipelineLocked(b *Build) (Constraints, RunFunc, error) {
 	job, ok := s.jobs[b.Job]
 	if !ok {
 		return Constraints{}, nil, fmt.Errorf("%w: job %q", ErrJobDeleted, b.Job)
+	}
+	if !job.Runnable() {
+		// The job survived a restart but its closure body did not; the
+		// build cannot run until someone re-edits the pipeline, and a
+		// queued build failing fast beats one pending forever.
+		return Constraints{}, nil, fmt.Errorf("%w: job %q has no pipeline body after recovery", ErrJobDeleted, b.Job)
 	}
 	return job.Constraints(), job.run, nil
 }
@@ -721,6 +839,8 @@ func (s *Server) pickLocked() (*pick, []cpuProbe, []*Build) {
 			})
 		}
 		cand.mu.Unlock()
+		s.logStore(store.Record{T: store.TBuildStarted, BuildID: cand.ID,
+			NodeName: node.Name(), Attempt: attempt, AtNS: now.UnixNano()})
 
 		return &pick{b: cand, run: run, node: node, device: device, locks: keys}, probes, failed
 	}
@@ -959,8 +1079,8 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 	}
 	// Abandon the attempt: later done() calls from its pipeline are
 	// stale (attempt/state guarded in finish); its cancel hook is
-	// detached — NOT via requestCancel, which would taint the retried
-	// build with the canceled flag.
+	// detached WITHOUT arming cancelWant (as Abort would), which would
+	// taint the retried build with the canceled flag.
 	cancel = b.canceler
 	b.canceler = nil
 
@@ -978,6 +1098,7 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 		b.err = fmt.Errorf("%w: %s after %d retries", ErrNodeLost, reason, b.retries)
 		b.finishedAt = now
 		b.stopTimersLocked()
+		s.logBuildFinishedLocked(b)
 		b.mu.Unlock()
 		b.feed.close()
 		s.scheduleRetention(b)
@@ -991,6 +1112,8 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 	attempt := b.attempt
 	fmt.Fprintf(&b.log, "build requeued: %s (retry %d/%d in %s)\n", reason, b.retries, s.cfg.MaxRetries, backoff)
 	b.retryTimer = s.clock.AfterFunc(backoff, func() { s.requeue(b, attempt) })
+	s.logStore(store.Record{T: store.TBuildFailover, BuildID: b.ID,
+		Retries: b.retries, Reason: reason, AtNS: now.UnixNano()})
 	b.mu.Unlock()
 	return cancel
 }
@@ -1012,6 +1135,7 @@ func (s *Server) requeue(b *Build, attempt int) {
 		b.finishedAt = s.clock.Now()
 		b.stopTimersLocked()
 		fmt.Fprintf(&b.log, "build aborted during failover backoff\n")
+		s.logBuildFinishedLocked(b)
 		b.mu.Unlock()
 		s.mu.Unlock()
 		b.feed.close()
@@ -1110,6 +1234,7 @@ func (s *Server) terminateLocked(b *Build, err error) {
 	b.finishedAt = s.clock.Now()
 	b.stopTimersLocked()
 	fmt.Fprintf(&b.log, "build failed: %v\n", err)
+	s.logBuildFinishedLocked(b)
 	b.mu.Unlock()
 	s.scheduleRetention(b)
 }
@@ -1144,7 +1269,9 @@ func (s *Server) finish(b *Build, attempt int, locks []string, err error) {
 		fmt.Fprintf(&b.log, "build succeeded\n")
 	}
 	b.stopTimersLocked()
+	s.logBuildFinishedLocked(b)
 	nodeName := b.nodeName
+	deviceTime := b.finishedAt.Sub(b.startedAt)
 	b.mu.Unlock()
 
 	for _, k := range locks {
@@ -1159,6 +1286,7 @@ func (s *Server) finish(b *Build, attempt int, locks []string, err error) {
 	}
 	s.mu.Unlock()
 
+	s.chargeRun(b.Owner, deviceTime)
 	b.feed.close()
 	s.scheduleRetention(b)
 	s.dispatch()
@@ -1178,6 +1306,7 @@ func (s *Server) scheduleRetention(b *Build) {
 		b.mu.Unlock()
 		s.mu.Lock()
 		delete(s.builds, b.ID)
+		s.logStore(store.Record{T: store.TBuildExpired, BuildID: b.ID})
 		if rec := s.campaigns[b.campaign]; rec != nil {
 			live := false
 			for _, bid := range rec.builds {
@@ -1188,6 +1317,7 @@ func (s *Server) scheduleRetention(b *Build) {
 			}
 			if !live {
 				delete(s.campaigns, b.campaign)
+				s.logStore(store.Record{T: store.TCampaignExpired, CampaignID: b.campaign})
 			}
 		}
 		s.mu.Unlock()

@@ -337,6 +337,24 @@ type BuildStatus struct {
 	Attempts int `json:"attempts,omitempty"`
 	// PendingReason explains why a queued build is not running yet.
 	PendingReason string `json:"pending_reason,omitempty"`
+	// DroppedEvents and DroppedSamples count records the build's bounded
+	// feed buffers shed under backpressure: a non-zero value tells a
+	// streaming client its replay is lossy rather than letting it trust
+	// a silently truncated stream.
+	DroppedEvents  int64 `json:"dropped_events,omitempty"`
+	DroppedSamples int64 `json:"dropped_samples,omitempty"`
+	// Recovered marks state reconstructed from the server's WAL+snapshot
+	// store after a restart: status fields are authoritative, but the
+	// feed replay starts over (pre-crash events and samples are gone)
+	// and a build that was mid-run at the crash went through a failover
+	// requeue.
+	Recovered bool `json:"recovered,omitempty"`
+	// FeedEpoch counts how many times the build's event/sample feed
+	// started over (once per server recovery). A streaming client that
+	// sees the epoch move knows its resume cursors — and any client-side
+	// aggregate built from the feed — belong to an abandoned attempt and
+	// must reset, even across multiple restarts.
+	FeedEpoch int `json:"feed_epoch,omitempty"`
 }
 
 // StateExpired is the BuildStatus.State of a tombstoned build.
@@ -390,6 +408,9 @@ const (
 	CodeNotFound     ErrorCode = "not_found"    // 404: unknown build/job/node/device
 	CodeConflict     ErrorCode = "conflict"     // 409: duplicate job, unapproved revision
 	CodeInternal     ErrorCode = "internal"     // 500: everything else
+	// CodeInsufficientCredits is the §5 credit economy's rejection: the
+	// member's ledger balance cannot cover the submission (402).
+	CodeInsufficientCredits ErrorCode = "insufficient_credits"
 )
 
 // Error is the typed error envelope every non-2xx v1 response carries:
@@ -421,6 +442,8 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusNotFound
 	case CodeConflict:
 		return http.StatusConflict
+	case CodeInsufficientCredits:
+		return http.StatusPaymentRequired
 	default:
 		return http.StatusInternalServerError
 	}
@@ -440,6 +463,8 @@ func CodeForStatus(status int) ErrorCode {
 		return CodeNotFound
 	case http.StatusConflict:
 		return CodeConflict
+	case http.StatusPaymentRequired:
+		return CodeInsufficientCredits
 	default:
 		return CodeInternal
 	}

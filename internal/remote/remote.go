@@ -23,6 +23,12 @@
 //     codec is lossless and the streaming aggregators are recomputed
 //     in append order, Summary().Mean and EnergyMAH are bit-identical
 //     to the server's (and to a local run of the same spec).
+//
+// The client is resilient to transient failures: idempotent requests
+// retry with exponential backoff and jitter (see RetryPolicy), and a
+// dropped event or sample stream reconnects from its resume cursor
+// (?from=) instead of silently losing the tail. Submission POSTs never
+// auto-retry — a retried submit could double-queue a build.
 package remote
 
 import (
@@ -33,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -51,7 +58,27 @@ type Platform struct {
 	base  *url.URL
 	token string
 	hc    *http.Client
+	retry RetryPolicy
 }
+
+// RetryPolicy tunes the client's resilience to transient failures:
+// idempotent requests (GETs, cancels) retry on network errors and
+// gateway-class statuses (502/503/504) with exponential backoff plus
+// jitter, and the event/sample streams reconnect from their resume
+// cursors under the same budget. Submission POSTs never auto-retry —
+// a retried submit could double-queue a build.
+type RetryPolicy struct {
+	// Attempts is the total tries per request (and the consecutive
+	// reconnect budget per stream). Minimum 1.
+	Attempts int
+	// BaseDelay is the first backoff, doubling per retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff before jitter.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is what Dial installs.
+var DefaultRetryPolicy = RetryPolicy{Attempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
 
 // Dial validates the server URL and returns a client bound to the
 // bearer token. No connection is made until the first request.
@@ -63,7 +90,66 @@ func Dial(server, token string) (*Platform, error) {
 	if u.Scheme != "http" && u.Scheme != "https" {
 		return nil, fmt.Errorf("remote: server URL %q needs an http(s) scheme", server)
 	}
-	return &Platform{base: u, token: token, hc: &http.Client{}}, nil
+	return &Platform{base: u, token: token, hc: &http.Client{}, retry: DefaultRetryPolicy}, nil
+}
+
+// SetRetryPolicy replaces the client's retry policy. Call before
+// starting sessions.
+func (p *Platform) SetRetryPolicy(rp RetryPolicy) {
+	if rp.Attempts < 1 {
+		rp.Attempts = 1
+	}
+	p.retry = rp
+}
+
+// backoff computes the jittered delay before retry attempt n (1-based):
+// BaseDelay doubling per attempt, capped at MaxDelay, scaled by a
+// random factor in [0.5, 1.5) so a fleet of reconnecting clients does
+// not thunder back in lockstep. Doubling by repeated shift-with-cap
+// rather than one big shift keeps a large Attempts from overflowing
+// into a negative (instant) delay.
+func (p *Platform) backoff(n int) time.Duration {
+	d := p.retry.BaseDelay
+	if d <= 0 {
+		// A partial policy (only Attempts set) must still back off, not
+		// hammer a struggling server with zero-delay retries.
+		d = DefaultRetryPolicy.BaseDelay
+	}
+	max := p.retry.MaxDelay
+	if max <= 0 {
+		max = time.Minute
+	}
+	for i := 1; i < n && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// retrySleep waits out the backoff before attempt n, honoring ctx.
+// Reports false when ctx ended first.
+func (p *Platform) retrySleep(ctx context.Context, n int) bool {
+	t := time.NewTimer(p.backoff(n))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// transientStatus reports whether an HTTP status is worth retrying:
+// gateway-class failures that say "the server did not handle this",
+// not application errors.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 // SetHTTPClient swaps the underlying HTTP client (custom TLS,
@@ -79,39 +165,89 @@ func (p *Platform) url(format string, args ...any) string {
 	return p.base.ResolveReference(ref).String()
 }
 
-// doJSON performs one request/response round trip. A non-2xx response
-// is decoded as the api.Error envelope (synthesized from the bare
-// status when the body is not an envelope) and returned as *api.Error.
+// doJSON performs one request/response round trip, retrying transient
+// failures (network errors, 502/503/504) with backoff for idempotent
+// requests — GETs, plus POSTs the caller marks idempotent via
+// doJSONIdempotent (cancel is; submit is not, since a retried submit
+// could double-queue a build). A non-2xx response is decoded as the
+// api.Error envelope (synthesized from the bare status when the body
+// is not an envelope) and returned as *api.Error.
 func (p *Platform) doJSON(ctx context.Context, method, u string, in, out any) error {
-	var body io.Reader
+	return p.do(ctx, method, u, in, out, method == http.MethodGet)
+}
+
+// doJSONIdempotent is doJSON with retries enabled regardless of
+// method, for POSTs that are safe to repeat (cancel).
+func (p *Platform) doJSONIdempotent(ctx context.Context, method, u string, in, out any) error {
+	return p.do(ctx, method, u, in, out, true)
+}
+
+func (p *Platform) do(ctx context.Context, method, u string, in, out any, idempotent bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("remote: encoding request: %w", err)
 		}
-		body = bytes.NewReader(data)
+		payload = data
 	}
-	req, err := http.NewRequestWithContext(ctx, method, u, body)
-	if err != nil {
-		return err
+	attempts := p.retry.Attempts
+	if !idempotent || attempts < 1 {
+		attempts = 1
 	}
-	req.Header.Set("Authorization", "Bearer "+p.token)
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 && !p.retrySleep(ctx, attempt-1) {
+			break
+		}
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, body)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Authorization", "Bearer "+p.token)
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := p.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("remote: %s %s: %w", method, u, err)
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		if transientStatus(resp.StatusCode) {
+			lastErr = decodeError(resp)
+			resp.Body.Close()
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			err := decodeError(resp)
+			resp.Body.Close()
+			return err
+		}
+		// Read the whole body before declaring success: a connection
+		// reset mid-body is the same transient failure as one before
+		// the headers and retries under the same budget.
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("remote: %s %s: reading response: %w", method, u, err)
+			continue
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(data, out)
 	}
-	resp, err := p.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("remote: %s %s: %w", method, u, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return decodeError(resp)
-	}
-	if out == nil {
-		io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return lastErr
 }
 
 // decodeError turns a non-2xx response into *api.Error.
@@ -127,8 +263,21 @@ func decodeError(resp *http.Response) error {
 	}
 }
 
-// stream opens a streaming GET and returns the open body.
+// transientErr marks a failure worth retrying — network-level, or a
+// gateway-class response status. It unwraps to the underlying error so
+// errors.As against *api.Error keeps working.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
+
+// stream opens a streaming GET and returns the open body. Transient
+// failures come back wrapped as *transientErr; callers with resume
+// cursors (the stream loops, getBytes) retry on those.
 func (p *Platform) stream(ctx context.Context, u string) (io.ReadCloser, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
@@ -136,13 +285,51 @@ func (p *Platform) stream(ctx context.Context, u string) (io.ReadCloser, error) 
 	req.Header.Set("Authorization", "Bearer "+p.token)
 	resp, err := p.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, &transientErr{err}
 	}
 	if resp.StatusCode >= 300 {
 		defer resp.Body.Close()
-		return nil, decodeError(resp)
+		err := decodeError(resp)
+		if transientStatus(resp.StatusCode) {
+			return nil, &transientErr{err}
+		}
+		return nil, err
 	}
 	return resp.Body, nil
+}
+
+// getBytes fetches a whole resource (artifacts), retrying transient
+// failures with the client's backoff policy.
+func (p *Platform) getBytes(ctx context.Context, u string) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var lastErr error
+	for attempt := 1; attempt <= p.retry.Attempts; attempt++ {
+		if attempt > 1 && !p.retrySleep(ctx, attempt-1) {
+			break
+		}
+		rc, err := p.stream(ctx, u)
+		if err != nil {
+			var te *transientErr
+			if !errors.As(err, &te) {
+				return nil, err // application error: retrying cannot help
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			lastErr = err // connection died mid-body
+			continue
+		}
+		return data, nil
+	}
+	return nil, lastErr
 }
 
 // Nodes lists the server's vantage points with their devices and
@@ -175,14 +362,10 @@ func (p *Platform) BuildStatus(ctx context.Context, build int) (api.BuildStatus,
 	return out, err
 }
 
-// Artifact fetches one workspace artifact's raw bytes.
+// Artifact fetches one workspace artifact's raw bytes, retrying
+// transient failures.
 func (p *Platform) Artifact(ctx context.Context, build int, name string) ([]byte, error) {
-	rc, err := p.stream(ctx, p.url("/api/v1/builds/%d/artifacts/%s", build, name))
-	if err != nil {
-		return nil, err
-	}
-	defer rc.Close()
-	return io.ReadAll(rc)
+	return p.getBytes(ctx, p.url("/api/v1/builds/%d/artifacts/%s", build, name))
 }
 
 // StartExperiment submits a declarative spec and returns a live
@@ -354,7 +537,8 @@ func (s *Session) Cancel() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	// Conflict means the build already finished — not an error here.
-	err := s.p.doJSON(ctx, http.MethodPost, s.p.url("/api/v1/builds/%d/cancel", s.build), nil, nil)
+	// Cancel is idempotent server-side, so it retries like a GET.
+	err := s.p.doJSONIdempotent(ctx, http.MethodPost, s.p.url("/api/v1/builds/%d/cancel", s.build), nil, nil)
 	var apiErr *api.Error
 	if err != nil && errors.As(err, &apiErr) && apiErr.Code == api.CodeConflict {
 		return
@@ -377,92 +561,193 @@ func (s *Session) Wait(ctx context.Context) (*core.Result, error) {
 	return s.Result()
 }
 
-// eventLoop streams NDJSON phase events, forwarding them to observers
-// as core.PhaseChange. The terminal PhaseDone event is withheld and
-// delivered by finalize, after the sample stream has drained.
-func (s *Session) eventLoop(ctx context.Context) {
-	rc, err := s.p.stream(ctx, s.p.url("/api/v1/builds/%d/events", s.build))
+// streamCheck is the stream loops' decision point after a failed open
+// or a disconnect: fetch the build status and report whether the loop
+// should stop (terminal state, or the server unreachable — finalize
+// resolves the real state). It also detects a server that restarted
+// and recovered the build: each recovery hands the build a fresh feed
+// and bumps its feed_epoch, so whenever the epoch moves past what the
+// caller has seen, its resume cursor belongs to an abandoned feed and
+// must reset — on every restart, not just the first.
+func (s *Session) streamCheck(ctx context.Context, seenEpoch *int) (stop, reset bool) {
+	st, err := s.p.BuildStatus(ctx, s.build)
 	if err != nil {
-		return // finalize polls status instead
+		return true, false
 	}
-	defer rc.Close()
-	dec := json.NewDecoder(rc)
+	switch st.State {
+	case "success", "failure", "aborted", api.StateExpired:
+		return true, false
+	}
+	if st.FeedEpoch > *seenEpoch {
+		*seenEpoch = st.FeedEpoch
+		return false, true
+	}
+	return false, false
+}
+
+// healthyConn reports whether a finished connection attempt counts as
+// a fresh start for the consecutive-failure budget: it delivered data,
+// or it stayed up long enough that the drop is a new incident rather
+// than a continuation of the same outage. Without this, idle-phase
+// streams severed by proxies every few minutes would burn the budget
+// cumulatively over a perfectly healthy run.
+func healthyConn(progressed bool, opened time.Time) bool {
+	return progressed || time.Since(opened) > 5*time.Second
+}
+
+// runStream is the shared replay-plus-follow driver behind eventLoop
+// and sampleLoop: open the stream at the consumer's resume cursor,
+// let consume drain it (reporting whether anything arrived), and on
+// disconnect decide between stopping (build terminal), resetting the
+// consumer (the server restarted — feed epoch moved), and retrying
+// within the consecutive-failure budget. The loops differ only in how
+// they decode records and what a reset clears.
+func (s *Session) runStream(ctx context.Context, path string, cursor func() int, reset func(), consume func(io.Reader) bool) {
+	failures := 0
+	seenEpoch := 0
 	for {
-		var ev api.BuildEvent
-		if err := dec.Decode(&ev); err != nil {
+		opened := time.Now()
+		rc, err := s.p.stream(ctx, s.p.url(path, s.build)+fmt.Sprintf("?from=%d", cursor()))
+		progressed := false
+		if err == nil {
+			progressed = consume(rc)
+			rc.Close()
+		}
+		if ctx.Err() != nil {
 			return
 		}
-		if ev.Phase == api.EventFailover {
-			// Scheduler retry transition, not an experiment phase: the
-			// node was lost and the build is being requeued.
-			s.mu.Lock()
-			s.failovers++
-			s.lastRetry = ev.Error
-			s.mu.Unlock()
-			continue
+		stop, rst := s.streamCheck(ctx, &seenEpoch)
+		if stop {
+			return
 		}
-		phase, ok := core.PhaseFromString(ev.Phase)
-		if !ok {
-			continue // newer server: skip unknown phases
+		if rst {
+			reset()
 		}
-		change := core.PhaseChange{
-			Node:   ev.Node,
-			Device: ev.Device,
-			Phase:  phase,
-			At:     time.Unix(0, ev.AtNS),
-			Step:   ev.Step,
+		if healthyConn(progressed, opened) {
+			failures = 0
 		}
-		if ev.Error != "" {
-			change.Err = errors.New(ev.Error)
+		failures++
+		if failures >= s.p.retry.Attempts || !s.p.retrySleep(ctx, failures) {
+			return
 		}
-		s.mu.Lock()
-		if phase > s.phase {
-			s.phase = phase
-		}
-		if phase == core.PhaseDone {
-			s.doneEvent = &change
-		}
-		s.mu.Unlock()
-		if phase != core.PhaseDone {
-			for _, o := range s.obs {
-				o.OnPhase(change)
+	}
+}
+
+// eventLoop streams NDJSON phase events, forwarding them to observers
+// as core.PhaseChange. A dropped connection resumes from the last seen
+// Seq via the ?from= cursor, with the client's backoff policy between
+// reconnects; a stream that ends while the server reports the build
+// still running is a loss, not a finish. The terminal PhaseDone event
+// is withheld and delivered by finalize, after the sample stream has
+// drained.
+func (s *Session) eventLoop(ctx context.Context) {
+	cursor := 0
+	s.runStream(ctx, "/api/v1/builds/%d/events",
+		func() int { return cursor },
+		func() { cursor = 0 },
+		func(r io.Reader) bool {
+			dec := json.NewDecoder(r)
+			progressed := false
+			for {
+				var ev api.BuildEvent
+				if err := dec.Decode(&ev); err != nil {
+					return progressed
+				}
+				progressed = true
+				cursor = ev.Seq + 1
+				s.handleEvent(ev)
 			}
+		})
+}
+
+// handleEvent folds one wire event into the session and observers.
+func (s *Session) handleEvent(ev api.BuildEvent) {
+	if ev.Phase == api.EventFailover {
+		// Scheduler retry transition, not an experiment phase: the
+		// node was lost and the build is being requeued.
+		s.mu.Lock()
+		s.failovers++
+		s.lastRetry = ev.Error
+		s.mu.Unlock()
+		return
+	}
+	phase, ok := core.PhaseFromString(ev.Phase)
+	if !ok {
+		return // newer server: skip unknown phases
+	}
+	change := core.PhaseChange{
+		Node:   ev.Node,
+		Device: ev.Device,
+		Phase:  phase,
+		At:     time.Unix(0, ev.AtNS),
+		Step:   ev.Step,
+	}
+	if ev.Error != "" {
+		change.Err = errors.New(ev.Error)
+	}
+	s.mu.Lock()
+	if phase > s.phase {
+		s.phase = phase
+	}
+	if phase == core.PhaseDone {
+		s.doneEvent = &change
+	}
+	s.mu.Unlock()
+	if phase != core.PhaseDone {
+		for _, o := range s.obs {
+			o.OnPhase(change)
 		}
 	}
 }
 
 // sampleLoop streams binary sample frames, re-aggregates the live
-// summary client-side and forwards each point to observers.
+// summary client-side and forwards each point to observers. Like
+// eventLoop it resumes a dropped connection via the sample stream's
+// ?from= cursor (counting samples received), so a reconnect neither
+// replays points into the aggregate twice nor skips the gap. If the
+// server restarted and recovered the build, the rerun's samples are a
+// fresh capture: the cursor AND the live aggregate reset, because the
+// pre-crash samples belonged to an attempt the scheduler abandoned.
 func (s *Session) sampleLoop(ctx context.Context) {
-	rc, err := s.p.stream(ctx, s.p.url("/api/v1/builds/%d/samples", s.build))
-	if err != nil {
-		return
-	}
-	defer rc.Close()
-	br := bufio.NewReader(rc)
-	for {
-		pts, err := api.ReadSampleFrame(br)
-		if err != nil {
-			return // io.EOF at a frame boundary is the clean end
-		}
-		for _, pt := range pts {
-			s.agg.Add(pt.AtNS, pt.CurrentMA)
-			live := s.agg.Snapshot()
+	cursor := 0
+	s.runStream(ctx, "/api/v1/builds/%d/samples",
+		func() int { return cursor },
+		func() {
+			cursor = 0
+			s.agg = samples.NewStreamSummary()
 			s.mu.Lock()
-			s.live = live
+			s.live = samples.LiveSummary{}
 			s.mu.Unlock()
-			smp := core.Sample{
-				Node:      s.node,
-				Device:    s.device,
-				At:        time.Unix(0, pt.AtNS),
-				CurrentMA: pt.CurrentMA,
-				Live:      live,
+		},
+		func(r io.Reader) bool {
+			br := bufio.NewReader(r)
+			progressed := false
+			for {
+				pts, err := api.ReadSampleFrame(br)
+				if err != nil {
+					return progressed // io.EOF at a frame boundary is the clean end
+				}
+				progressed = true
+				for _, pt := range pts {
+					cursor++
+					s.agg.Add(pt.AtNS, pt.CurrentMA)
+					live := s.agg.Snapshot()
+					s.mu.Lock()
+					s.live = live
+					s.mu.Unlock()
+					smp := core.Sample{
+						Node:      s.node,
+						Device:    s.device,
+						At:        time.Unix(0, pt.AtNS),
+						CurrentMA: pt.CurrentMA,
+						Live:      live,
+					}
+					for _, o := range s.obs {
+						o.OnSample(smp)
+					}
+				}
 			}
-			for _, o := range s.obs {
-				o.OnSample(smp)
-			}
-		}
-	}
+		})
 }
 
 // finalize runs after both streams end: resolve the terminal build
