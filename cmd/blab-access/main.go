@@ -42,10 +42,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"batterylab"
@@ -95,6 +97,8 @@ func main() {
 		seed     = flag.Uint64("seed", 2019, "simulation seed for hosted vantage points")
 		dataDir  = flag.String("data", "", "state directory for WAL+snapshot crash recovery (empty = in-memory only)")
 		credits  = flag.Bool("credits", false, "enforce the §5 credit economy (admins exempt; experimenter gets a starter grant)")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		statsInt = flag.Duration("stats-every", time.Minute, "period between stats digests in the structured log (0 disables)")
 		nodes    nodeList
 		flaky    nodeList
 		owners   nodeList
@@ -121,6 +125,20 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := plat.Access
+
+	// Structured logging to stderr (stdout keeps the human-facing boot
+	// banner): one line per HTTP request, WAL failures, periodic stats.
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	srv.SetLogger(slog.New(handler))
+	if *statsInt > 0 {
+		stop := srv.StartStatsFlush(*statsInt)
+		defer stop()
+	}
 
 	clientKey, err := sshx.GenerateKeypair()
 	if err != nil {
@@ -208,6 +226,7 @@ func main() {
 	// builds, campaigns and the credit ledger where the last process
 	// left them.
 	if *dataDir != "" {
+		srv.ExpectDurable() // /readyz answers 503 until the store attaches
 		st, err := store.Open(*dataDir)
 		if err != nil {
 			log.Fatal(err)
@@ -278,11 +297,14 @@ func main() {
 	}()
 	fmt.Printf("  web console        : http://%s/api/nodes\n", *httpAddr)
 	fmt.Printf("  remote API         : http://%s/api/v1/nodes\n", *httpAddr)
+	fmt.Printf("  metrics            : http://%s/api/v1/metrics (healthz/readyz unauthenticated)\n", *httpAddr)
 	fmt.Printf("  try                : curl -H 'Authorization: Bearer %s' http://%s/api/v1/workloads\n",
 		exp.Token, *httpAddr)
 
+	// SIGTERM (the orchestrator's stop signal) and SIGINT (^C) take the
+	// same graceful path: close the listener, write a parting snapshot.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	httpSrv.Close()
 	if *dataDir != "" {

@@ -1,0 +1,409 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batterylab/internal/accessserver"
+	"batterylab/internal/accessserver/store"
+	"batterylab/internal/api"
+	"batterylab/internal/metrics"
+	"batterylab/internal/samples"
+	"batterylab/internal/simclock"
+)
+
+// fleetBenchReport is the JSON baseline committed as BENCH_fleet.json:
+// the whole access server under fleet-scale load — N simulated vantage
+// points, campaign churn (submits, concurrency caps, cancels) and M
+// HTTP streaming clients following build feeds — on the virtual clock
+// with a real WAL attached.
+//
+// The report splits cleanly in two. Deterministic holds fields that
+// depend only on the scenario (virtual-clock scheduling is
+// deterministic: equal deadlines break ties by registration order), so
+// two runs with the same config produce byte-identical Deterministic
+// sections — the fleet-bench regression test asserts exactly that.
+// Timing holds the wall-clock throughput numbers, which vary run to
+// run and are reported for trending only.
+type fleetBenchReport struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GoVersion string `json:"go_version"`
+
+	Nodes     int `json:"nodes"`
+	Clients   int `json:"clients"`
+	Builds    int `json:"builds"`
+	Campaigns int `json:"campaigns"`
+
+	Deterministic fleetDeterministic `json:"deterministic"`
+	Timing        fleetTiming        `json:"timing"`
+}
+
+// fleetDeterministic is the replayable part of the outcome.
+type fleetDeterministic struct {
+	Submitted  int64 `json:"submitted"`
+	Dispatched int64 `json:"dispatched"`
+	Succeeded  int64 `json:"succeeded"`
+	Failed     int64 `json:"failed"`
+	Aborted    int64 `json:"aborted"`
+
+	// Submit→running wait quantiles on the virtual clock, exact (from
+	// the sorted per-build queue times, not a streaming estimate).
+	SubmitP50MS float64 `json:"submit_p50_ms"`
+	SubmitP99MS float64 `json:"submit_p99_ms"`
+
+	EventsPosted   int64 `json:"events_posted"`
+	EventsDropped  int64 `json:"events_dropped"`
+	SamplesPosted  int64 `json:"samples_posted"`
+	SamplesDropped int64 `json:"samples_dropped"`
+	// FeedDropRate is dropped/(posted+dropped) across both streams.
+	FeedDropRate float64 `json:"feed_drop_rate"`
+
+	// EventsStreamed counts events delivered to the M HTTP streaming
+	// clients (replay-plus-follow over the real handler stack).
+	EventsStreamed int64 `json:"events_streamed"`
+
+	WALAppends  int64 `json:"wal_appends"`
+	SimulatedMS int64 `json:"simulated_ms"`
+}
+
+// fleetTiming is the wall-clock part, excluded from the determinism
+// check.
+type fleetTiming struct {
+	WallNS           int64   `json:"wall_ns"`
+	BuildsPerSec     float64 `json:"builds_per_sec"`
+	WALAppendsPerSec float64 `json:"wal_appends_per_sec"`
+}
+
+// fleetBackend compiles every spec into a run that emits phase events
+// and live samples on the virtual clock. Everything is derived from
+// the build ID, so reruns replay identically: duration 4–8 s, ~one
+// sample per second, and build 1 additionally floods its event feed
+// past the buffer cap so the drop accounting shows up in the report.
+type fleetBackend struct{ clock simclock.Clock }
+
+const fleetFloodEvents = 4296 // feedEventCap (4096) + 200 guaranteed drops
+
+func (fb fleetBackend) Compile(spec api.ExperimentSpec) (accessserver.Constraints, accessserver.RunFunc, error) {
+	cons := accessserver.Constraints{
+		Node:     spec.Node,
+		Device:   spec.Device,
+		Fallback: spec.Constraints.AllowFallback,
+	}
+	run := func(ctx *accessserver.BuildContext, done func(error)) {
+		id := ctx.Build.ID
+		feed := ctx.Build.Feed()
+		node := ctx.Node.Name()
+		ctx.OnCancel(func() { done(errors.New("canceled by user")) })
+
+		feed.PostEvent(api.BuildEvent{
+			Build: id, Node: node, Phase: "workload",
+			AtNS: fb.clock.Now().UnixNano(),
+		})
+		if id == 1 {
+			// Deterministic overflow: a chatty pipeline that outruns the
+			// bounded buffer, so drop-rate handling is always exercised.
+			for i := 0; i < fleetFloodEvents; i++ {
+				feed.PostEvent(api.BuildEvent{
+					Build: id, Node: node, Phase: "chatter",
+					AtNS: fb.clock.Now().UnixNano(),
+				})
+			}
+		}
+		dur := time.Duration(4+id%5) * time.Second
+		for i := 1; i <= int(dur/time.Second); i++ {
+			at := time.Duration(i) * time.Second
+			fb.clock.AfterFunc(at, func() {
+				feed.PostSample(api.SamplePoint{
+					AtNS:      fb.clock.Now().UnixNano(),
+					CurrentMA: float64(100 + id%50),
+				})
+			})
+		}
+		fb.clock.AfterFunc(dur, func() {
+			feed.PostEvent(api.BuildEvent{
+				Build: id, Node: node, Phase: "teardown",
+				AtNS: fb.clock.Now().UnixNano(),
+			})
+			done(nil)
+		})
+	}
+	return cons, run, nil
+}
+
+func (fleetBackend) WorkloadNames() []string { return []string{"fleet"} }
+
+// runFleetBench drives the scenario and writes the JSON report.
+func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
+	clk := simclock.NewVirtual()
+	srv := accessserver.New(clk, accessserver.Config{
+		Executors:      nodeCount,
+		HeartbeatEvery: 5 * time.Second,
+		RetryBackoff:   5 * time.Second,
+		MaxRetries:     3,
+		PendingTimeout: 30 * time.Minute,
+	})
+	srv.SetSpecBackend(fleetBackend{clock: clk})
+
+	admin, err := srv.Users.Add("bench", accessserver.RoleAdmin)
+	if err != nil {
+		return err
+	}
+	nodeNames := make([]string, nodeCount)
+	for i := range nodeNames {
+		nodeNames[i] = fmt.Sprintf("node%02d", i)
+		if err := srv.RegisterNode(rawBenchNode{name: nodeNames[i]}); err != nil {
+			return err
+		}
+	}
+
+	// Real durability underneath the load: every lifecycle transition
+	// appends to an actual WAL in a scratch directory.
+	dir, err := os.MkdirTemp("", "blab-fleet-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	if _, err := srv.AttachStore(st); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	t0 := clk.Now()
+
+	// Submission wave: 60% of the builds arrive as campaigns with a
+	// concurrency cap (queue-pressure churn), the rest as singles.
+	spec := func(i int) api.ExperimentSpec {
+		n := nodeNames[i%nodeCount]
+		return api.ExperimentSpec{
+			Node: n, Device: "dev-" + n,
+			Workload:    api.WorkloadSpec{Name: "fleet"},
+			Constraints: api.ConstraintsSpec{AllowFallback: true},
+		}
+	}
+	var all []*accessserver.Build
+	campaignBuilds := buildCount * 6 / 10
+	campaignSize := 10
+	campaigns := 0
+	for submitted := 0; submitted < campaignBuilds; submitted += campaignSize {
+		size := campaignSize
+		if rest := campaignBuilds - submitted; rest < size {
+			size = rest
+		}
+		specs := make([]api.ExperimentSpec, size)
+		for j := range specs {
+			specs[j] = spec(submitted + j)
+		}
+		_, builds, err := srv.SubmitCampaign(admin, api.CampaignSpec{
+			Experiments:   specs,
+			MaxConcurrent: 3,
+		})
+		if err != nil {
+			return err
+		}
+		all = append(all, builds...)
+		campaigns++
+	}
+	for i := len(all); i < buildCount; i++ {
+		b, err := srv.SubmitSpec(admin, spec(i))
+		if err != nil {
+			return err
+		}
+		all = append(all, b)
+	}
+
+	// Churn: a deterministic slice of the queued tail is canceled before
+	// the clock moves (covering the queued-abort path), and one more
+	// tranche is canceled mid-run at t+3s (covering running cancels).
+	for _, b := range all {
+		if b.ID > nodeCount && b.ID%9 == 0 && b.State() == accessserver.StateQueued {
+			if err := srv.Abort(admin, b.ID); err != nil {
+				return err
+			}
+		}
+	}
+	late := make([]int, 0, 8)
+	for _, b := range all {
+		if b.ID%17 == 0 {
+			late = append(late, b.ID)
+		}
+	}
+	clk.AfterFunc(3*time.Second, func() {
+		for _, id := range late {
+			srv.Abort(admin, id) // conflict on already-finished: fine
+		}
+	})
+
+	// M streaming clients over the real HTTP stack, following the event
+	// feeds round-robin (replay from 0, follow to close).
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var streamed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clientCount; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(all); i += clientCount {
+				n, err := streamEventCount(ts.URL, admin.Token, all[i].ID)
+				if err != nil {
+					continue // terminal states can close streams mid-read
+				}
+				streamed.Add(n)
+			}
+		}(c)
+	}
+
+	// Drive the virtual clock until every build settles.
+	terminal := func(b *accessserver.Build) bool {
+		switch b.State() {
+		case accessserver.StateSuccess, accessserver.StateFailure, accessserver.StateAborted:
+			return true
+		}
+		return false
+	}
+	for {
+		settled := true
+		for _, b := range all {
+			if !terminal(b) {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			break
+		}
+		next, ok := clk.NextDeadline()
+		if !ok {
+			return fmt.Errorf("fleet-bench: stalled with %d builds queued", srv.QueueLength())
+		}
+		clk.RunUntil(next)
+	}
+	wg.Wait()
+	wallNS := time.Since(start).Nanoseconds()
+
+	// Harvest the deterministic outcome from the metrics registry — the
+	// same snapshot /api/v1/metrics serves.
+	snap := srv.MetricsSnapshot()
+	get := func(name string, labels ...string) int64 {
+		m, _ := snap.Get(name, metrics.L(labels...)...)
+		return int64(m.Value)
+	}
+
+	det := fleetDeterministic{
+		Submitted:      get("blab_builds_submitted_total"),
+		Dispatched:     get("blab_builds_dispatched_total"),
+		Succeeded:      get("blab_builds_finished_total", "result", "success"),
+		Failed:         get("blab_builds_finished_total", "result", "failure"),
+		Aborted:        get("blab_builds_finished_total", "result", "aborted"),
+		EventsPosted:   get("blab_feed_events_posted_total"),
+		EventsDropped:  get("blab_feed_events_dropped_total"),
+		SamplesPosted:  get("blab_feed_samples_posted_total"),
+		SamplesDropped: get("blab_feed_samples_dropped_total"),
+		EventsStreamed: streamed.Load(),
+		WALAppends:     get("blab_wal_appends_total"),
+		SimulatedMS:    clk.Now().Sub(t0).Milliseconds(),
+	}
+	posted := det.EventsPosted + det.SamplesPosted
+	dropped := det.EventsDropped + det.SamplesDropped
+	if posted+dropped > 0 {
+		det.FeedDropRate = float64(dropped) / float64(posted+dropped)
+	}
+
+	// Exact submit→running quantiles from the dispatched builds' queue
+	// times (virtual-clock durations, so deterministic).
+	var waits []float64
+	for _, b := range all {
+		if qt := b.QueueTime(); qt > 0 || b.Attempts() > 0 {
+			waits = append(waits, float64(qt.Milliseconds()))
+		}
+	}
+	if len(waits) > 0 {
+		sort.Float64s(waits)
+		det.SubmitP50MS = samples.QuantileSorted(waits, 0.50)
+		det.SubmitP99MS = samples.QuantileSorted(waits, 0.99)
+	}
+
+	rep := fleetBenchReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		Nodes:     nodeCount,
+		Clients:   clientCount,
+		Builds:    buildCount,
+		Campaigns: campaigns,
+
+		Deterministic: det,
+		Timing: fleetTiming{
+			WallNS:           wallNS,
+			BuildsPerSec:     float64(buildCount) / (float64(wallNS) / 1e9),
+			WALAppendsPerSec: float64(det.WALAppends) / (float64(wallNS) / 1e9),
+		},
+	}
+	if det.Succeeded+det.Failed+det.Aborted != int64(buildCount) {
+		return fmt.Errorf("fleet-bench: %d builds submitted but %d finished",
+			buildCount, det.Succeeded+det.Failed+det.Aborted)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// streamEventCount follows one build's NDJSON event stream to its end
+// and reports how many events it replayed.
+func streamEventCount(baseURL, token string, build int) (int64, error) {
+	req, err := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/api/v1/builds/%d/events", baseURL, build), nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("stream %d: status %d", build, resp.StatusCode)
+	}
+	var n int64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			n++
+		}
+	}
+	return n, sc.Err()
+}
+
+// fleetBenchTo writes the report to path ("" or "-" = stdout).
+func fleetBenchTo(path string, nodes, clients, builds int) error {
+	if path == "" || path == "-" {
+		return runFleetBench(os.Stdout, nodes, clients, builds)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := runFleetBench(f, nodes, clients, builds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

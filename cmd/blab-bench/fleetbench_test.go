@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestFleetBenchDeterministic runs the fleet harness twice and requires
+// the Deterministic report sections to match exactly: the virtual clock
+// plus ID-derived workloads must make the scenario replayable, with all
+// wall-clock variance confined to the Timing section.
+func TestFleetBenchDeterministic(t *testing.T) {
+	run := func() fleetBenchReport {
+		var buf bytes.Buffer
+		if err := runFleetBench(&buf, 6, 3, 50); err != nil {
+			t.Fatalf("runFleetBench: %v", err)
+		}
+		var rep fleetBenchReport
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatalf("decode report: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Deterministic != b.Deterministic {
+		t.Errorf("deterministic sections differ:\nrun 1: %+v\nrun 2: %+v",
+			a.Deterministic, b.Deterministic)
+	}
+
+	det := a.Deterministic
+	if det.Submitted != 50 {
+		t.Errorf("submitted = %d, want 50", det.Submitted)
+	}
+	if got := det.Succeeded + det.Failed + det.Aborted; got != det.Submitted {
+		t.Errorf("finished %d of %d submitted", got, det.Submitted)
+	}
+	if det.Aborted == 0 {
+		t.Error("churn produced no aborts; cancel path not exercised")
+	}
+	if det.EventsDropped == 0 {
+		t.Error("flood produced no feed drops; backpressure path not exercised")
+	}
+	if det.EventsStreamed == 0 {
+		t.Error("streaming clients saw no events")
+	}
+	if det.WALAppends == 0 {
+		t.Error("no WAL appends recorded; store not exercised")
+	}
+	if det.SubmitP99MS < det.SubmitP50MS {
+		t.Errorf("p99 %v < p50 %v", det.SubmitP99MS, det.SubmitP50MS)
+	}
+}

@@ -16,6 +16,8 @@
 //	                       # scheduler dispatch throughput, healthy vs flaky fleet
 //	blab-bench -store-bench -store-bench-out BENCH_store.json
 //	                       # WAL append/replay/compaction microbenchmark
+//	blab-bench -fleet-bench -fleet-bench-out BENCH_fleet.json
+//	                       # fleet-scale load: nodes × streaming clients × campaign churn
 //
 // Scale knobs: -reps, -pages, -scrolls, -rate, -video-seconds, -seed.
 package main
@@ -52,6 +54,12 @@ func main() {
 		storeBench    = flag.Bool("store-bench", false, "micro-benchmark the WAL append/replay/compaction path")
 		storeBenchOut = flag.String("store-bench-out", "", "write the store benchmark JSON here (default stdout)")
 		storeBenchN   = flag.Int("store-bench-builds", 10_000, "build lifecycles to log for -store-bench")
+
+		fleetBench        = flag.Bool("fleet-bench", false, "fleet-scale load harness: nodes × streaming clients × campaign churn on the virtual clock")
+		fleetBenchOut     = flag.String("fleet-bench-out", "", "write the fleet benchmark JSON here (default stdout)")
+		fleetBenchNodes   = flag.Int("fleet-bench-nodes", 16, "simulated vantage points for -fleet-bench")
+		fleetBenchClients = flag.Int("fleet-bench-clients", 8, "concurrent event-stream clients for -fleet-bench")
+		fleetBenchN       = flag.Int("fleet-bench-builds", 200, "builds (singles + campaigns) for -fleet-bench")
 
 		seed    = flag.Uint64("seed", 2019, "simulation seed")
 		reps    = flag.Int("reps", 5, "repetitions per configuration")
@@ -240,6 +248,17 @@ func main() {
 		}
 		if *storeBenchOut != "" && *storeBenchOut != "-" {
 			fmt.Printf("(store benchmark written to %s)\n", *storeBenchOut)
+		}
+	}
+
+	if *fleetBench {
+		ran = true
+		if err := fleetBenchTo(*fleetBenchOut, *fleetBenchNodes, *fleetBenchClients, *fleetBenchN); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *fleetBenchOut != "" && *fleetBenchOut != "-" {
+			fmt.Printf("(fleet benchmark written to %s)\n", *fleetBenchOut)
 		}
 	}
 

@@ -186,6 +186,7 @@ func (s *Server) creditGate(user *User, n int) error {
 	}
 	need := time.Duration(n) * s.cfg.SubmitCharge
 	if !s.Ledger.CanAfford(user.Name, need) {
+		s.m.creditDenials.Inc()
 		return fmt.Errorf("%w: %s has %.1f credits; %d experiment(s) need at least %.1f — contribute vantage point time to earn more",
 			ErrInsufficientCredits, user.Name, s.Ledger.Balance(user.Name), n, need.Minutes())
 	}
@@ -205,4 +206,6 @@ func (s *Server) chargeRun(owner string, deviceTime time.Duration) {
 		return
 	}
 	s.Ledger.DebitExperiment(owner, deviceTime)
+	s.m.runsCharged.Inc()
+	s.m.creditsDebited.Add(deviceTime.Minutes())
 }

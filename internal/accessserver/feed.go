@@ -32,11 +32,15 @@ type Feed struct {
 
 	droppedEvents  int64
 	droppedSamples int64
+
+	// counters aggregates posted/dropped totals across all feeds for
+	// the metrics registry. Nil in feeds built outside a server.
+	counters *feedCounters
 }
 
-// newFeed returns an open feed.
-func newFeed() *Feed {
-	return &Feed{changed: make(chan struct{})}
+// newFeed returns an open feed. c may be nil.
+func newFeed(c *feedCounters) *Feed {
+	return &Feed{changed: make(chan struct{}), counters: c}
 }
 
 // notifyLocked wakes every waiting consumer. Callers hold f.mu.
@@ -53,10 +57,16 @@ func (f *Feed) PostEvent(e api.BuildEvent) {
 	defer f.mu.Unlock()
 	if f.closed || len(f.events) >= feedEventCap {
 		f.droppedEvents++
+		if f.counters != nil {
+			f.counters.eventsDropped.Inc()
+		}
 		return
 	}
 	e.Seq = len(f.events)
 	f.events = append(f.events, e)
+	if f.counters != nil {
+		f.counters.eventsPosted.Inc()
+	}
 	f.notifyLocked()
 }
 
@@ -67,9 +77,15 @@ func (f *Feed) PostSample(p api.SamplePoint) {
 	defer f.mu.Unlock()
 	if f.closed || len(f.samples) >= feedSampleCap {
 		f.droppedSamples++
+		if f.counters != nil {
+			f.counters.samplesDropped.Inc()
+		}
 		return
 	}
 	f.samples = append(f.samples, p)
+	if f.counters != nil {
+		f.counters.samplesPosted.Inc()
+	}
 	f.notifyLocked()
 }
 

@@ -296,6 +296,7 @@ func (s *Server) flushHostingLocked(rec *nodeRec, owner string) {
 // not earn the gap when it returns. Accrued time is credited to the
 // ledger in contributionFlushEvery lumps.
 func (s *Server) Heartbeat(name string) {
+	s.m.heartbeats.Inc()
 	now := s.clock.Now()
 	s.mu.Lock()
 	rec := s.recLocked(name)

@@ -105,7 +105,8 @@ func (s *Server) Handler() http.Handler {
 	})
 
 	s.handlerV1(mux)
-	return mux
+	s.handlerOps(mux)
+	return s.instrument(mux)
 }
 
 // auth authenticates the bearer token and checks the permission,

@@ -1,0 +1,163 @@
+package accessserver
+
+import (
+	"context"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"batterylab/internal/metrics"
+)
+
+// Operational HTTP surface: liveness/readiness probes, the RBAC-gated
+// pprof handlers, and the instrumentation middleware every request
+// passes through (request IDs, per-route counters and latency, one
+// structured access-log line).
+
+// ExpectDurable tells the readiness probe that this deployment runs
+// with a durable store: /readyz answers 503 until AttachStore succeeds
+// and whenever the WAL failure latch is down. Daemons set it when the
+// operator asked for persistence; in-memory deployments leave it off
+// and are ready immediately.
+func (s *Server) ExpectDurable() { s.expectDurable.Store(true) }
+
+// handlerOps mounts the probe and profiling routes.
+//
+//	GET /healthz  liveness: always 200 while the process serves
+//	GET /readyz   readiness: 503 until the durable store (when
+//	              expected) is attached and accepting appends
+//	/debug/pprof  runtime profiles, PermManageNodes only
+//
+// The probes are unauthenticated by design — orchestrators and load
+// balancers hold no bearer tokens — and leak nothing beyond a boolean
+// health verdict.
+func (s *Server) handlerOps(mux *http.ServeMux) {
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		s.storeMu.Lock()
+		attached := s.store != nil
+		durable := attached && !s.storeFailed
+		s.storeMu.Unlock()
+		ready := true
+		if s.expectDurable.Load() && !durable {
+			ready = false
+		}
+		status := http.StatusOK
+		if !ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
+			"ready":          ready,
+			"store_attached": attached,
+			"durable":        durable,
+		})
+	})
+
+	// pprof's default registration is on the unauthenticated
+	// DefaultServeMux; re-binding each handler behind the node-admin
+	// permission keeps heap and CPU profiles (which embed file paths
+	// and symbol names) off the public surface.
+	gated := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if s.auth(w, r, PermManageNodes) == nil {
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("GET /debug/pprof/", gated(pprof.Index))
+	mux.HandleFunc("GET /debug/pprof/cmdline", gated(pprof.Cmdline))
+	mux.HandleFunc("GET /debug/pprof/profile", gated(pprof.Profile))
+	mux.HandleFunc("GET /debug/pprof/symbol", gated(pprof.Symbol))
+	mux.HandleFunc("POST /debug/pprof/symbol", gated(pprof.Symbol))
+	mux.HandleFunc("GET /debug/pprof/trace", gated(pprof.Trace))
+}
+
+// statusRecorder captures the status code and body size a handler
+// writes, and forwards Flush so the streaming endpoints keep their
+// incremental delivery through the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.status = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	sr.wrote = true
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the mux with the observability middleware: a
+// request ID (honoring an inbound X-Request-Id so a client's trace
+// stitches through), per-route request counters and latency
+// histograms keyed by the mux pattern — never the raw path, which
+// would explode label cardinality — and one structured access-log
+// line per request.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	reqs := func(route, code string) { // lazily materialized per (route,code)
+		s.m.reg.Counter("blab_http_requests_total", "HTTP requests by route and status",
+			metrics.L("route", route, "code", code)...).Inc()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			var b [8]byte
+			seq := s.m.reqSeq.Add(1)
+			for i := 0; i < 8; i++ {
+				b[i] = byte(seq >> (56 - 8*i))
+			}
+			reqID = hex.EncodeToString(b[:])
+		}
+		w.Header().Set("X-Request-Id", reqID)
+
+		// The matched pattern, resolved before the handler runs;
+		// r.Pattern is only populated inside the mux's own dispatch.
+		route := "unmatched"
+		if _, pattern := mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+
+		s.m.httpInFlight.Inc()
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(sr, r)
+		elapsed := time.Since(start)
+		s.m.httpInFlight.Dec()
+
+		reqs(route, strconv.Itoa(sr.status))
+		s.m.reg.Histogram("blab_http_request_seconds", "HTTP request latency by route",
+			metrics.L("route", route)...).Observe(elapsed.Seconds())
+
+		s.slogger().LogAttrs(context.Background(), slog.LevelInfo, "http",
+			slog.String("request_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sr.status),
+			slog.Int64("bytes", sr.bytes),
+			slog.Duration("duration", elapsed),
+		)
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"batterylab/internal/api"
+	"batterylab/internal/metrics"
 )
 
 // The versioned remote-execution API. Wire types and the JSON schema
@@ -267,6 +268,22 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 		}
 		writeJSON(w, http.StatusOK, buildStatus(b))
 	})
+	mux.HandleFunc("GET /api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if s.auth(w, r, PermViewConsole) == nil {
+			return
+		}
+		snap := s.MetricsSnapshot()
+		switch r.URL.Query().Get("format") {
+		case "", "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			metrics.WritePrometheus(w, snap)
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			metrics.WriteJSON(w, snap)
+		default:
+			writeAPIError(w, apiError(codeBadRequest, "?format= must be prom or json"))
+		}
+	})
 	mux.HandleFunc("GET /api/v1/builds/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		b := s.buildFromPath(w, r)
 		if b == nil {
@@ -363,6 +380,8 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, b *Build) 
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
+	s.m.eventSubscribers.Inc()
+	defer s.m.eventSubscribers.Dec()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for {
@@ -425,6 +444,8 @@ func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, b *Build)
 		w.Header().Set("Content-Type", "application/octet-stream")
 	}
 	w.WriteHeader(http.StatusOK)
+	s.m.sampleSubscribers.Inc()
+	defer s.m.sampleSubscribers.Dec()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for {

@@ -1,9 +1,11 @@
 package accessserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -72,7 +74,10 @@ func (s *Server) logStore(rec store.Record) {
 	if s.store != nil && !s.storeFailed {
 		if err := s.store.Append(rec); err != nil {
 			s.storeFailed = true
+			s.m.appendErrors++
 			log.Printf("accessserver: WAL append failed, durability suspended until a snapshot succeeds: %v", err)
+			s.slogger().LogAttrs(context.Background(), slog.LevelError, "wal append failed, durability suspended",
+				slog.String("error", err.Error()))
 		}
 	}
 	s.storeMu.Unlock()
@@ -476,7 +481,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 			// across a second restart, which bumps it again.
 			feedEpoch: br.FeedEpoch + 1,
 			workspace: NewWorkspace(),
-			feed:      newFeed(),
+			feed:      newFeed(&s.m.feeds),
 		}
 		b.queuedAt = now
 		if br.QueuedAtNS != 0 {
@@ -498,10 +503,19 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 		}
 		s.builds[b.ID] = b
 		stats.Builds++
+		s.m.submitted++
 
 		switch state {
 		case StateSuccess, StateFailure, StateAborted:
 			b.state = state
+			switch state {
+			case StateSuccess:
+				s.m.succeeded++
+			case StateFailure:
+				s.m.failed++
+			case StateAborted:
+				s.m.aborted++
+			}
 			if br.Err != "" {
 				var sentinels []error
 				if br.NodeLost {
@@ -520,6 +534,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 		// teardown.
 		if br.Canceled {
 			b.state = StateAborted
+			s.m.aborted++
 			b.finishedAt = now
 			fmt.Fprintf(&b.log, "build aborted: cancel requested before the server restart\n")
 			b.feed.close()
@@ -544,6 +559,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 		}
 		if compileErr != nil {
 			b.state = StateFailure
+			s.m.failed++
 			b.err = fmt.Errorf("build %d unrecoverable after restart: %w", b.ID, compileErr)
 			b.finishedAt = now
 			fmt.Fprintf(&b.log, "build failed: %v\n", b.err)
@@ -569,6 +585,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 			})
 			if b.retries >= s.cfg.MaxRetries {
 				b.state = StateFailure
+				s.m.failed++
 				b.err = fmt.Errorf("%w: %s; retry budget (%d) spent", ErrNodeLost, reason, s.cfg.MaxRetries)
 				b.finishedAt = now
 				fmt.Fprintf(&b.log, "build lost: %s; retry budget (%d) spent\n", reason, s.cfg.MaxRetries)
@@ -579,6 +596,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 				continue
 			}
 			b.retries++
+			s.m.failoverRequeues++
 			b.pendingReason = fmt.Sprintf("%s; retry %d/%d", reason, b.retries, s.cfg.MaxRetries)
 			fmt.Fprintf(&b.log, "build requeued: %s (retry %d/%d)\n", reason, b.retries, s.cfg.MaxRetries)
 			pending = append(pending, store.Record{
@@ -590,6 +608,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 			stats.Requeued++
 		}
 		b.state = StateQueued
+		s.m.queued++
 		s.queue = append(s.queue, b)
 		b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
 	}
@@ -684,9 +703,14 @@ func finishedRecord(b *Build) store.Record {
 func (s *Server) syncStore() {
 	s.storeMu.Lock()
 	if s.store != nil && !s.storeFailed && s.store.Dirty() {
-		if err := s.store.Sync(); err != nil {
+		start := time.Now()
+		err := s.store.Sync()
+		s.m.fsyncLatency.Observe(time.Since(start).Seconds())
+		if err != nil {
 			s.storeFailed = true
 			log.Printf("accessserver: WAL fsync failed, durability suspended until a snapshot succeeds: %v", err)
+			s.slogger().LogAttrs(context.Background(), slog.LevelError, "wal fsync failed, durability suspended",
+				slog.String("error", err.Error()))
 		}
 	}
 	s.storeMu.Unlock()
@@ -723,6 +747,8 @@ func (s *Server) maybeCompact() {
 func (s *Server) CompactStore() error {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
+	start := time.Now()
+	defer func() { s.m.snapshotLatency.Observe(time.Since(start).Seconds()) }()
 
 	s.mu.Lock()
 	s.Users.mu.RLock()

@@ -2,6 +2,7 @@ package accessserver
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
@@ -175,6 +176,17 @@ type Server struct {
 	// compactMu serializes whole compaction cycles (ticker vs shutdown)
 	// without making either hold the scheduler locks across disk I/O.
 	compactMu sync.Mutex
+
+	// m is the observability surface (see metrics.go). Its scheduler
+	// counters are plain fields mutated under s.mu; everything else is
+	// atomic.
+	m *serverMetrics
+	// logger backs the HTTP middleware and stats flusher; nil means
+	// discard. expectDurable marks a deployment that intends to attach
+	// a store — /readyz answers 503 until it has (and while durability
+	// is latched off).
+	logger        atomic.Pointer[slog.Logger]
+	expectDurable atomic.Bool
 }
 
 // campaignRec tracks one campaign's builds and its concurrency cap.
@@ -207,6 +219,7 @@ func New(clock simclock.Clock, cfg Config) *Server {
 		nextCampaign: 1,
 	}
 	s.creditsOn.Store(s.cfg.EnforceCredits)
+	s.m = newServerMetrics(s)
 	return s
 }
 
@@ -407,11 +420,13 @@ func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constra
 		wireSpec:  spec,
 		queuedAt:  s.clock.Now(),
 		workspace: NewWorkspace(),
-		feed:      newFeed(),
+		feed:      newFeed(&s.m.feeds),
 	}
 	s.nextID++
 	s.builds[b.ID] = b
 	s.queue = append(s.queue, b)
+	s.m.submitted++
+	s.m.queued++
 	b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
 	s.logStore(store.Record{T: store.TBuildQueued, Build: &store.BuildRec{
 		ID: b.ID, Job: b.Job, Owner: b.Owner, Campaign: b.campaign,
@@ -491,6 +506,7 @@ func (s *Server) SubmitCampaign(user *User, cs api.CampaignSpec) (int, []*Build,
 	s.mu.Lock()
 	id := s.nextCampaign
 	s.nextCampaign++
+	s.m.campaigns++
 	rec := &campaignRec{maxConcurrent: cs.MaxConcurrent}
 	s.campaigns[id] = rec
 	builds := make([]*Build, len(pipelines))
@@ -560,6 +576,8 @@ func (s *Server) Abort(user *User, id int) error {
 	}
 	if queuedAt >= 0 {
 		s.queue = append(s.queue[:queuedAt], s.queue[queuedAt+1:]...)
+		s.m.queued--
+		s.m.aborted++
 		// Settle the aborted build while still holding s.mu: the WAL
 		// append below must be serialized against snapshot compaction
 		// (which cuts the log under s.mu), or the abort record could
@@ -812,6 +830,10 @@ func (s *Server) pickLocked() (*pick, []cpuProbe, []*Build) {
 			s.locks[k] = cand.ID
 		}
 		s.running++
+		s.m.queued--
+		s.m.running++
+		s.m.dispatched++
+		s.m.dispatchLatency.Observe(now.Sub(cand.queuedAt).Seconds())
 		if rec := s.campaigns[cand.campaign]; rec != nil {
 			rec.running++
 		}
@@ -1066,6 +1088,8 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 	}
 	b.heldLocks = nil
 	s.running--
+	s.m.leaseBreaks++
+	s.m.running--
 	if rec := s.campaigns[b.campaign]; rec != nil {
 		rec.running--
 	}
@@ -1095,6 +1119,7 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 	if b.retries >= s.cfg.MaxRetries {
 		fmt.Fprintf(&b.log, "build lost: %s; retry budget (%d) spent\n", reason, s.cfg.MaxRetries)
 		b.state = StateFailure
+		s.m.failed++
 		b.err = fmt.Errorf("%w: %s after %d retries", ErrNodeLost, reason, b.retries)
 		b.finishedAt = now
 		b.stopTimersLocked()
@@ -1106,6 +1131,8 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 	}
 
 	b.retries++
+	s.m.failoverRequeues++
+	s.m.queued++
 	backoff := s.cfg.RetryBackoff << (b.retries - 1)
 	b.state = StateQueued
 	b.pendingReason = fmt.Sprintf("%s; retry %d/%d in %s", reason, b.retries, s.cfg.MaxRetries, backoff)
@@ -1132,6 +1159,8 @@ func (s *Server) requeue(b *Build, attempt int) {
 	b.retryTimer = nil
 	if b.cancelWant {
 		b.state = StateAborted
+		s.m.queued--
+		s.m.aborted++
 		b.finishedAt = s.clock.Now()
 		b.stopTimersLocked()
 		fmt.Fprintf(&b.log, "build aborted during failover backoff\n")
@@ -1215,6 +1244,7 @@ func (s *Server) checkAging(b *Build) {
 		}
 	}
 	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+	s.m.agedOut++
 	reason := b.PendingReason()
 	if reason == "" {
 		reason = "its node never appeared"
@@ -1228,6 +1258,8 @@ func (s *Server) checkAging(b *Build) {
 // terminateLocked marks a never-dispatched build failed. Callers hold
 // s.mu (but not b.mu) and must close the feed after releasing s.mu.
 func (s *Server) terminateLocked(b *Build, err error) {
+	s.m.queued--
+	s.m.failed++
 	b.mu.Lock()
 	b.state = StateFailure
 	b.err = err
@@ -1258,16 +1290,20 @@ func (s *Server) finish(b *Build, attempt int, locks []string, err error) {
 	switch {
 	case err != nil && b.cancelWant:
 		b.state = StateAborted
+		s.m.aborted++
 		b.err = err
 		fmt.Fprintf(&b.log, "build canceled: %v\n", err)
 	case err != nil:
 		b.state = StateFailure
+		s.m.failed++
 		b.err = err
 		fmt.Fprintf(&b.log, "build failed: %v\n", err)
 	default:
 		b.state = StateSuccess
+		s.m.succeeded++
 		fmt.Fprintf(&b.log, "build succeeded\n")
 	}
+	s.m.running--
 	b.stopTimersLocked()
 	s.logBuildFinishedLocked(b)
 	nodeName := b.nodeName

@@ -274,6 +274,12 @@ type Store struct {
 	appended int
 	dirty    bool
 	gen      uint64
+	// Lifetime counters for the metrics collector: totalAppends and
+	// totalBytes survive compactions (unlike appended, which resets);
+	// lastSnapBytes is the size of the most recent snapshot write.
+	totalAppends  int64
+	totalBytes    int64
+	lastSnapBytes int64
 }
 
 // Open creates (or opens) a store directory, validates both files and
@@ -313,9 +319,27 @@ func (s *Store) Append(rec Record) error {
 		return fmt.Errorf("store: appending %s record: %w", rec.T, err)
 	}
 	s.appended++
+	s.totalAppends++
+	s.totalBytes += int64(len(payload))
 	s.dirty = true
 	return nil
 }
+
+// TotalAppends reports records appended over the store's lifetime
+// (compactions do not reset it, unlike Appended).
+func (s *Store) TotalAppends() int64 { return s.totalAppends }
+
+// TotalAppendBytes reports the payload bytes appended over the store's
+// lifetime.
+func (s *Store) TotalAppendBytes() int64 { return s.totalBytes }
+
+// LastSnapshotBytes reports the size of the most recent snapshot
+// written through this handle (0 before the first compaction).
+func (s *Store) LastSnapshotBytes() int64 { return s.lastSnapBytes }
+
+// Generation reports the WAL's current generation (bumped by every
+// compaction's log swap).
+func (s *Store) Generation() uint64 { return s.gen }
 
 // Dirty reports whether records were appended since the last Sync.
 func (s *Store) Dirty() bool { return s.dirty }
@@ -343,9 +367,10 @@ func (s *Store) Sync() error {
 // the log to its header and re-appends that tail. Both sides of the
 // cut replay correctly; nothing falls in between.
 type Compaction struct {
-	snap     *Snapshot
-	cut      int64 // WAL offset at Begin; records past it are kept
-	appended int   // appended counter at Begin; subtracted at Finish
+	snap      *Snapshot
+	cut       int64 // WAL offset at Begin; records past it are kept
+	appended  int   // appended counter at Begin; subtracted at Finish
+	snapBytes int64 // snapshot file size, set by WriteSnapshot
 }
 
 // BeginCompact opens a compaction cycle, stamping the snapshot with
@@ -393,6 +418,7 @@ func (s *Store) WriteSnapshot(c *Compaction) error {
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
 		return err
 	}
+	c.snapBytes = int64(len(buf))
 	return syncDir(s.dir)
 }
 
@@ -446,6 +472,7 @@ func (s *Store) FinishCompact(c *Compaction) error {
 	s.gen++
 	s.dirty = false
 	s.snap = c.snap
+	s.lastSnapBytes = c.snapBytes
 	s.recs = nil
 	s.appended -= c.appended
 	if s.appended < 0 {

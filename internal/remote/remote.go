@@ -44,6 +44,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"batterylab/internal/api"
@@ -59,6 +60,31 @@ type Platform struct {
 	token string
 	hc    *http.Client
 	retry RetryPolicy
+
+	// Resilience counters, shared by every session (see Stats).
+	requestRetries   atomic.Int64
+	streamReconnects atomic.Int64
+	epochResets      atomic.Int64
+}
+
+// ClientStats counts the client's recoveries so far: how often requests
+// were retried, streams reconnected from their resume cursors, and
+// resume state was reset because the server restarted (feed epoch
+// moved). All zeros is a healthy network; growth quantifies the
+// flakiness the retry machinery is absorbing.
+type ClientStats struct {
+	RequestRetries   int64 `json:"request_retries"`
+	StreamReconnects int64 `json:"stream_reconnects"`
+	EpochResets      int64 `json:"epoch_resets"`
+}
+
+// Stats snapshots the client's resilience counters.
+func (p *Platform) Stats() ClientStats {
+	return ClientStats{
+		RequestRetries:   p.requestRetries.Load(),
+		StreamReconnects: p.streamReconnects.Load(),
+		EpochResets:      p.epochResets.Load(),
+	}
 }
 
 // RetryPolicy tunes the client's resilience to transient failures:
@@ -200,8 +226,11 @@ func (p *Platform) do(ctx context.Context, method, u string, in, out any, idempo
 	}
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
-		if attempt > 1 && !p.retrySleep(ctx, attempt-1) {
-			break
+		if attempt > 1 {
+			if !p.retrySleep(ctx, attempt-1) {
+				break
+			}
+			p.requestRetries.Add(1)
 		}
 		var body io.Reader
 		if payload != nil {
@@ -306,8 +335,11 @@ func (p *Platform) getBytes(ctx context.Context, u string) ([]byte, error) {
 	}
 	var lastErr error
 	for attempt := 1; attempt <= p.retry.Attempts; attempt++ {
-		if attempt > 1 && !p.retrySleep(ctx, attempt-1) {
-			break
+		if attempt > 1 {
+			if !p.retrySleep(ctx, attempt-1) {
+				break
+			}
+			p.requestRetries.Add(1)
 		}
 		rc, err := p.stream(ctx, u)
 		if err != nil {
@@ -605,7 +637,12 @@ func healthyConn(progressed bool, opened time.Time) bool {
 func (s *Session) runStream(ctx context.Context, path string, cursor func() int, reset func(), consume func(io.Reader) bool) {
 	failures := 0
 	seenEpoch := 0
+	first := true
 	for {
+		if !first {
+			s.p.streamReconnects.Add(1)
+		}
+		first = false
 		opened := time.Now()
 		rc, err := s.p.stream(ctx, s.p.url(path, s.build)+fmt.Sprintf("?from=%d", cursor()))
 		progressed := false
@@ -621,6 +658,7 @@ func (s *Session) runStream(ctx context.Context, path string, cursor func() int,
 			return
 		}
 		if rst {
+			s.p.epochResets.Add(1)
 			reset()
 		}
 		if healthyConn(progressed, opened) {
