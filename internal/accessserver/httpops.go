@@ -109,19 +109,39 @@ func (sr *statusRecorder) Flush() {
 	}
 }
 
+// sanitizeRequestID vets a client-supplied X-Request-Id before it is
+// echoed into the response and every access-log line: at most 64
+// characters from [A-Za-z0-9._-], so a client cannot inject log
+// delimiters, control bytes, or megabyte-sized values. Anything else
+// returns "" and the caller mints a fresh ID.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		switch c := id[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
 // instrument wraps the mux with the observability middleware: a
-// request ID (honoring an inbound X-Request-Id so a client's trace
-// stitches through), per-route request counters and latency
-// histograms keyed by the mux pattern — never the raw path, which
-// would explode label cardinality — and one structured access-log
-// line per request.
+// request ID (honoring a well-formed inbound X-Request-Id so a
+// client's trace stitches through), per-route request counters and
+// latency histograms keyed by the mux pattern — never the raw path,
+// which would explode label cardinality — and one structured
+// access-log line per request.
 func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 	reqs := func(route, code string) { // lazily materialized per (route,code)
 		s.m.reg.Counter("blab_http_requests_total", "HTTP requests by route and status",
 			metrics.L("route", route, "code", code)...).Inc()
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		reqID := r.Header.Get("X-Request-Id")
+		reqID := sanitizeRequestID(r.Header.Get("X-Request-Id"))
 		if reqID == "" {
 			var b [8]byte
 			seq := s.m.reqSeq.Add(1)

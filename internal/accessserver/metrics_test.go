@@ -352,6 +352,29 @@ func TestRequestIDAndInstrumentation(t *testing.T) {
 		t.Errorf("caller-supplied request id not echoed: got %q", got)
 	}
 
+	// Hostile inbound IDs — log-injection payloads or oversized values —
+	// must be replaced with a freshly minted ID, never echoed.
+	for _, bad := range []string{
+		"evil\" status=200 fake=\"",
+		strings.Repeat("a", 65),
+		"semi;colon",
+	} {
+		req, err = http.NewRequest("GET", v.ts.URL+"/api/v1/nodes", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+v.admin.Token)
+		req.Header["X-Request-Id"] = []string{bad}
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-Id"); got == bad || got == "" {
+			t.Errorf("hostile request id %q: response id %q, want fresh generated id", bad, got)
+		}
+	}
+
 	snap := v.srv.MetricsSnapshot()
 	m, ok := snap.Get("blab_http_requests_total",
 		metrics.Label{Name: "route", Value: "GET /api/v1/nodes"},

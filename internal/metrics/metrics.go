@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -190,6 +191,61 @@ func sortLabels(ls []Label) []Label {
 	return out
 }
 
+// validMetricName reports whether s matches the Prometheus metric name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*. Label values are escaped at
+// exposition time, but names are written verbatim, so an illegal name
+// would silently corrupt the scrape output — it is rejected at
+// registration instead, mirroring the kind-mismatch panics.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func checkNames(name string, ls []Label) {
+	if !validMetricName(name) {
+		panic("metrics: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range ls {
+		if !validLabelName(l.Name) {
+			panic("metrics: invalid label name " + strconv.Quote(l.Name) + " on " + name)
+		}
+	}
+}
+
 // Collector emits a group of metric values at snapshot time. A
 // collector that locks its subsystem's mutex while emitting guarantees
 // the emitted group is internally consistent — the registry never sees
@@ -229,6 +285,9 @@ func NewRegistry() *Registry {
 func (r *Registry) family(name, help string, kind Kind) *family {
 	f, ok := r.families[name]
 	if !ok {
+		if !validMetricName(name) {
+			panic("metrics: invalid metric name " + strconv.Quote(name))
+		}
 		f = &family{name: name, help: help, kind: kind, insts: make(map[string]*instance)}
 		r.families[name] = f
 		r.order = append(r.order, name)
@@ -243,6 +302,11 @@ func (f *family) inst(labels []Label) (*instance, bool) {
 	key := labelKey(labels)
 	in, ok := f.insts[key]
 	if !ok {
+		for _, l := range labels {
+			if !validLabelName(l.Name) {
+				panic("metrics: invalid label name " + strconv.Quote(l.Name) + " on " + f.name)
+			}
+		}
 		in = &instance{labels: labels}
 		f.insts[key] = in
 		f.order = append(f.order, key)
@@ -296,10 +360,17 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 }
 
 // GaugeFunc registers a gauge whose value is computed at snapshot time.
+// Unlike Counter/Gauge/Histogram, re-registration is not idempotent
+// (two functions cannot be proven identical), so any existing instance
+// with the same identity — a plain gauge or an earlier function — is a
+// misregistration and panics.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	in, _ := r.family(name, help, KindGauge).inst(labels)
+	in, ok := r.family(name, help, KindGauge).inst(labels)
+	if ok {
+		panic("metrics: " + name + " already registered; GaugeFunc identity must be unique")
+	}
 	in.fn = fn
 }
 
@@ -381,18 +452,21 @@ func (e *Emitter) fam(name, help string, kind Kind) *Family {
 
 // Counter emits one counter value.
 func (e *Emitter) Counter(name, help string, v float64, labels ...Label) {
+	checkNames(name, labels)
 	f := e.fam(name, help, KindCounter)
 	f.Metrics = append(f.Metrics, Metric{Labels: sortLabels(labels), Value: v})
 }
 
 // Gauge emits one gauge value.
 func (e *Emitter) Gauge(name, help string, v float64, labels ...Label) {
+	checkNames(name, labels)
 	f := e.fam(name, help, KindGauge)
 	f.Metrics = append(f.Metrics, Metric{Labels: sortLabels(labels), Value: v})
 }
 
 // Histogram emits one histogram summary.
 func (e *Emitter) Histogram(name, help string, hv HistogramValue, labels ...Label) {
+	checkNames(name, labels)
 	f := e.fam(name, help, KindHistogram)
 	f.Metrics = append(f.Metrics, Metric{Labels: sortLabels(labels), Hist: &hv})
 }
@@ -401,10 +475,28 @@ func (e *Emitter) Histogram(name, help string, hv HistogramValue, labels ...Labe
 // Values registered directly are read atomically; values emitted by
 // one collector are mutually consistent under that collector's lock.
 func (r *Registry) Snapshot() Snapshot {
+	// Family and instance lists mutate under r.mu on every lazy
+	// registration (the HTTP middleware registers (route,code) counters
+	// mid-flight), so copy them out under the lock; the value reads,
+	// gauge functions, and collectors then run unlocked. An instance's
+	// ctr/gauge/fn fields are set inside the same critical section that
+	// links it into the family, so any instance visible in the copy is
+	// fully built.
+	type famView struct {
+		name, help string
+		kind       Kind
+		insts      []*instance
+	}
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.order))
+	fams := make([]famView, 0, len(r.order))
 	for _, name := range r.order {
-		fams = append(fams, r.families[name])
+		f := r.families[name]
+		fv := famView{name: f.name, help: f.help, kind: f.kind,
+			insts: make([]*instance, 0, len(f.order))}
+		for _, key := range f.order {
+			fv.insts = append(fv.insts, f.insts[key])
+		}
+		fams = append(fams, fv)
 	}
 	collectors := append([]Collector(nil), r.collectors...)
 	r.mu.Unlock()
@@ -414,8 +506,7 @@ func (r *Registry) Snapshot() Snapshot {
 	e := &Emitter{out: out, ord: &ord}
 	for _, f := range fams {
 		of := e.fam(f.name, f.help, f.kind)
-		for _, key := range f.order {
-			in := f.insts[key]
+		for _, in := range f.insts {
 			m := Metric{Labels: in.labels}
 			switch {
 			case in.ctr != nil:

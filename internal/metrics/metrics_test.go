@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -203,6 +204,89 @@ func TestLabelEscaping(t *testing.T) {
 	if !strings.Contains(sb.String(), `path="a\"b\\c\nd"`) {
 		t.Fatalf("label not escaped:\n%s", sb.String())
 	}
+}
+
+// TestSnapshotRacesWithLazyRegistration hammers Snapshot while other
+// goroutines lazily register fresh labeled instances and whole new
+// families — the shape of the HTTP middleware, which materializes a
+// (route,code) counter on first sight of each status. Run under -race
+// this guards the family/instance copy in Snapshot.
+func TestSnapshotRacesWithLazyRegistration(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("race_requests_total", "",
+					L("route", "/r", "code", strconv.Itoa(200+i%400))...).Inc()
+				if i%50 == 0 {
+					r.Gauge("race_family_"+strconv.Itoa(w)+"_"+strconv.Itoa(i), "").Set(1)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 500; i++ {
+		snap := r.Snapshot()
+		for _, f := range snap.Families {
+			if f.Name == "" {
+				t.Fatal("snapshot produced unnamed family")
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestInvalidNamesPanicAtRegistration(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "metric name with space", func() { r.Counter("bad name", "") })
+	mustPanic(t, "metric name with digit prefix", func() { r.Gauge("9lives", "") })
+	mustPanic(t, "empty metric name", func() { r.Histogram("", "") })
+	mustPanic(t, "label name with dash", func() {
+		r.Counter("ok_total", "", Label{Name: "bad-label", Value: "v"})
+	})
+	// Legal names — including colons and leading underscores — register.
+	r.Counter("ns:sub_total", "").Inc()
+	r.Gauge("_private", "").Set(1)
+
+	// Collector-emitted names are held to the same rule at snapshot.
+	r.Collect(func(e *Emitter) { e.Gauge("also bad", "", 1) })
+	mustPanic(t, "collector with bad name", func() { r.Snapshot() })
+}
+
+func TestGaugeFuncMisregistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("fn_depth", "", func() float64 { return 42 })
+	snap := r.Snapshot()
+	if m, ok := snap.Get("fn_depth"); !ok || m.Value != 42 {
+		t.Fatalf("fn_depth = %v %v, want 42", m.Value, ok)
+	}
+	mustPanic(t, "GaugeFunc over existing fn", func() {
+		r.GaugeFunc("fn_depth", "", func() float64 { return 1 })
+	})
+
+	r.Gauge("plain_depth", "").Set(7)
+	mustPanic(t, "GaugeFunc over existing gauge", func() {
+		r.GaugeFunc("plain_depth", "", func() float64 { return 1 })
+	})
 }
 
 func TestConcurrentObserveAndSnapshot(t *testing.T) {
