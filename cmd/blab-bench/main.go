@@ -13,7 +13,9 @@
 //	blab-bench -samples-bench -samples-bench-out BENCH_samples.json
 //	                       # streaming sample-pipeline microbenchmarks
 //	blab-bench -sched-bench -sched-bench-out BENCH_sched.json
-//	                       # scheduler dispatch throughput, healthy vs flaky fleet
+//	                       # scheduler dispatch throughput + placement/fairness scenarios
+//	blab-bench -sched-bench-check BENCH_sched.json
+//	                       # fail if deterministic scheduler outcomes drift from the baseline
 //	blab-bench -store-bench -store-bench-out BENCH_store.json
 //	                       # WAL append/replay/compaction microbenchmark
 //	blab-bench -fleet-bench -fleet-bench-out BENCH_fleet.json
@@ -50,6 +52,7 @@ func main() {
 		schedBenchOut   = flag.String("sched-bench-out", "", "write the scheduler benchmark JSON here (default stdout)")
 		schedBenchN     = flag.Int("sched-bench-builds", 100, "queued builds for -sched-bench")
 		schedBenchNodes = flag.Int("sched-bench-nodes", 10, "vantage points for -sched-bench")
+		schedBenchCk    = flag.String("sched-bench-check", "", "rerun the scheduler scenarios and fail if deterministic outcomes drift from this baseline JSON")
 
 		storeBench    = flag.Bool("store-bench", false, "micro-benchmark the WAL append/replay/compaction path")
 		storeBenchOut = flag.String("store-bench-out", "", "write the store benchmark JSON here (default stdout)")
@@ -238,6 +241,15 @@ func main() {
 		if *schedBenchOut != "" && *schedBenchOut != "-" {
 			fmt.Printf("(scheduler benchmark written to %s)\n", *schedBenchOut)
 		}
+	}
+
+	if *schedBenchCk != "" {
+		ran = true
+		if err := schedBenchCheck(*schedBenchCk); err != nil {
+			fmt.Fprintf(os.Stderr, "sched-bench-check: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(scheduler outcomes match %s)\n", *schedBenchCk)
 	}
 
 	if *storeBench {

@@ -17,7 +17,10 @@ import (
 // dispatch throughput of the fault-tolerant scheduler at fleet scale —
 // 100 queued builds across 10 vantage points, once with a healthy
 // fleet and once with 30% of the nodes killed mid-run (their builds
-// fail over to survivors).
+// fail over to survivors) — plus two scheduling-policy scenarios: a
+// skewed-tenant run (one owner submits 70% of the work under a
+// fair-share run cap) and a heterogeneous fleet (fallback placement
+// must land builds on the requested device model).
 type schedBenchReport struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
@@ -42,6 +45,13 @@ type schedScenario struct {
 	Failed      int   `json:"failed"`
 	// Failovers counts lease-break requeues across all builds.
 	Failovers int `json:"failovers"`
+	// MaxWaitMS is each owner's worst submit→dispatch wait in simulated
+	// time (skewed-tenant only): fairness means no small tenant's wait
+	// diverges toward the hog's.
+	MaxWaitMS map[string]int64 `json:"max_wait_ms,omitempty"`
+	// ModelMatched counts builds the scorer placed on a node hosting
+	// the requested device model (hetero-fleet only).
+	ModelMatched int `json:"model_matched,omitempty"`
 }
 
 // benchNode is an instant in-process vantage point: pings succeed
@@ -66,6 +76,24 @@ func (n rawBenchNode) Exec(cmd string, args ...string) (string, error) {
 	return "", nil
 }
 func (n rawBenchNode) Ping() error { return nil }
+
+// devBenchNode hosts a configurable device serial, so scenarios can
+// build fleets with distinct device models for the placer to match.
+type devBenchNode struct{ name, device string }
+
+func (n devBenchNode) Name() string { return n.name }
+func (n devBenchNode) Exec(cmd string, args ...string) (string, error) {
+	switch cmd {
+	case "ping":
+		return "pong", nil
+	case "list_devices":
+		return n.device, nil
+	case "status":
+		return "status: cpu=5.0%", nil
+	}
+	return "", nil
+}
+func (n devBenchNode) Ping() error { return nil }
 
 // benchBackend compiles every spec into a 10-second simulated run.
 type benchBackend struct{ clock simclock.Clock }
@@ -140,6 +168,169 @@ func runSchedScenario(name string, builds, nodeCount, flakyCount int) (schedScen
 		})
 	}
 
+	if err := driveSched(clk, srv, name, all); err != nil {
+		return schedScenario{}, err
+	}
+	return tallySched(name, start, t0, clk, all), nil
+}
+
+// runSkewedTenant measures admission fairness: one hog owner submits
+// 70% of the work, three small tenants 10% each, all under the
+// fair-share run cap. Starvation would show as a small tenant's worst
+// wait tracking the hog's; fairness keeps it an order of magnitude
+// lower (the hog queues behind its own cap, the small tenants only
+// behind free executors).
+func runSkewedTenant(name string, builds, nodeCount int) (schedScenario, error) {
+	clk := simclock.NewVirtual()
+	srv := accessserver.New(clk, accessserver.Config{
+		Executors:      nodeCount,
+		HeartbeatEvery: 5 * time.Second,
+		RetryBackoff:   5 * time.Second,
+		MaxRetries:     3,
+		PendingTimeout: time.Hour,
+		OwnerRunCap:    3,
+	})
+	srv.SetSpecBackend(benchBackend{clock: clk})
+	owners := []string{"hog", "u1", "u2", "u3"}
+	users := map[string]*accessserver.User{}
+	for _, o := range owners {
+		u, err := srv.Users.Add(o, accessserver.RoleExperimenter)
+		if err != nil {
+			return schedScenario{}, err
+		}
+		users[o] = u
+	}
+	nodes := make([]string, nodeCount)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%02d", i)
+		flk := accessserver.NewFlakyNode(rawBenchNode{name: nodes[i]})
+		if err := srv.RegisterNode(flk); err != nil {
+			return schedScenario{}, err
+		}
+	}
+
+	// The hog floods the queue first; the small tenants submit behind
+	// its backlog — the shape fair-share exists for.
+	perSmall := builds / 10
+	plan := make([]string, 0, builds)
+	for i := 0; i < builds-3*perSmall; i++ {
+		plan = append(plan, "hog")
+	}
+	for _, o := range owners[1:] {
+		for i := 0; i < perSmall; i++ {
+			plan = append(plan, o)
+		}
+	}
+	start := time.Now()
+	t0 := clk.Now()
+	all := make([]*accessserver.Build, 0, builds)
+	ownerOf := make(map[*accessserver.Build]string, builds)
+	for i, o := range plan {
+		n := nodes[i%nodeCount]
+		b, err := srv.SubmitSpec(users[o], api.ExperimentSpec{
+			Node: n, Device: "dev-" + n,
+			Workload:    api.WorkloadSpec{Name: "bench"},
+			Constraints: api.ConstraintsSpec{AllowFallback: true},
+		})
+		if err != nil {
+			return schedScenario{}, err
+		}
+		all = append(all, b)
+		ownerOf[b] = o
+	}
+	if err := driveSched(clk, srv, name, all); err != nil {
+		return schedScenario{}, err
+	}
+
+	sc := tallySched(name, start, t0, clk, all)
+	sc.MaxWaitMS = map[string]int64{}
+	for _, b := range all {
+		o := ownerOf[b]
+		if ms := b.QueueTime().Milliseconds(); ms > sc.MaxWaitMS[o] {
+			sc.MaxWaitMS[o] = ms
+		}
+	}
+	for _, o := range owners[1:] {
+		if sc.MaxWaitMS[o]*2 > sc.MaxWaitMS["hog"] {
+			return schedScenario{}, fmt.Errorf(
+				"sched-bench %s: tenant %s starved — worst wait %dms vs hog's %dms",
+				name, o, sc.MaxWaitMS[o], sc.MaxWaitMS["hog"])
+		}
+	}
+	return sc, nil
+}
+
+// runHeteroFleet measures scoring placement on a mixed fleet: half the
+// nodes host pixel4-model devices, half motog5, and every build pins a
+// node that does not exist, asking for one model or the other with
+// fallback enabled. The scorer's model-match term must land every
+// build on a node hosting the requested model.
+func runHeteroFleet(name string, builds, nodeCount int) (schedScenario, error) {
+	clk := simclock.NewVirtual()
+	srv := accessserver.New(clk, accessserver.Config{
+		Executors:      nodeCount,
+		HeartbeatEvery: 5 * time.Second,
+		RetryBackoff:   5 * time.Second,
+		MaxRetries:     3,
+		PendingTimeout: time.Hour,
+	})
+	srv.SetSpecBackend(benchBackend{clock: clk})
+	admin, err := srv.Users.Add("bench", accessserver.RoleAdmin)
+	if err != nil {
+		return schedScenario{}, err
+	}
+	models := []string{"pixel4", "motog5"}
+	nodeModel := map[string]string{}
+	for i := 0; i < nodeCount; i++ {
+		model := models[i%len(models)]
+		nm := fmt.Sprintf("%s-host%02d", model, i/len(models))
+		dev := fmt.Sprintf("%s-%02d", model, i/len(models))
+		flk := accessserver.NewFlakyNode(devBenchNode{name: nm, device: dev})
+		if err := srv.RegisterNode(flk); err != nil {
+			return schedScenario{}, err
+		}
+		nodeModel[nm] = model
+	}
+
+	start := time.Now()
+	t0 := clk.Now()
+	all := make([]*accessserver.Build, 0, builds)
+	wantModel := make(map[*accessserver.Build]string, builds)
+	for i := 0; i < builds; i++ {
+		model := models[i%len(models)]
+		b, err := srv.SubmitSpec(admin, api.ExperimentSpec{
+			// The pinned node is long gone; only fallback placement —
+			// and so the scorer — can run this build.
+			Node: "retired-node", Device: model + "-want",
+			Workload:    api.WorkloadSpec{Name: "bench"},
+			Constraints: api.ConstraintsSpec{AllowFallback: true},
+		})
+		if err != nil {
+			return schedScenario{}, err
+		}
+		all = append(all, b)
+		wantModel[b] = model
+	}
+	if err := driveSched(clk, srv, name, all); err != nil {
+		return schedScenario{}, err
+	}
+
+	sc := tallySched(name, start, t0, clk, all)
+	for _, b := range all {
+		if nodeModel[b.NodeName()] == wantModel[b] {
+			sc.ModelMatched++
+		}
+	}
+	if sc.ModelMatched != builds {
+		return schedScenario{}, fmt.Errorf(
+			"sched-bench %s: only %d/%d builds placed on the requested device model",
+			name, sc.ModelMatched, builds)
+	}
+	return sc, nil
+}
+
+// driveSched runs the virtual clock until every build is terminal.
+func driveSched(clk *simclock.Virtual, srv *accessserver.Server, name string, all []*accessserver.Build) error {
 	terminal := func(b *accessserver.Build) bool {
 		switch b.State() {
 		case accessserver.StateSuccess, accessserver.StateFailure, accessserver.StateAborted:
@@ -158,11 +349,15 @@ func runSchedScenario(name string, builds, nodeCount, flakyCount int) (schedScen
 	for !allDone() {
 		next, ok := clk.NextDeadline()
 		if !ok {
-			return schedScenario{}, fmt.Errorf("sched-bench %s: stalled with %d builds unfinished", name, srv.QueueLength())
+			return fmt.Errorf("sched-bench %s: stalled with %d builds unfinished", name, srv.QueueLength())
 		}
 		clk.RunUntil(next)
 	}
+	return nil
+}
 
+// tallySched folds build outcomes into a scenario record.
+func tallySched(name string, start time.Time, t0 time.Time, clk *simclock.Virtual, all []*accessserver.Build) schedScenario {
 	sc := schedScenario{
 		Name:        name,
 		WallNS:      time.Since(start).Nanoseconds(),
@@ -176,13 +371,12 @@ func runSchedScenario(name string, builds, nodeCount, flakyCount int) (schedScen
 		}
 		sc.Failovers += b.Retries()
 	}
-	sc.DispatchPerSec = float64(builds) / (float64(sc.WallNS) / 1e9)
-	return sc, nil
+	sc.DispatchPerSec = float64(len(all)) / (float64(sc.WallNS) / 1e9)
+	return sc
 }
 
-// runSchedBench measures both fleet conditions and writes the JSON
-// report.
-func runSchedBench(w io.Writer, builds, nodes int) error {
+// buildSchedReport runs every scenario at the given scale.
+func buildSchedReport(builds, nodes int) (schedBenchReport, error) {
 	rep := schedBenchReport{
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -192,19 +386,85 @@ func runSchedBench(w io.Writer, builds, nodes int) error {
 	}
 	healthy, err := runSchedScenario("healthy", builds, nodes, 0)
 	if err != nil {
-		return err
+		return rep, err
 	}
 	flaky, err := runSchedScenario("flaky-30pct", builds, nodes, nodes*3/10)
 	if err != nil {
-		return err
+		return rep, err
 	}
-	rep.Scenarios = []schedScenario{healthy, flaky}
 	if flaky.Succeeded != builds {
-		return fmt.Errorf("sched-bench: only %d/%d builds survived the flaky fleet", flaky.Succeeded, builds)
+		return rep, fmt.Errorf("sched-bench: only %d/%d builds survived the flaky fleet", flaky.Succeeded, builds)
+	}
+	skewed, err := runSkewedTenant("skewed-tenant", builds, nodes)
+	if err != nil {
+		return rep, err
+	}
+	hetero, err := runHeteroFleet("hetero-fleet", builds/5, nodes)
+	if err != nil {
+		return rep, err
+	}
+	rep.Scenarios = []schedScenario{healthy, flaky, skewed, hetero}
+	return rep, nil
+}
+
+// runSchedBench measures every fleet condition and writes the JSON
+// report.
+func runSchedBench(w io.Writer, builds, nodes int) error {
+	rep, err := buildSchedReport(builds, nodes)
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// schedBenchCheck reruns the scheduler scenarios and compares the
+// deterministic outcome fields — succeeded, failed, failovers, and
+// model-matched placements — against the committed baseline. Timing
+// fields are machine-dependent and ignored. A non-nil error means the
+// scheduler's behavior drifted from the recorded baseline.
+func schedBenchCheck(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want schedBenchReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("sched-bench-check: parsing %s: %w", path, err)
+	}
+	got, err := buildSchedReport(want.Builds, want.Nodes)
+	if err != nil {
+		return err
+	}
+	byName := map[string]schedScenario{}
+	for _, sc := range got.Scenarios {
+		byName[sc.Name] = sc
+	}
+	var drifts []string
+	for _, w := range want.Scenarios {
+		g, ok := byName[w.Name]
+		if !ok {
+			drifts = append(drifts, fmt.Sprintf("scenario %s: missing from rerun", w.Name))
+			continue
+		}
+		diff := func(field string, wantV, gotV int) {
+			if wantV != gotV {
+				drifts = append(drifts, fmt.Sprintf("scenario %s: %s drifted %d -> %d", w.Name, field, wantV, gotV))
+			}
+		}
+		diff("succeeded", w.Succeeded, g.Succeeded)
+		diff("failed", w.Failed, g.Failed)
+		diff("failovers", w.Failovers, g.Failovers)
+		diff("model_matched", w.ModelMatched, g.ModelMatched)
+	}
+	if len(drifts) > 0 {
+		for _, d := range drifts {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return fmt.Errorf("%d deterministic field(s) drifted from %s", len(drifts), path)
+	}
+	return nil
 }
 
 // schedBenchTo writes the report to path ("" or "-" = stdout).

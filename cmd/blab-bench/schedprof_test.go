@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// Benchmarks for the scheduler scenarios behind BENCH_sched.json, so
+// dispatch-path changes can be profiled in-process:
+//
+//	go test -run='^$' -bench=BenchmarkSched -benchtime=2000x \
+//	    -cpuprofile=sched.prof ./cmd/blab-bench/
+
+func BenchmarkSchedHealthy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := runSchedScenario("healthy", 100, 10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedFlaky(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := runSchedScenario("flaky-30pct", 100, 10, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

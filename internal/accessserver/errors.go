@@ -1,6 +1,9 @@
 package accessserver
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Typed sentinel errors. Every error the server returns wraps exactly
 // one of these, so callers — the HTTP layer above all — branch with
@@ -38,7 +41,56 @@ var (
 	// credit economy: the member's ledger balance cannot cover the
 	// experiment. The v1 API maps it to 402 (insufficient_credits).
 	ErrInsufficientCredits = errors.New("accessserver: insufficient credits")
+	// ErrOverloaded reports a submission shed by admission control: the
+	// owner is at their in-flight cap, or the queue crossed the shed
+	// watermark. The v1 API maps it to 429 (overloaded) and the error
+	// envelope carries a machine-readable shed reason.
+	ErrOverloaded = errors.New("accessserver: overloaded")
 )
+
+// Shed reasons carried on the wire when admission control rejects a
+// submission (api.Error.ShedReason).
+const (
+	// ShedOwnerCap: the submitting owner already has their in-flight
+	// quota of builds queued or running.
+	ShedOwnerCap = "owner_cap"
+	// ShedQueueWatermark: the dispatch queue crossed the shed
+	// watermark; the fleet is saturated regardless of who asks.
+	ShedQueueWatermark = "queue_watermark"
+)
+
+// overloadError wraps ErrOverloaded with the machine-readable shed
+// reason the 429 envelope carries, so clients can tell "you are over
+// your quota" (back off yourself) from "the fleet is full" (back off
+// globally) without parsing messages.
+type overloadError struct {
+	shed string
+	msg  string
+}
+
+func (e *overloadError) Error() string { return e.msg }
+
+// Is makes errors.Is(err, ErrOverloaded) work across the wrap.
+func (e *overloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// ShedReason reports the typed shed cause (ShedOwnerCap or
+// ShedQueueWatermark).
+func (e *overloadError) ShedReason() string { return e.shed }
+
+// overloadf builds a typed admission rejection.
+func overloadf(shed, format string, args ...any) error {
+	return &overloadError{shed: shed, msg: fmt.Sprintf(format, args...)}
+}
+
+// ShedReasonOf extracts the typed shed reason from an admission
+// rejection ("" for any other error).
+func ShedReasonOf(err error) string {
+	var oe *overloadError
+	if errors.As(err, &oe) {
+		return oe.shed
+	}
+	return ""
+}
 
 // recoveredErr is a failure cause reconstructed from the store: the
 // original error value (a wrapped chain) is gone, but the message and

@@ -78,6 +78,13 @@ type NodeStatus struct {
 	// at MonitorNode time) — status surfaces serve it instead of a live
 	// list_devices round trip, which could hang on a sick node.
 	Devices []string
+	// Reliability telemetry feeding score-based placement: Beats
+	// counts recorded heartbeats, Flaps counts returns from a
+	// suspect/offline silence, and Failovers counts builds the
+	// scheduler reclaimed from the node.
+	Beats     int64
+	Flaps     int64
+	Failovers int64
 }
 
 // nodeRec is the server's per-node lifecycle record: heartbeat clock,
@@ -100,6 +107,18 @@ type nodeRec struct {
 	// per contributionFlushEvery of hosting instead of one per beat.
 	owner       string
 	owedHosting time.Duration
+
+	// Reliability telemetry for score-based placement. beats counts
+	// recorded heartbeats; flaps counts beats that ended a
+	// suspect/offline silence (the node "came back"); failovers counts
+	// builds the scheduler reclaimed from this node via a lease break.
+	// lastFlap is when the node last returned from silence — placement
+	// treats a node inside one offline window of its last flap as
+	// "recently suspect" and ranks it below a steady peer.
+	beats     int64
+	flaps     int64
+	failovers int64
+	lastFlap  time.Time
 
 	// devices is the fallback-placement cache, refreshed when the node
 	// is (re)monitored — device attach/detach between registrations is
@@ -301,6 +320,16 @@ func (s *Server) Heartbeat(name string) {
 	s.mu.Lock()
 	rec := s.recLocked(name)
 	wasOnline := s.healthLocked(rec, now) == HealthOnline
+	rec.beats++
+	// A beat that ends a silence window is a flap: the node was
+	// suspect or offline (by missed beats — drain and removal are
+	// admin states, not flaps) and came back. Placement holds that
+	// against it — sharply while recent, lightly forever via the
+	// lifetime count.
+	if rec.monitored && now.Sub(rec.lastBeat) >= s.cfg.SuspectAfter {
+		rec.flaps++
+		rec.lastFlap = now
+	}
 	if rec.owner != "" && rec.monitored {
 		if d := now.Sub(rec.lastBeat); d > 0 {
 			if d > s.cfg.OfflineAfter {
@@ -465,6 +494,9 @@ func (s *Server) nodeStatusLocked(name string) NodeStatus {
 	st.LastHeartbeat = rec.lastBeat
 	st.Running = rec.running
 	st.Devices = append([]string(nil), rec.devices...)
+	st.Beats = rec.beats
+	st.Flaps = rec.flaps
+	st.Failovers = rec.failovers
 	if !registered && !rec.removed {
 		st.Health = HealthOffline
 	} else {

@@ -187,6 +187,14 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrInsufficientCredits):
 		// 402: the §5 credit economy rejected the submission.
 		code = api.CodeInsufficientCredits
+	case errors.Is(err, ErrOverloaded):
+		// 429: admission control shed the submission. The envelope
+		// carries the typed shed reason so clients can branch without
+		// parsing the message.
+		e := apiError(api.CodeOverloaded, err.Error())
+		e.ShedReason = ShedReasonOf(err)
+		writeAPIError(w, e)
+		return
 	}
 	writeAPIError(w, apiError(code, err.Error()))
 }

@@ -351,6 +351,7 @@ func buildStatus(b *Build) api.BuildStatus {
 		Recovered: b.Recovered(),
 		FeedEpoch: b.FeedEpoch(),
 	}
+	st.PlacementScore = b.PlacementScore()
 	// Feed-loss counters: a streaming client that sees a non-zero value
 	// knows its replay is missing records instead of trusting a silently
 	// truncated stream.

@@ -152,14 +152,22 @@ type Build struct {
 	// dispatch increments it, and completions carrying an older token
 	// (a pipeline the scheduler already reclaimed from a lost node) are
 	// stale. retries counts failover requeues against the retry budget.
-	attempt       int
-	retries       int
-	nodeName      string // node of the current/last attempt
-	pendingReason string // why a queued build is not running yet
-	heldLocks     []string
-	leaseTimer    simclock.Timer
-	retryTimer    simclock.Timer
-	agingTimer    simclock.Timer
+	attempt        int
+	retries        int
+	nodeName       string  // node of the current/last attempt
+	pendingReason  string  // why a queued build is not running yet
+	placementScore float64 // placer score of the current/last placement
+	// schedReason shadows pendingReason for the dispatch pass, guarded
+	// by s.mu rather than b.mu: the drain labels every skipped build
+	// every pass, and the shadow lets it skip the per-build lock when
+	// the reason has not changed (the overwhelmingly common case on a
+	// deep queue). Every writer of pendingReason that holds s.mu must
+	// keep the two in sync.
+	schedReason string
+	heldLocks   []string
+	leaseTimer  simclock.Timer
+	retryTimer  simclock.Timer
+	agingTimer  simclock.Timer
 }
 
 // State reports the build state.
@@ -206,6 +214,14 @@ func (b *Build) PendingReason() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.pendingReason
+}
+
+// PlacementScore reports the placer's score for the build's
+// current/last placement (0 for builds that never dispatched).
+func (b *Build) PlacementScore() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.placementScore
 }
 
 // setPendingReason records the scheduler's skip reason for this scan.

@@ -45,6 +45,8 @@ type serverMetrics struct {
 	failoverRequeues int64
 	agedOut          int64
 	campaigns        int64
+	shedOwnerCap     int64
+	shedWatermark    int64
 
 	// dispatchLatency observes submit→running wait in seconds, on the
 	// server clock (virtual-clock deterministic).
@@ -121,8 +123,14 @@ func pendingCategory(reason string) string {
 	switch {
 	case reason == "":
 		return "next_in_line"
+	// "waiting for a free executor" must fold before the generic
+	// "waiting for " lock_wait prefix below.
+	case reason == "waiting for a free executor":
+		return "executor_wait"
 	case strings.Contains(reason, "campaign concurrency"):
 		return "campaign_cap"
+	case strings.Contains(reason, "fair-share cap"):
+		return "owner_cap"
 	case strings.Contains(reason, "probing controller CPU"):
 		return "cpu_probe"
 	case strings.Contains(reason, "controller CPU"):
@@ -143,7 +151,8 @@ func pendingCategory(reason string) string {
 // pendingCategories is the full label set, emitted every snapshot
 // (zeros included) so scrapes see stable series.
 var pendingCategories = []string{
-	"next_in_line", "campaign_cap", "cpu_probe", "cpu_gate",
+	"next_in_line", "executor_wait", "campaign_cap", "owner_cap",
+	"cpu_probe", "cpu_gate",
 	"node_unavailable", "lock_wait", "retry_backoff", "other",
 }
 
@@ -167,6 +176,10 @@ func (s *Server) collectScheduler(e *metrics.Emitter) {
 	e.Counter("blab_scheduler_failover_requeues_total", "lease breaks that requeued within the retry budget", float64(m.failoverRequeues))
 	e.Counter("blab_scheduler_aged_out_total", "queued builds failed by the pending timeout", float64(m.agedOut))
 	e.Counter("blab_campaigns_submitted_total", "campaigns accepted", float64(m.campaigns))
+	e.Counter("blab_admission_shed_total", "submissions shed by admission control",
+		float64(m.shedOwnerCap), metrics.Label{Name: "reason", Value: ShedOwnerCap})
+	e.Counter("blab_admission_shed_total", "submissions shed by admission control",
+		float64(m.shedWatermark), metrics.Label{Name: "reason", Value: ShedQueueWatermark})
 
 	e.Gauge("blab_queue_depth", "builds in state queued (including failover backoff)", float64(m.queued))
 	e.Gauge("blab_queue_dispatchable", "builds in the dispatch scan queue", float64(len(s.queue)))

@@ -598,6 +598,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 			b.retries++
 			s.m.failoverRequeues++
 			b.pendingReason = fmt.Sprintf("%s; retry %d/%d", reason, b.retries, s.cfg.MaxRetries)
+			b.schedReason = b.pendingReason // replay holds s.mu; keep the dispatch shadow in sync
 			fmt.Fprintf(&b.log, "build requeued: %s (retry %d/%d)\n", reason, b.retries, s.cfg.MaxRetries)
 			pending = append(pending, store.Record{
 				T: store.TBuildFailover, BuildID: b.ID,
@@ -609,6 +610,10 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 		}
 		b.state = StateQueued
 		s.m.queued++
+		// Re-derive the per-owner in-flight census: admission fairness
+		// must survive a restart, or one owner could double their quota
+		// by crashing the server.
+		s.ownerActive[b.Owner]++
 		s.queue = append(s.queue, b)
 		b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
 	}

@@ -51,6 +51,29 @@ type Config struct {
 	// fail with a reason (default 30m).
 	PendingTimeout time.Duration
 
+	// Placer scores fallback placements (see placement.go). Nil selects
+	// the default WeightedPlacer with DefaultScoreWeights.
+	Placer Placer
+	// OwnerInFlightCap bounds one non-admin owner's builds in
+	// non-terminal states (queued + running); submissions past the cap
+	// are shed with ErrOverloaded (429, shed_reason=owner_cap).
+	// 0 = unlimited.
+	OwnerInFlightCap int
+	// ShedWatermark is the dispatch-queue depth at which non-admin
+	// submissions shed with ErrOverloaded (429,
+	// shed_reason=queue_watermark). Credit-aware: while the §5 credit
+	// economy is enforced, a submitter whose ledger covered the credit
+	// gate may queue up to twice the watermark — paying tenants buy
+	// headroom — and only the doubled hard watermark sheds them.
+	// 0 = unlimited.
+	ShedWatermark int
+	// OwnerRunCap is the dispatch-time fair-share bound: at most this
+	// many builds of one owner hold executors concurrently, so a hot
+	// tenant's backlog cannot starve everyone else's queue wait.
+	// Applies to every owner, admins included — it allocates capacity,
+	// it does not deny admission. 0 = unlimited.
+	OwnerRunCap int
+
 	// EnforceCredits turns on the §5 credit economy: submissions are
 	// gated on the submitter's ledger balance and finished runs are
 	// charged their actual device time. Admins are exempt (they operate
@@ -106,6 +129,9 @@ func (c Config) withDefaults() Config {
 	if c.PendingTimeout == 0 {
 		c.PendingTimeout = 30 * time.Minute
 	}
+	if c.Placer == nil {
+		c.Placer = WeightedPlacer{W: DefaultScoreWeights()}
+	}
 	if c.SubmitCharge == 0 {
 		c.SubmitCharge = time.Minute
 	}
@@ -156,6 +182,24 @@ type Server struct {
 	crons []*cronEntry
 	// nodeRecs is the per-node lifecycle state (see health.go).
 	nodeRecs map[string]*nodeRec
+	// placer scores fallback placements (see placement.go); swapped at
+	// runtime with SetPlacer.
+	placer Placer
+	// dispatching/redispatch make the dispatch loop non-reentrant:
+	// dispatch() calls arriving while a drain loop runs (a pipeline
+	// that completed synchronously, a probe result, a heartbeat) set
+	// redispatch and return immediately; the active loop rescans. This
+	// is what turned the old finish→dispatch recursion — linear stack
+	// growth on deep queues of synchronous builds — into iteration.
+	dispatching bool
+	redispatch  bool
+	// ownerActive counts each owner's builds in non-terminal states
+	// (the OwnerInFlightCap admission input); ownerRunning counts each
+	// owner's builds holding executors (the OwnerRunCap fair-share
+	// input). Both maintained under s.mu at the same transitions as
+	// the metrics counters.
+	ownerActive  map[string]int
+	ownerRunning map[string]int
 
 	specs        SpecBackend
 	campaigns    map[int]*campaignRec
@@ -217,7 +261,10 @@ func New(clock simclock.Clock, cfg Config) *Server {
 		nodeRecs:     make(map[string]*nodeRec),
 		campaigns:    make(map[int]*campaignRec),
 		nextCampaign: 1,
+		ownerActive:  make(map[string]int),
+		ownerRunning: make(map[string]int),
 	}
+	s.placer = s.cfg.Placer
 	s.creditsOn.Store(s.cfg.EnforceCredits)
 	s.m = newServerMetrics(s)
 	return s
@@ -396,10 +443,63 @@ func (s *Server) Submit(user *User, jobName string) (*Build, error) {
 		return nil, err
 	}
 	s.mu.Lock()
+	if err := s.admitLocked(user, 1); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	b := s.enqueueLocked(user.Name, jobName, 0, Constraints{}, nil, nil)
 	s.mu.Unlock()
 	s.dispatch()
 	return b, nil
+}
+
+// admitLocked is the fairness half of admission control (the credit
+// gate ran already): per-owner in-flight caps plus queue-watermark
+// load-shedding, both answering typed ErrOverloaded (429) with a
+// machine-readable shed reason. Admins are exempt — they operate the
+// platform. The watermark is credit-aware: while credits are enforced,
+// a submitter who passed the credit gate paid for headroom and only
+// the doubled hard watermark sheds them. Callers hold s.mu.
+func (s *Server) admitLocked(user *User, n int) error {
+	if user.Role == RoleAdmin {
+		return nil
+	}
+	if cap := s.cfg.OwnerInFlightCap; cap > 0 && s.ownerActive[user.Name]+n > cap {
+		s.m.shedOwnerCap++
+		return overloadf(ShedOwnerCap,
+			"accessserver: overloaded: %s has %d builds in flight (cap %d)",
+			user.Name, s.ownerActive[user.Name], cap)
+	}
+	if wm := s.cfg.ShedWatermark; wm > 0 {
+		depth := len(s.queue)
+		limit := wm
+		if s.creditsOn.Load() {
+			limit = 2 * wm
+		}
+		if depth >= limit {
+			s.m.shedWatermark++
+			return overloadf(ShedQueueWatermark,
+				"accessserver: overloaded: queue depth %d crossed the shed watermark %d",
+				depth, limit)
+		}
+	}
+	return nil
+}
+
+// ownerSettledLocked records one of owner's builds leaving the
+// non-terminal states. Callers hold s.mu.
+func (s *Server) ownerSettledLocked(owner string) {
+	if s.ownerActive[owner]--; s.ownerActive[owner] <= 0 {
+		delete(s.ownerActive, owner)
+	}
+}
+
+// ownerRunDoneLocked records one of owner's running builds leaving the
+// executor (finish or failover reclaim). Callers hold s.mu.
+func (s *Server) ownerRunDoneLocked(owner string) {
+	if s.ownerRunning[owner]--; s.ownerRunning[owner] <= 0 {
+		delete(s.ownerRunning, owner)
+	}
 }
 
 // enqueueLocked creates a build and appends it to the queue. run is nil
@@ -427,6 +527,7 @@ func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constra
 	s.queue = append(s.queue, b)
 	s.m.submitted++
 	s.m.queued++
+	s.ownerActive[owner]++
 	b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
 	s.logStore(store.Record{T: store.TBuildQueued, Build: &store.BuildRec{
 		ID: b.ID, Job: b.Job, Owner: b.Owner, Campaign: b.campaign,
@@ -458,6 +559,10 @@ func (s *Server) SubmitSpec(user *User, spec api.ExperimentSpec) (*Build, error)
 		return nil, err
 	}
 	s.mu.Lock()
+	if err := s.admitLocked(user, 1); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	b := s.enqueueLocked(user.Name, specJobName(spec), 0, cons, run, &spec)
 	s.mu.Unlock()
 	s.dispatch()
@@ -504,6 +609,10 @@ func (s *Server) SubmitCampaign(user *User, cs api.CampaignSpec) (int, []*Build,
 		pipelines[i] = compiled{cons, run, specJobName(spec)}
 	}
 	s.mu.Lock()
+	if err := s.admitLocked(user, len(pipelines)); err != nil {
+		s.mu.Unlock()
+		return 0, nil, err
+	}
 	id := s.nextCampaign
 	s.nextCampaign++
 	s.m.campaigns++
@@ -578,6 +687,7 @@ func (s *Server) Abort(user *User, id int) error {
 		s.queue = append(s.queue[:queuedAt], s.queue[queuedAt+1:]...)
 		s.m.queued--
 		s.m.aborted++
+		s.ownerSettledLocked(b.Owner)
 		// Settle the aborted build while still holding s.mu: the WAL
 		// append below must be serialized against snapshot compaction
 		// (which cuts the log under s.mu), or the abort record could
@@ -679,59 +789,45 @@ func (s *Server) pipelineLocked(b *Build) (Constraints, RunFunc, error) {
 	return job.Constraints(), job.run, nil
 }
 
-// dispatch scans the queue and starts every build whose constraints are
-// satisfiable right now. On a virtual clock the whole scan runs under a
-// clock hold: pipeline setup is synchronous (RunFuncs schedule their
-// session timers before returning), and a concurrent Step driver
-// (batterylab.DriveBuilds) must not advance the clock to some unrelated
-// far-future deadline mid-setup — every build dispatched in one scan
-// starts at the same instant it was dispatched at, deterministically.
+// dispatch drains the queue in batches: one s.mu acquisition claims
+// every build whose constraints are satisfiable right now in a single
+// placement pass, then the claimed pipelines start outside the lock.
+// On a virtual clock the whole drain runs under a clock hold: pipeline
+// setup is synchronous (RunFuncs schedule their session timers before
+// returning), and a concurrent Step driver (batterylab.DriveBuilds)
+// must not advance the clock to some unrelated far-future deadline
+// mid-setup — every build dispatched in one pass starts at the same
+// instant it was dispatched at, deterministically.
+//
+// dispatch is non-reentrant by design: a call arriving while a drain
+// loop is active (a pipeline completing synchronously inside
+// startPicked, a probe result, a heartbeat on another goroutine) sets
+// the redispatch flag and returns; the active loop rescans. The old
+// per-build implementation recursed finish→dispatch→start→finish…,
+// growing the stack linearly with queue depth for synchronous
+// pipelines — this loop is that recursion converted to iteration.
 func (s *Server) dispatch() {
 	if v, ok := s.clock.(*simclock.Virtual); ok {
 		release := v.Hold()
 		defer release()
 	}
-	for {
-		started := s.dispatchOne()
-		if !started {
-			return
-		}
+	s.mu.Lock()
+	if s.dispatching {
+		s.redispatch = true
+		s.mu.Unlock()
+		return
 	}
-}
-
-// cpuProbe is one pending RequireLowCPU probe request, carried out of
-// the scheduler lock.
-type cpuProbe struct {
-	name string
-	node Node
-}
-
-// pick is one dispatchable build with its resolved placement.
-type pick struct {
-	b      *Build
-	run    RunFunc
-	node   Node
-	device string
-	locks  []string
-}
-
-// dispatchOne starts the first dispatchable build, reporting whether it
-// started one. Node probes (CPU gating) never run under s.mu: fresh
-// cache values decide immediately; stale ones trigger a probe — in
-// place for in-process nodes, on a goroutine for remote ones — and the
-// candidate is skipped for this scan, so one hung node cannot delay
-// dispatch (or Submit, Abort, status) for everyone else.
-func (s *Server) dispatchOne() bool {
+	s.dispatching = true
 	for {
-		s.mu.Lock()
-		p, probes, failed := s.pickLocked()
+		s.redispatch = false
+		picks, probes, failed := s.drainLocked()
 		s.mu.Unlock()
 
 		for _, b := range failed {
 			b.feed.close()
 		}
-		// Launch every collected probe whether or not a build was also
-		// picked: pickLocked latched cpuProbing for each, and dropping
+		// Launch every collected probe whether or not builds were also
+		// picked: drainLocked latched cpuProbing for each, and dropping
 		// one here would leave its node skipped ("probing controller
 		// CPU") on every future scan with no probe ever in flight.
 		progressed := false
@@ -752,60 +848,150 @@ func (s *Server) dispatchOne() bool {
 				s.dispatch()
 			}(pr)
 		}
-		if p == nil {
-			if progressed {
-				continue
-			}
-			return false
+		for _, p := range picks {
+			s.startPicked(p)
 		}
 
-		s.startPicked(p)
-		return true
+		s.mu.Lock()
+		// Rescan when a synchronous completion (or any concurrent
+		// dispatch call) asked for it, or a synchronous probe refreshed
+		// a reading the pass skipped on. A pass that merely started
+		// builds needs no rescan: it already drained everything
+		// claimable, and lock/executor state only changed in ways the
+		// pass itself accounted for.
+		if !s.redispatch && !progressed {
+			break
+		}
 	}
+	s.dispatching = false
+	s.mu.Unlock()
 }
 
-// pickLocked scans the queue for the first build that can start now,
-// removing it from the queue and claiming its locks. It also collects
-// CPU probes to launch and builds to fail (deleted jobs). Callers hold
+// cpuProbe is one pending RequireLowCPU probe request, carried out of
+// the scheduler lock.
+type cpuProbe struct {
+	name string
+	node Node
+}
+
+// pick is one dispatchable build with its resolved placement.
+type pick struct {
+	b      *Build
+	run    RunFunc
+	node   Node
+	device string
+	locks  []string
+}
+
+// Pending-reason priorities. A build skipped for several reasons in
+// one pass reports the highest-priority one — stably, instead of
+// whichever check happened to run last. Executor saturation outranks
+// everything (nothing dispatches regardless of other conditions, and
+// it lets the pass stop evaluating the tail of a deep queue); below
+// it, the order runs from policy caps down to transient gates.
+const (
+	prioExecutor = iota
+	prioCampaignCap
+	prioOwnerCap
+	prioNodeUnavailable
+	prioLockWait
+	prioCPUProbe
+	prioCPUGate
+	prioNone // dispatchable
+)
+
+// drainLocked is the single placement pass: it scans the queue once,
+// claiming every build that can start now (locks, counters and leases
+// are taken immediately, so later candidates in the same pass see the
+// updated state) and recording a stable pending reason for every build
+// it skips. It also collects CPU probes to launch and builds to fail
+// (deleted jobs). Node probes (CPU gating) never run under s.mu: fresh
+// cache values decide immediately; stale ones trigger a probe — in
+// place for in-process nodes, on a goroutine for remote ones — and the
+// candidate is skipped for this pass, so one hung node cannot delay
+// dispatch (or Submit, Abort, status) for everyone else. Callers hold
 // s.mu.
-func (s *Server) pickLocked() (*pick, []cpuProbe, []*Build) {
-	if s.running >= s.cfg.Executors {
-		return nil, nil, nil
-	}
+func (s *Server) drainLocked() ([]*pick, []cpuProbe, []*Build) {
+	var picks []*pick
 	var probes []cpuProbe
 	var failed []*Build
 	now := s.clock.Now()
+	// skip records a build's pending reason through the s.mu-guarded
+	// shadow, taking b.mu only when the reason actually changed — the
+	// drain labels every skipped build every pass, and on a deep queue
+	// almost all of those labels are repeats.
+	skip := func(b *Build, reason string) {
+		if b.schedReason != reason {
+			b.schedReason = reason
+			b.setPendingReason(reason)
+		}
+	}
+	// The queue is compacted in place: w is the write index, engaged at
+	// the first removal (-1 until then). A pass that claims and fails
+	// nothing — every pass after saturation — leaves s.queue untouched
+	// and allocates nothing.
+	w := -1
 	for i := 0; i < len(s.queue); i++ {
 		cand := s.queue[i]
+		if s.running >= s.cfg.Executors {
+			// Saturated: nothing below can dispatch, and saturation is
+			// the one condition that applies to every remaining build
+			// identically — label the whole tail without evaluating
+			// (expensive) placement and stop scanning.
+			for _, c := range s.queue[i:] {
+				skip(c, "waiting for a free executor")
+			}
+			if w >= 0 {
+				w += copy(s.queue[w:], s.queue[i:])
+			}
+			break
+		}
 		cons, run, err := s.pipelineLocked(cand)
 		if err != nil {
-			// Deleted job: fail the build immediately instead of skipping
-			// it forever.
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			i--
+			// Deleted job: fail the build immediately instead of
+			// skipping it forever.
 			s.terminateLocked(cand, fmt.Errorf("build %d: %w (deleted while queued)", cand.ID, err))
 			failed = append(failed, cand)
+			if w < 0 {
+				w = i
+			}
 			continue
 		}
+
+		// Evaluate the skip conditions in priority order; the first
+		// failing check is by construction the highest-priority reason,
+		// so the recorded pending reason cannot churn between checks
+		// evaluated later in the same pass.
+		prio, reason := prioNone, ""
 		if rec := s.campaigns[cand.campaign]; rec != nil &&
 			rec.maxConcurrent > 0 && rec.running >= rec.maxConcurrent {
-			cand.setPendingReason("campaign concurrency cap reached")
-			continue
+			prio, reason = prioCampaignCap, "campaign concurrency cap reached"
 		}
-		node, device, reason := s.placeLocked(cons, now)
-		if node == nil {
-			cand.setPendingReason(reason)
-			continue
+		if cap := s.cfg.OwnerRunCap; prio == prioNone && cap > 0 && s.ownerRunning[cand.Owner] >= cap {
+			prio, reason = prioOwnerCap, fmt.Sprintf("owner %s at the fair-share cap (%d running)", cand.Owner, cap)
 		}
-		keys := lockKeysFor(node.Name(), device)
-		if s.locksHeld(keys) {
-			cand.setPendingReason(fmt.Sprintf("waiting for %s", keys[0]))
-			continue
+		var node Node
+		var device string
+		var score float64
+		if prio == prioNone {
+			var preason string
+			node, device, score, preason = s.placeLocked(cons, now)
+			if node == nil {
+				prio, reason = prioNodeUnavailable, preason
+			}
 		}
-		if cons.RequireLowCPU {
+		var keys []string
+		if prio == prioNone {
+			keys = lockKeysFor(node.Name(), device)
+			if s.locksHeld(keys) {
+				prio, reason = prioLockWait, fmt.Sprintf("waiting for %s", keys[0])
+			}
+		}
+		if prio == prioNone && cons.RequireLowCPU {
 			rec := s.recLocked(node.Name())
 			fresh := rec.cpuOK && rec.cpuAt.Add(s.cfg.CPUProbeTTL).After(now)
-			if !fresh {
+			switch {
+			case !fresh:
 				// A probe counts as in flight only within the node-loss
 				// window; past it, the probe is presumed stuck on a
 				// half-open connection and a new one may launch.
@@ -815,17 +1001,25 @@ func (s *Server) pickLocked() (*pick, []cpuProbe, []*Build) {
 					rec.cpuProbeAt = now
 					probes = append(probes, cpuProbe{name: node.Name(), node: node})
 				}
-				cand.setPendingReason("probing controller CPU")
-				continue
-			}
-			if rec.cpuPct >= s.cfg.LowCPUThreshold {
-				cand.setPendingReason(fmt.Sprintf("controller CPU %.0f%% above the %.0f%% gate", rec.cpuPct, s.cfg.LowCPUThreshold))
-				continue
+				prio, reason = prioCPUProbe, "probing controller CPU"
+			case rec.cpuPct >= s.cfg.LowCPUThreshold:
+				prio, reason = prioCPUGate, fmt.Sprintf("controller CPU %.0f%% above the %.0f%% gate", rec.cpuPct, s.cfg.LowCPUThreshold)
 			}
 		}
+		if prio != prioNone {
+			skip(cand, reason)
+			if w >= 0 {
+				s.queue[w] = cand
+				w++
+			}
+			continue
+		}
 
-		// Claim: remove from queue, take locks, bump counters, lease.
-		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		// Claim: take locks, bump counters, lease. The build leaves the
+		// queue by not advancing the write index past it.
+		if w < 0 {
+			w = i
+		}
 		for _, k := range keys {
 			s.locks[k] = cand.ID
 		}
@@ -839,6 +1033,8 @@ func (s *Server) pickLocked() (*pick, []cpuProbe, []*Build) {
 		}
 		nrec := s.recLocked(node.Name())
 		nrec.running++
+		s.ownerRunning[cand.Owner]++
+		cand.schedReason = ""
 
 		cand.mu.Lock()
 		cand.state = StateRunning
@@ -847,6 +1043,7 @@ func (s *Server) pickLocked() (*pick, []cpuProbe, []*Build) {
 		cand.nodeName = node.Name()
 		cand.pendingReason = ""
 		cand.heldLocks = keys
+		cand.placementScore = score
 		// The enqueue-time aging timer is done: left armed, it would
 		// outlive a failover and fail the requeued build against the
 		// original deadline instead of the re-armed one.
@@ -864,17 +1061,28 @@ func (s *Server) pickLocked() (*pick, []cpuProbe, []*Build) {
 		s.logStore(store.Record{T: store.TBuildStarted, BuildID: cand.ID,
 			NodeName: node.Name(), Attempt: attempt, AtNS: now.UnixNano()})
 
-		return &pick{b: cand, run: run, node: node, device: device, locks: keys}, probes, failed
+		picks = append(picks, &pick{b: cand, run: run, node: node, device: device, locks: keys})
 	}
-	return nil, probes, failed
+	if w >= 0 {
+		// Nil the vacated tail so the backing array does not pin
+		// removed builds past their retention window.
+		for j := w; j < len(s.queue); j++ {
+			s.queue[j] = nil
+		}
+		s.queue = s.queue[:w]
+	}
+	return picks, probes, failed
 }
 
 // placeLocked resolves where a build may run right now: its preferred
 // node when registered and online, or — for fallback-enabled builds —
-// any other online monitored node with a free cached device. A nil node
-// comes with the human-readable reason the build keeps waiting. Callers
-// hold s.mu.
-func (s *Server) placeLocked(cons Constraints, now time.Time) (Node, string, string) {
+// the highest-scoring online monitored node with a free cached device
+// (see placement.go). A nil node comes with the human-readable reason
+// the build keeps waiting. The returned score is the placer's score for
+// the chosen pair (the preferred-node fast path computes it too, so the
+// wire status surfaces comparable numbers either way). Callers hold
+// s.mu.
+func (s *Server) placeLocked(cons Constraints, now time.Time) (Node, string, float64, string) {
 	rec := s.nodeRecs[cons.Node]
 	n, err := s.Nodes.Get(cons.Node)
 	// A removed node that reappeared through the plain registry path is
@@ -887,7 +1095,14 @@ func (s *Server) placeLocked(cons Constraints, now time.Time) (Node, string, str
 	case err == nil && (rec == nil || !rec.removed):
 		h := s.healthLocked(rec, now)
 		if h == HealthOnline {
-			return n, cons.Device, ""
+			// Pinned placement: the preferred node is up, so it wins
+			// outright — scoring only arbitrates substitutes. The score
+			// is still computed for the status surface.
+			score := 0.0
+			if rec != nil {
+				score = s.placer.Score(s.candidateLocked(rec, cons.Device, cons.Device, now))
+			}
+			return n, cons.Device, score, ""
 		}
 		reason = fmt.Sprintf("node %q is %s", cons.Node, h)
 	case rec != nil && rec.removed:
@@ -896,9 +1111,17 @@ func (s *Server) placeLocked(cons Constraints, now time.Time) (Node, string, str
 		reason = fmt.Sprintf("waiting for node %q to register", cons.Node)
 	}
 	if !cons.Fallback {
-		return nil, "", reason
+		return nil, "", 0, reason
 	}
-	// Fallback placement: sorted scan keeps substitution deterministic.
+	// Fallback placement: score every eligible (node, device) pair and
+	// take the best. Ties break by node name then device serial over a
+	// sorted scan, so substitution stays deterministic run to run.
+	var (
+		best       Node
+		bestDevice string
+		bestScore  float64
+		found      bool
+	)
 	names := make([]string, 0, len(s.nodeRecs))
 	for name := range s.nodeRecs {
 		names = append(names, name)
@@ -916,19 +1139,29 @@ func (s *Server) placeLocked(cons Constraints, now time.Time) (Node, string, str
 		if err != nil {
 			continue
 		}
-		if cons.Device == "" {
-			if !s.locksHeld(lockKeysFor(name, "")) {
-				return subNode, "", ""
+		consider := func(device string) {
+			if s.locksHeld(lockKeysFor(name, device)) {
+				return
 			}
+			score := s.placer.Score(s.candidateLocked(sub, device, cons.Device, now))
+			// Strict > keeps the first (lexicographically smallest)
+			// pair on ties — the deterministic tie-break.
+			if !found || score > bestScore {
+				best, bestDevice, bestScore, found = subNode, device, score, true
+			}
+		}
+		if cons.Device == "" {
+			consider("")
 			continue
 		}
 		for _, d := range sub.devices {
-			if !s.locksHeld(lockKeysFor(name, d)) {
-				return subNode, d, ""
-			}
+			consider(d)
 		}
 	}
-	return nil, "", reason + "; no fallback node available"
+	if found {
+		return best, bestDevice, bestScore, ""
+	}
+	return nil, "", 0, reason + "; no fallback node available"
 }
 
 // startPicked runs a claimed build's pipeline.
@@ -1093,9 +1326,15 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 	if rec := s.campaigns[b.campaign]; rec != nil {
 		rec.running--
 	}
+	s.ownerRunDoneLocked(b.Owner)
 	b.mu.Lock()
-	if rec := s.nodeRecs[b.nodeName]; rec != nil && rec.running > 0 {
-		rec.running--
+	if rec := s.nodeRecs[b.nodeName]; rec != nil {
+		if rec.running > 0 {
+			rec.running--
+		}
+		// Reliability telemetry: the node lost a leased build. The
+		// placer penalizes it on every future fallback decision.
+		rec.failovers++
 	}
 	if b.leaseTimer != nil {
 		b.leaseTimer.Stop()
@@ -1120,6 +1359,7 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 		fmt.Fprintf(&b.log, "build lost: %s; retry budget (%d) spent\n", reason, s.cfg.MaxRetries)
 		b.state = StateFailure
 		s.m.failed++
+		s.ownerSettledLocked(b.Owner)
 		b.err = fmt.Errorf("%w: %s after %d retries", ErrNodeLost, reason, b.retries)
 		b.finishedAt = now
 		b.stopTimersLocked()
@@ -1136,6 +1376,7 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 	backoff := s.cfg.RetryBackoff << (b.retries - 1)
 	b.state = StateQueued
 	b.pendingReason = fmt.Sprintf("%s; retry %d/%d in %s", reason, b.retries, s.cfg.MaxRetries, backoff)
+	b.schedReason = b.pendingReason // s.mu held; keep the dispatch shadow in sync
 	attempt := b.attempt
 	fmt.Fprintf(&b.log, "build requeued: %s (retry %d/%d in %s)\n", reason, b.retries, s.cfg.MaxRetries, backoff)
 	b.retryTimer = s.clock.AfterFunc(backoff, func() { s.requeue(b, attempt) })
@@ -1161,6 +1402,7 @@ func (s *Server) requeue(b *Build, attempt int) {
 		b.state = StateAborted
 		s.m.queued--
 		s.m.aborted++
+		s.ownerSettledLocked(b.Owner)
 		b.finishedAt = s.clock.Now()
 		b.stopTimersLocked()
 		fmt.Fprintf(&b.log, "build aborted during failover backoff\n")
@@ -1204,7 +1446,7 @@ func (s *Server) checkAging(b *Build) {
 	cons, _, err := s.pipelineLocked(b)
 	if err == nil {
 		now := s.clock.Now()
-		node, _, _ := s.placeLocked(cons, now)
+		node, _, _, _ := s.placeLocked(cons, now)
 		if node != nil {
 			// Placeable: the wait is lock/executor pressure, not node
 			// loss. Keep watching in case the node dies later.
@@ -1260,6 +1502,7 @@ func (s *Server) checkAging(b *Build) {
 func (s *Server) terminateLocked(b *Build, err error) {
 	s.m.queued--
 	s.m.failed++
+	s.ownerSettledLocked(b.Owner)
 	b.mu.Lock()
 	b.state = StateFailure
 	b.err = err
@@ -1320,6 +1563,8 @@ func (s *Server) finish(b *Build, attempt int, locks []string, err error) {
 	if rec := s.nodeRecs[nodeName]; rec != nil && rec.running > 0 {
 		rec.running--
 	}
+	s.ownerRunDoneLocked(b.Owner)
+	s.ownerSettledLocked(b.Owner)
 	s.mu.Unlock()
 
 	s.chargeRun(b.Owner, deviceTime)

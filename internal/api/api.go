@@ -337,6 +337,10 @@ type BuildStatus struct {
 	Attempts int `json:"attempts,omitempty"`
 	// PendingReason explains why a queued build is not running yet.
 	PendingReason string `json:"pending_reason,omitempty"`
+	// PlacementScore is the scheduler's placer score for the
+	// current/last placement — comparable across builds under one
+	// scoring policy, useful for telling "best node" from "only node".
+	PlacementScore float64 `json:"placement_score,omitempty"`
 	// DroppedEvents and DroppedSamples count records the build's bounded
 	// feed buffers shed under backpressure: a non-zero value tells a
 	// streaming client its replay is lossy rather than letting it trust
@@ -411,6 +415,10 @@ const (
 	// CodeInsufficientCredits is the §5 credit economy's rejection: the
 	// member's ledger balance cannot cover the submission (402).
 	CodeInsufficientCredits ErrorCode = "insufficient_credits"
+	// CodeOverloaded is admission control's rejection (429): the owner
+	// is over their in-flight cap, or the queue crossed the shed
+	// watermark. The envelope's ShedReason says which.
+	CodeOverloaded ErrorCode = "overloaded"
 )
 
 // Error is the typed error envelope every non-2xx v1 response carries:
@@ -422,6 +430,10 @@ const (
 type Error struct {
 	Code    ErrorCode `json:"code"`
 	Message string    `json:"message"`
+	// ShedReason qualifies CodeOverloaded rejections with the machine-
+	// readable cause ("owner_cap" or "queue_watermark") so clients can
+	// tell per-tenant throttling from fleet saturation.
+	ShedReason string `json:"shed_reason,omitempty"`
 }
 
 // Error implements error.
@@ -444,6 +456,8 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusConflict
 	case CodeInsufficientCredits:
 		return http.StatusPaymentRequired
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}
@@ -465,6 +479,8 @@ func CodeForStatus(status int) ErrorCode {
 		return CodeConflict
 	case http.StatusPaymentRequired:
 		return CodeInsufficientCredits
+	case http.StatusTooManyRequests:
+		return CodeOverloaded
 	default:
 		return CodeInternal
 	}

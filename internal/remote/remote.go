@@ -279,6 +279,19 @@ func (p *Platform) do(ctx context.Context, method, u string, in, out any, idempo
 	return lastErr
 }
 
+// IsOverloaded reports whether err is the server's 429 admission
+// rejection, and if so the typed shed reason ("owner_cap" — back off
+// your own submissions; "queue_watermark" — the fleet is saturated,
+// back off globally). Submissions are never auto-retried, so callers
+// decide their own backoff on this signal.
+func IsOverloaded(err error) (reason string, ok bool) {
+	var ae *api.Error
+	if errors.As(err, &ae) && ae.Code == api.CodeOverloaded {
+		return ae.ShedReason, true
+	}
+	return "", false
+}
+
 // decodeError turns a non-2xx response into *api.Error.
 func decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
