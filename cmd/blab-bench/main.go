@@ -18,6 +18,8 @@
 //	                       # fail if deterministic scheduler outcomes drift from the baseline
 //	blab-bench -store-bench -store-bench-out BENCH_store.json
 //	                       # WAL append/replay/compaction microbenchmark
+//	blab-bench -store-bench-check BENCH_store.json
+//	                       # fail if the deterministic WAL-size fields drift from the baseline
 //	blab-bench -fleet-bench -fleet-bench-out BENCH_fleet.json
 //	                       # fleet-scale load: nodes × streaming clients × campaign churn
 //
@@ -57,6 +59,7 @@ func main() {
 		storeBench    = flag.Bool("store-bench", false, "micro-benchmark the WAL append/replay/compaction path")
 		storeBenchOut = flag.String("store-bench-out", "", "write the store benchmark JSON here (default stdout)")
 		storeBenchN   = flag.Int("store-bench-builds", 10_000, "build lifecycles to log for -store-bench")
+		storeBenchCk  = flag.String("store-bench-check", "", "rerun the store benchmark and fail if deterministic WAL-size fields drift from this baseline JSON")
 
 		fleetBench        = flag.Bool("fleet-bench", false, "fleet-scale load harness: nodes × streaming clients × campaign churn on the virtual clock")
 		fleetBenchOut     = flag.String("fleet-bench-out", "", "write the fleet benchmark JSON here (default stdout)")
@@ -261,6 +264,15 @@ func main() {
 		if *storeBenchOut != "" && *storeBenchOut != "-" {
 			fmt.Printf("(store benchmark written to %s)\n", *storeBenchOut)
 		}
+	}
+
+	if *storeBenchCk != "" {
+		ran = true
+		if err := storeBenchCheck(*storeBenchCk); err != nil {
+			fmt.Fprintf(os.Stderr, "store-bench-check: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(store WAL format matches %s)\n", *storeBenchCk)
 	}
 
 	if *fleetBench {

@@ -23,39 +23,43 @@ type storeBenchReport struct {
 
 	Records int `json:"records"`
 
-	AppendWallNS    int64   `json:"append_wall_ns"`
-	AppendsPerSec   float64 `json:"appends_per_sec"`
-	WALBytes        int64   `json:"wal_bytes"`
-	BytesPerRecord  float64 `json:"bytes_per_record"`
-	ReplayWallNS    int64   `json:"replay_wall_ns"`
-	ReplaysPerSec   float64 `json:"replays_per_sec"` // records re-read per second
-	CompactWallNS   int64   `json:"compact_wall_ns"`
-	SnapshotBytes   int64   `json:"snapshot_bytes"`
-	PostCompactRecs int     `json:"post_compact_records"`
+	AppendWallNS  int64   `json:"append_wall_ns"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	// Batch figures: the same record mix written through AppendBatch
+	// (one frame assembly + one syscall per build lifecycle) — the
+	// group-commit path SubmitCampaign and recovery use.
+	BatchAppendWallNS  int64   `json:"batch_append_wall_ns"`
+	BatchAppendsPerSec float64 `json:"batch_appends_per_sec"`
+	WALBytes           int64   `json:"wal_bytes"`
+	BytesPerRecord     float64 `json:"bytes_per_record"`
+	ReplayWallNS       int64   `json:"replay_wall_ns"`
+	ReplaysPerSec      float64 `json:"replays_per_sec"` // records re-read per second
+	CompactWallNS      int64   `json:"compact_wall_ns"`
+	SnapshotBytes      int64   `json:"snapshot_bytes"`
+	PostCompactRecs    int     `json:"post_compact_records"`
 }
 
-// storeBenchTo appends n build lifecycles (queued → started →
-// finished) to a fresh WAL, replays it, compacts it, and writes the
-// JSON report to path ("" or "-" = stdout).
-func storeBenchTo(path string, n int) error {
+// buildStoreReport appends n build lifecycles (queued → started →
+// finished) to a fresh WAL — once record-at-a-time, once batched —
+// replays the log, and runs one snapshot compaction.
+func buildStoreReport(n int) (storeBenchReport, error) {
+	var rep storeBenchReport
 	dir, err := os.MkdirTemp("", "blab-store-bench")
 	if err != nil {
-		return err
+		return rep, err
 	}
 	defer os.RemoveAll(dir)
 
 	st, err := store.Open(dir)
 	if err != nil {
-		return err
+		return rep, err
 	}
 	spec := &api.ExperimentSpec{
 		Node: "node1", Device: "R58M12ABCDE",
 		Workload: api.WorkloadSpec{Name: "browser", Params: api.Params{"browser": "Brave", "pages": 3}},
 	}
-	records := 0
-	start := time.Now()
-	for i := 1; i <= n; i++ {
-		recs := []store.Record{
+	lifecycle := func(i int) []store.Record {
+		return []store.Record{
 			{T: store.TBuildQueued, Build: &store.BuildRec{
 				ID: i, Job: "spec:browser@node1", Owner: "bob",
 				Spec: spec, State: "queued", QueuedAtNS: int64(i),
@@ -64,33 +68,59 @@ func storeBenchTo(path string, n int) error {
 			{T: store.TBuildFinished, BuildID: i, State: "success", AtNS: int64(i) + 2,
 				Summary: &api.RunSummary{Samples: 300000, MeanMA: 142.5, EnergyMAH: 3.2}},
 		}
-		for _, r := range recs {
+	}
+	records := 0
+	start := time.Now()
+	for i := 1; i <= n; i++ {
+		for _, r := range lifecycle(i) {
 			if err := st.Append(r); err != nil {
-				return err
+				return rep, err
 			}
 			records++
 		}
 	}
 	appendWall := time.Since(start)
 	if err := st.Sync(); err != nil {
-		return err
+		return rep, err
 	}
 	info, err := os.Stat(dir + "/wal.log")
 	if err != nil {
-		return err
+		return rep, err
 	}
 	walBytes := info.Size()
 	st.Close()
 
+	// The batched path: one AppendBatch per lifecycle on a fresh log.
+	batchDir, err := os.MkdirTemp("", "blab-store-bench-batch")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(batchDir)
+	bst, err := store.Open(batchDir)
+	if err != nil {
+		return rep, err
+	}
+	start = time.Now()
+	for i := 1; i <= n; i++ {
+		if err := bst.AppendBatch(lifecycle(i)); err != nil {
+			return rep, err
+		}
+	}
+	batchWall := time.Since(start)
+	if err := bst.Sync(); err != nil {
+		return rep, err
+	}
+	bst.Close()
+
 	start = time.Now()
 	st2, err := store.Open(dir)
 	if err != nil {
-		return err
+		return rep, err
 	}
 	_, replayed := st2.Load()
 	replayWall := time.Since(start)
 	if len(replayed) != records {
-		return fmt.Errorf("replay read %d records, wrote %d", len(replayed), records)
+		return rep, fmt.Errorf("replay read %d records, wrote %d", len(replayed), records)
 	}
 
 	// One compaction: everything folds into a snapshot of n terminal
@@ -104,31 +134,42 @@ func storeBenchTo(path string, n int) error {
 	}
 	start = time.Now()
 	if err := st2.Compact(snap); err != nil {
-		return err
+		return rep, err
 	}
 	compactWall := time.Since(start)
 	snapInfo, err := os.Stat(dir + "/snapshot.bin")
 	if err != nil {
-		return err
+		return rep, err
 	}
 	st2.Close()
 
-	rep := storeBenchReport{
-		GOOS:            runtime.GOOS,
-		GOARCH:          runtime.GOARCH,
-		GoVersion:       runtime.Version(),
-		Records:         records,
-		AppendWallNS:    appendWall.Nanoseconds(),
-		AppendsPerSec:   float64(records) / appendWall.Seconds(),
-		WALBytes:        walBytes,
-		BytesPerRecord:  float64(walBytes) / float64(records),
-		ReplayWallNS:    replayWall.Nanoseconds(),
-		ReplaysPerSec:   float64(records) / replayWall.Seconds(),
-		CompactWallNS:   compactWall.Nanoseconds(),
-		SnapshotBytes:   snapInfo.Size(),
-		PostCompactRecs: st2.Appended(),
+	rep = storeBenchReport{
+		GOOS:               runtime.GOOS,
+		GOARCH:             runtime.GOARCH,
+		GoVersion:          runtime.Version(),
+		Records:            records,
+		AppendWallNS:       appendWall.Nanoseconds(),
+		AppendsPerSec:      float64(records) / appendWall.Seconds(),
+		BatchAppendWallNS:  batchWall.Nanoseconds(),
+		BatchAppendsPerSec: float64(records) / batchWall.Seconds(),
+		WALBytes:           walBytes,
+		BytesPerRecord:     float64(walBytes) / float64(records),
+		ReplayWallNS:       replayWall.Nanoseconds(),
+		ReplaysPerSec:      float64(records) / replayWall.Seconds(),
+		CompactWallNS:      compactWall.Nanoseconds(),
+		SnapshotBytes:      snapInfo.Size(),
+		PostCompactRecs:    st2.Appended(),
 	}
+	return rep, nil
+}
 
+// storeBenchTo runs the store benchmark and writes the JSON report to
+// path ("" or "-" = stdout).
+func storeBenchTo(path string, n int) error {
+	rep, err := buildStoreReport(n)
+	if err != nil {
+		return err
+	}
 	var w io.Writer = os.Stdout
 	if path != "" && path != "-" {
 		f, err := os.Create(path)
@@ -141,4 +182,44 @@ func storeBenchTo(path string, n int) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// storeBenchCheck reruns the store benchmark and compares the
+// deterministic fields — record count, WAL size, bytes per record and
+// the post-compaction residue — against the committed baseline. The
+// record codec is fully deterministic (sorted params, fixed enum
+// tables), so any size drift means the on-disk format changed without
+// a re-baseline. Timing fields are machine-dependent and ignored.
+func storeBenchCheck(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want storeBenchReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("store-bench-check: parsing %s: %w", path, err)
+	}
+	got, err := buildStoreReport(want.Records / 3)
+	if err != nil {
+		return err
+	}
+	var drifts []string
+	diff := func(field string, wantV, gotV int64) {
+		if wantV != gotV {
+			drifts = append(drifts, fmt.Sprintf("%s drifted %d -> %d", field, wantV, gotV))
+		}
+	}
+	diff("records", int64(want.Records), int64(got.Records))
+	diff("wal_bytes", want.WALBytes, got.WALBytes)
+	// bytes_per_record is a quotient of the two gated integers; compare
+	// rounded to dodge float formatting noise in the baseline file.
+	diff("bytes_per_record", int64(want.BytesPerRecord*1000+0.5), int64(got.BytesPerRecord*1000+0.5))
+	diff("post_compact_records", int64(want.PostCompactRecs), int64(got.PostCompactRecs))
+	if len(drifts) > 0 {
+		for _, d := range drifts {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return fmt.Errorf("%d deterministic field(s) drifted from %s", len(drifts), path)
+	}
+	return nil
 }

@@ -29,6 +29,9 @@ import (
 //	GET  /api/v1/builds/{id}/samples          live power samples: framed
 //	                                          binary traces (default) or
 //	                                          ?format=ndjson
+//	GET  /api/v1/builds/{id}/analytics        windowed trace aggregates:
+//	                                          ?window=2s&fields=mean,energy
+//	                                          &artifact=current.trace
 //	GET  /api/v1/builds/{id}/artifacts        artifact names
 //	GET  /api/v1/builds/{id}/artifacts/{name} raw artifact bytes
 //	POST /api/v1/builds/{id}/cancel           abort a queued/running build
@@ -297,6 +300,13 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 			return
 		}
 		s.streamSamples(w, r, b)
+	})
+	mux.HandleFunc("GET /api/v1/builds/{id}/analytics", func(w http.ResponseWriter, r *http.Request) {
+		b := s.buildFromPath(w, r)
+		if b == nil {
+			return
+		}
+		s.serveAnalytics(w, r, b)
 	})
 	mux.HandleFunc("GET /api/v1/builds/{id}/artifacts", func(w http.ResponseWriter, r *http.Request) {
 		b := s.buildFromPath(w, r)

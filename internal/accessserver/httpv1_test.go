@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"batterylab/internal/api"
+	"batterylab/internal/trace"
 )
 
 // stubBackend compiles any spec into a pipeline that emits one phase
@@ -32,10 +33,31 @@ func (stubBackend) Compile(spec api.ExperimentSpec) (Constraints, RunFunc, error
 		ctx.Build.Feed().PostEvent(api.BuildEvent{Build: ctx.Build.ID, Phase: "workload"})
 		ctx.Build.Feed().PostSample(api.SamplePoint{AtNS: 42, CurrentMA: 120.5, N: 1, MeanMA: 120.5})
 		ctx.Build.Workspace().Save("hello.txt", []byte("hi"))
+		ctx.Build.Workspace().Save("current.trace", stubTraceBytes())
 		ctx.Build.SetSummary(api.RunSummary{Samples: 1, MeanMA: 120.5})
 		done(nil)
 	}
 	return cons, run, nil
+}
+
+// stubTraceBytes is a small deterministic binary power trace the
+// analytics route can aggregate: 1 kHz cadence, a step from 100 mA to
+// 200 mA halfway through 4 s.
+func stubTraceBytes() []byte {
+	tr := trace.NewSeries("current", "mA")
+	t0 := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 4000; i++ {
+		v := 100.0
+		if i >= 2000 {
+			v = 200.0
+		}
+		tr.MustAppend(t0.Add(time.Duration(i)*time.Millisecond), v)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
 }
 
 func (stubBackend) WorkloadNames() []string { return []string{"stub"} }
@@ -138,6 +160,7 @@ func TestV1RBACMatrix(t *testing.T) {
 		{"GET", func(v *v1rig, _ int) string { return fmt.Sprintf("/api/v1/builds/%d", v.doneBuild) }, "", 200},
 		{"GET", func(v *v1rig, _ int) string { return fmt.Sprintf("/api/v1/builds/%d/events", v.doneBuild) }, "", 200},
 		{"GET", func(v *v1rig, _ int) string { return fmt.Sprintf("/api/v1/builds/%d/samples", v.doneBuild) }, "", 200},
+		{"GET", func(v *v1rig, _ int) string { return fmt.Sprintf("/api/v1/builds/%d/analytics", v.doneBuild) }, "", 200},
 		{"GET", func(v *v1rig, _ int) string { return fmt.Sprintf("/api/v1/builds/%d/artifacts", v.doneBuild) }, "", 200},
 		{"GET", func(v *v1rig, _ int) string { return fmt.Sprintf("/api/v1/builds/%d/artifacts/hello.txt", v.doneBuild) }, "", 200},
 		{"POST", func(v *v1rig, target int) string { return fmt.Sprintf("/api/v1/builds/%d/cancel", target) }, "", 202},
@@ -209,6 +232,12 @@ func TestV1ErrorCodes(t *testing.T) {
 		{"cancel finished build", "POST", fmt.Sprintf("/api/v1/builds/%d/cancel", v.doneBuild), "", 409},
 		{"bad sample format", "GET", fmt.Sprintf("/api/v1/builds/%d/samples?format=xml", v.doneBuild), "", 400},
 		{"bad events cursor", "GET", fmt.Sprintf("/api/v1/builds/%d/events?from=-2", v.doneBuild), "", 400},
+		{"analytics bad window", "GET", fmt.Sprintf("/api/v1/builds/%d/analytics?window=banana", v.doneBuild), "", 400},
+		{"analytics negative window", "GET", fmt.Sprintf("/api/v1/builds/%d/analytics?window=-2s", v.doneBuild), "", 400},
+		{"analytics unknown field", "GET", fmt.Sprintf("/api/v1/builds/%d/analytics?fields=bogus", v.doneBuild), "", 400},
+		{"analytics too many buckets", "GET", fmt.Sprintf("/api/v1/builds/%d/analytics?window=1ns", v.doneBuild), "", 400},
+		{"analytics unfinished build", "GET", fmt.Sprintf("/api/v1/builds/%d/analytics", v.queueBuild(t, v.admin)), "", 409},
+		{"analytics missing artifact", "GET", fmt.Sprintf("/api/v1/builds/%d/analytics?artifact=nope", v.doneBuild), "", 404},
 	}
 	for _, c := range cases {
 		resp := v.request(t, c.method, c.path, v.admin.Token, c.body)

@@ -76,6 +76,12 @@ type serverMetrics struct {
 	creditDenials  *metrics.Counter
 	runsCharged    *metrics.Counter
 	creditsDebited *metrics.FloatCounter
+
+	// Analytics route: end-to-end query latency (cache hits included)
+	// and result-cache effectiveness.
+	analyticsLatency *metrics.Histogram
+	analyticsHits    *metrics.Counter
+	analyticsMisses  *metrics.Counter
 }
 
 // feedCounters is the server-wide view of the bounded feed buffers:
@@ -110,6 +116,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 		creditDenials:     reg.Counter("blab_credit_denials_total", "submissions rejected by the credit gate"),
 		runsCharged:       reg.Counter("blab_credit_runs_charged_total", "finished runs debited for device time"),
 		creditsDebited:    reg.FloatCounter("blab_credits_debited_total", "credits debited for consumed device time"),
+		analyticsLatency:  reg.Histogram("blab_analytics_query_seconds", "analytics query latency, cache hits included (wall time)"),
+		analyticsHits:     reg.Counter("blab_analytics_cache_hits_total", "analytics queries answered from the result cache"),
+		analyticsMisses:   reg.Counter("blab_analytics_cache_misses_total", "analytics queries that computed a fresh result"),
 	}
 	reg.Collect(s.collectScheduler)
 	reg.Collect(s.collectStore)
@@ -294,6 +303,15 @@ func (s *Server) FlushStats() {
 	if mv, ok := snap.Get("blab_dispatch_latency_seconds"); ok && mv.Hist != nil {
 		p50, p99 = mv.Hist.P50, mv.Hist.P99
 	}
+	var bytesPerRecord float64
+	if appends := get("blab_wal_appends_total"); appends > 0 {
+		bytesPerRecord = get("blab_wal_append_bytes_total") / appends
+	}
+	var analyticsHitRate float64
+	hits := get("blab_analytics_cache_hits_total")
+	if total := hits + get("blab_analytics_cache_misses_total"); total > 0 {
+		analyticsHitRate = hits / total
+	}
 	s.slogger().LogAttrs(context.Background(), slog.LevelInfo, "stats",
 		slog.Int64("submitted", int64(get("blab_builds_submitted_total"))),
 		slog.Int64("dispatched", int64(get("blab_builds_dispatched_total"))),
@@ -306,6 +324,8 @@ func (s *Server) FlushStats() {
 		slog.Int64("feed_events_dropped", int64(get("blab_feed_events_dropped_total"))),
 		slog.Int64("feed_samples_dropped", int64(get("blab_feed_samples_dropped_total"))),
 		slog.Int64("wal_appends", int64(get("blab_wal_appends_total"))),
+		slog.Float64("wal_bytes_per_record", bytesPerRecord),
+		slog.Float64("analytics_hit_rate", analyticsHitRate),
 		slog.Int64("heartbeats", int64(get("blab_node_heartbeats_total"))),
 	)
 }

@@ -83,6 +83,29 @@ func (s *Server) logStore(rec store.Record) {
 	s.storeMu.Unlock()
 }
 
+// logStoreBatch appends a group of records in one WAL write (one frame
+// assembly, one syscall), with the same latch semantics as logStore.
+// The batch is all-or-nothing in the common case — a partial write is
+// a torn tail the next replay truncates — so callers use it for record
+// groups that describe one logical mutation (a campaign and its
+// builds).
+func (s *Server) logStoreBatch(recs []store.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	s.storeMu.Lock()
+	if s.store != nil && !s.storeFailed {
+		if err := s.store.AppendBatch(recs); err != nil {
+			s.storeFailed = true
+			s.m.appendErrors++
+			log.Printf("accessserver: WAL batch append failed, durability suspended until a snapshot succeeds: %v", err)
+			s.slogger().LogAttrs(context.Background(), slog.LevelError, "wal batch append failed, durability suspended",
+				slog.String("error", err.Error()))
+		}
+	}
+	s.storeMu.Unlock()
+}
+
 // logJob records a job's current metadata (creation, edits and
 // approvals all upsert the same record).
 func (s *Server) logJob(j *Job) {
@@ -623,12 +646,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 	// transitions recovery itself caused, arm periodic compaction.
 	s.storeMu.Lock()
 	s.store = st
-	var appendErr error
-	for _, rec := range pending {
-		if err := st.Append(rec); err != nil && appendErr == nil {
-			appendErr = err
-		}
-	}
+	appendErr := st.AppendBatch(pending)
 	s.storeMu.Unlock()
 	if appendErr != nil {
 		// Latch the failure so a caller that continues anyway cannot

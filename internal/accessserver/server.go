@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"batterylab/internal/accessserver/store"
+	"batterylab/internal/analytics"
 	"batterylab/internal/api"
 	"batterylab/internal/simclock"
 )
@@ -93,6 +94,9 @@ type Config struct {
 	// lose. A process crash alone loses nothing — appends reach the
 	// kernel immediately.
 	WALSyncEvery time.Duration
+	// AnalyticsCacheBytes bounds the analytics result cache (marshaled
+	// response bodies, LRU). Default 4 MiB; negative disables caching.
+	AnalyticsCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +144,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WALSyncEvery == 0 {
 		c.WALSyncEvery = time.Second
+	}
+	if c.AnalyticsCacheBytes == 0 {
+		c.AnalyticsCacheBytes = 4 << 20
+	}
+	if c.AnalyticsCacheBytes < 0 {
+		c.AnalyticsCacheBytes = 0
 	}
 	return c
 }
@@ -221,6 +231,10 @@ type Server struct {
 	// without making either hold the scheduler locks across disk I/O.
 	compactMu sync.Mutex
 
+	// analyticsCache memoizes marshaled analytics bodies (see
+	// analytics.go); self-locking, bounded by Config.AnalyticsCacheBytes.
+	analyticsCache *analytics.Cache
+
 	// m is the observability surface (see metrics.go). Its scheduler
 	// counters are plain fields mutated under s.mu; everything else is
 	// atomic.
@@ -266,6 +280,7 @@ func New(clock simclock.Clock, cfg Config) *Server {
 	}
 	s.placer = s.cfg.Placer
 	s.creditsOn.Store(s.cfg.EnforceCredits)
+	s.analyticsCache = analytics.NewCache(s.cfg.AnalyticsCacheBytes)
 	s.m = newServerMetrics(s)
 	return s
 }
@@ -447,7 +462,7 @@ func (s *Server) Submit(user *User, jobName string) (*Build, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
-	b := s.enqueueLocked(user.Name, jobName, 0, Constraints{}, nil, nil)
+	b := s.enqueueLocked(user.Name, jobName, 0, Constraints{}, nil, nil, nil)
 	s.mu.Unlock()
 	s.dispatch()
 	return b, nil
@@ -509,7 +524,12 @@ func (s *Server) ownerRunDoneLocked(owner string) {
 // aging timer: if it is still queued after PendingTimeout and its node
 // never appeared (or has gone offline), it fails with a reason instead
 // of pending forever. Callers hold s.mu.
-func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constraints, run RunFunc, spec *api.ExperimentSpec) *Build {
+//
+// walBatch controls durability batching: nil logs the TBuildQueued
+// record immediately; non-nil collects it for the caller to flush as
+// one group commit (SubmitCampaign batches N builds + the campaign
+// record into a single WAL write).
+func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constraints, run RunFunc, spec *api.ExperimentSpec, walBatch *[]store.Record) *Build {
 	b := &Build{
 		ID:        s.nextID,
 		Job:       jobName,
@@ -529,10 +549,15 @@ func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constra
 	s.m.queued++
 	s.ownerActive[owner]++
 	b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
-	s.logStore(store.Record{T: store.TBuildQueued, Build: &store.BuildRec{
+	rec := store.Record{T: store.TBuildQueued, Build: &store.BuildRec{
 		ID: b.ID, Job: b.Job, Owner: b.Owner, Campaign: b.campaign,
 		Spec: b.wireSpec, State: StateQueued.String(), QueuedAtNS: b.queuedAt.UnixNano(),
-	}})
+	}}
+	if walBatch != nil {
+		*walBatch = append(*walBatch, rec)
+	} else {
+		s.logStore(rec)
+	}
 	return b
 }
 
@@ -563,7 +588,7 @@ func (s *Server) SubmitSpec(user *User, spec api.ExperimentSpec) (*Build, error)
 		s.mu.Unlock()
 		return nil, err
 	}
-	b := s.enqueueLocked(user.Name, specJobName(spec), 0, cons, run, &spec)
+	b := s.enqueueLocked(user.Name, specJobName(spec), 0, cons, run, &spec, nil)
 	s.mu.Unlock()
 	s.dispatch()
 	return b, nil
@@ -619,14 +644,18 @@ func (s *Server) SubmitCampaign(user *User, cs api.CampaignSpec) (int, []*Build,
 	rec := &campaignRec{maxConcurrent: cs.MaxConcurrent}
 	s.campaigns[id] = rec
 	builds := make([]*Build, len(pipelines))
+	// One logical mutation, one WAL write: the member TBuildQueued
+	// records and the campaign record group-commit together.
+	walBatch := make([]store.Record, 0, len(pipelines)+1)
 	for i, p := range pipelines {
 		spec := cs.Experiments[i]
-		builds[i] = s.enqueueLocked(user.Name, p.name, id, p.cons, p.run, &spec)
+		builds[i] = s.enqueueLocked(user.Name, p.name, id, p.cons, p.run, &spec, &walBatch)
 		rec.builds = append(rec.builds, builds[i].ID)
 	}
-	s.logStore(store.Record{T: store.TCampaign, Campaign: &store.CampaignRec{
+	walBatch = append(walBatch, store.Record{T: store.TCampaign, Campaign: &store.CampaignRec{
 		ID: id, MaxConcurrent: rec.maxConcurrent, Builds: append([]int(nil), rec.builds...),
 	}})
+	s.logStoreBatch(walBatch)
 	s.mu.Unlock()
 	s.dispatch()
 	return id, builds, nil

@@ -22,15 +22,57 @@ func fuzzSeedRecords() []Record {
 	}
 }
 
-// walBytes assembles a complete WAL image: header plus one frame per
-// record — the golden fixture the fuzzer mutates.
+// walBytes assembles a complete WAL image of JSON frames: a v1 header
+// plus one frame per record — the pre-upgrade fixture the fuzzer
+// mutates.
 func walBytes(t testing.TB, recs []Record) []byte {
 	t.Helper()
-	buf := bytes.NewBuffer(walHeader(1))
+	buf := bytes.NewBuffer(walHeaderV1(1))
 	for _, rec := range recs {
 		payload, err := json.Marshal(rec)
 		if err != nil {
 			t.Fatal(err)
+		}
+		buf.Write(frame(payload))
+	}
+	return buf.Bytes()
+}
+
+// walBytesBinary assembles a WAL image of binary frames — what Append
+// writes today.
+func walBytesBinary(t testing.TB, recs []Record) []byte {
+	t.Helper()
+	buf := bytes.NewBuffer(walHeader(1))
+	for _, rec := range recs {
+		payload, ok, err := encodeRecord(rec)
+		if err != nil || !ok {
+			t.Fatalf("encoding %s: ok=%v err=%v", rec.T, ok, err)
+		}
+		buf.Write(frame(payload))
+	}
+	return buf.Bytes()
+}
+
+// walBytesMixed interleaves JSON and binary frames under a v2 header —
+// the log shape a server upgraded mid-history leaves behind.
+func walBytesMixed(t testing.TB, recs []Record) []byte {
+	t.Helper()
+	buf := bytes.NewBuffer(walHeader(1))
+	for i, rec := range recs {
+		var payload []byte
+		if i%2 == 0 {
+			var err error
+			payload, err = json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			var ok bool
+			var err error
+			payload, ok, err = encodeRecord(rec)
+			if err != nil || !ok {
+				t.Fatalf("encoding %s: ok=%v err=%v", rec.T, ok, err)
+			}
 		}
 		buf.Write(frame(payload))
 	}
@@ -53,6 +95,17 @@ func FuzzScanRecords(f *testing.F) {
 	// Header only, and raw garbage.
 	f.Add(walHeader(1))
 	f.Add([]byte("BLWAL\x01garbagegarbage"))
+	// Binary frames: pristine, torn mid-frame, and with a corrupted
+	// TLV body whose CRC was fixed up (the decoder, not the checksum,
+	// must reject it).
+	bin := walBytesBinary(f, fuzzSeedRecords())
+	f.Add(bin)
+	f.Add(bin[:len(bin)-4])
+	binFlip := append([]byte(nil), bin...)
+	binFlip[len(binFlip)-2] ^= 0x20
+	f.Add(binFlip)
+	// Mixed v1/v2 frames in one log — the mid-upgrade shape.
+	f.Add(walBytesMixed(f, fuzzSeedRecords()))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if int64(len(data)) < walHeaderLen {
@@ -89,6 +142,16 @@ func FuzzOpenCorruptWAL(f *testing.F) {
 		zeroed[i] = 0
 	}
 	f.Add(zeroed)
+	// Binary and mixed logs, pristine and damaged the same ways.
+	bin := walBytesBinary(f, fuzzSeedRecords())
+	f.Add(bin)
+	f.Add(bin[:len(bin)-5])
+	binZero := append([]byte(nil), bin...)
+	for i := int(walHeaderLen); i < len(binZero); i += 5 {
+		binZero[i] = 0
+	}
+	f.Add(binZero)
+	f.Add(walBytesMixed(f, fuzzSeedRecords()))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()

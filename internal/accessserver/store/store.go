@@ -22,11 +22,18 @@
 //	record:       uvarint payload length | uint32 LE CRC32(payload) | payload
 //	snapshot.bin: "BLSNP" ver | one record frame holding the Snapshot
 //
-// Payloads are JSON: the record set evolves additively (new fields,
-// new record types), and a version bump re-frames the file. Loading
-// tolerates a torn tail — a record whose length, CRC or JSON does not
-// check out ends the replay and is truncated away, exactly the
-// half-written-final-record crash case a WAL must absorb.
+// Record payloads are self-describing by their first byte: '{' opens a
+// v1 JSON object, recBinaryMarker (0x02) opens the v2 compact TLV
+// encoding (see codec.go). Appends write binary; replay dispatches per
+// frame, so logs written before the codec change — and mixed logs from
+// a restart mid-history — keep replaying without conversion. The WAL
+// file header says v2 on fresh logs and compactions, and Open accepts
+// both header versions. Snapshots remain JSON (they are rewritten
+// whole at every compaction, so there is no old-snapshot legacy to
+// carry, and compaction cost is dominated by the fsync, not encoding).
+// Loading tolerates a torn tail — a record whose length, CRC or
+// payload does not check out ends the replay and is truncated away,
+// exactly the half-written-final-record crash case a WAL must absorb.
 //
 // # Compaction crash-atomicity
 //
@@ -55,8 +62,14 @@ import (
 	"batterylab/internal/api"
 )
 
-// Version is the current on-disk format version of both files.
+// Version is the on-disk format version of the snapshot file (and of
+// WAL files written before the binary record codec).
 const Version = 1
+
+// walVersion is the current WAL header version. v2 logs may hold both
+// JSON and binary record frames; v1 logs hold JSON frames only, and
+// remain readable.
+const walVersion = 2
 
 const (
 	walName  = "wal.log"
@@ -309,11 +322,29 @@ func (s *Store) Load() (*Snapshot, []Record) { return s.snap, s.recs }
 // Appended reports records written since open or the last compaction.
 func (s *Store) Appended() int { return s.appended }
 
+// encodePayload renders one record as a frame payload: compact binary
+// when the record's type is in the enum table, JSON otherwise (both
+// replay identically — frames are self-describing).
+func encodePayload(rec Record) ([]byte, error) {
+	payload, ok, err := encodeRecord(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding %s record: %w", rec.T, err)
+	}
+	if ok {
+		return payload, nil
+	}
+	payload, err = json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding %s record: %w", rec.T, err)
+	}
+	return payload, nil
+}
+
 // Append frames one record onto the WAL.
 func (s *Store) Append(rec Record) error {
-	payload, err := json.Marshal(rec)
+	payload, err := encodePayload(rec)
 	if err != nil {
-		return fmt.Errorf("store: encoding %s record: %w", rec.T, err)
+		return err
 	}
 	if _, err := s.wal.Write(frame(payload)); err != nil {
 		return fmt.Errorf("store: appending %s record: %w", rec.T, err)
@@ -321,6 +352,36 @@ func (s *Store) Append(rec Record) error {
 	s.appended++
 	s.totalAppends++
 	s.totalBytes += int64(len(payload))
+	s.dirty = true
+	return nil
+}
+
+// AppendBatch frames a group of records onto the WAL in one write —
+// the group-commit fast path for multi-record mutations (a campaign
+// submit, a recovery flush). The batch reaches the kernel in a single
+// syscall but carries the same durability as sequential Appends: each
+// record is its own CRC frame, so a torn batch replays its valid
+// prefix. An empty batch is a no-op.
+func (s *Store) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	var payloadBytes int64
+	for _, rec := range recs {
+		payload, err := encodePayload(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, frame(payload)...)
+		payloadBytes += int64(len(payload))
+	}
+	if _, err := s.wal.Write(buf); err != nil {
+		return fmt.Errorf("store: appending %d-record batch: %w", len(recs), err)
+	}
+	s.appended += len(recs)
+	s.totalAppends += int64(len(recs))
+	s.totalBytes += payloadBytes
 	s.dirty = true
 	return nil
 }
@@ -599,6 +660,15 @@ var walHeaderLen = int64(len(walMagic) + 1 + 8)
 
 // walHeader frames a WAL file prefix for the given generation.
 func walHeader(gen uint64) []byte {
+	hdr := append(append([]byte{}, walMagic...), byte(walVersion))
+	var g [8]byte
+	binary.LittleEndian.PutUint64(g[:], gen)
+	return append(hdr, g[:]...)
+}
+
+// walHeaderV1 frames a pre-binary-codec WAL prefix. Kept for tests
+// that pin the upgrade path (fixtures, fuzz seeds).
+func walHeaderV1(gen uint64) []byte {
 	hdr := append(append([]byte{}, walMagic...), byte(Version))
 	var g [8]byte
 	binary.LittleEndian.PutUint64(g[:], gen)
@@ -657,9 +727,9 @@ func (s *Store) openWAL() error {
 		f.Close()
 		return fmt.Errorf("store: %s is not a WAL file", walName)
 	}
-	if ver := data[len(walMagic)]; ver != Version {
+	if ver := data[len(walMagic)]; ver != Version && ver != walVersion {
 		f.Close()
-		return fmt.Errorf("store: WAL format v%d unsupported (want v%d)", ver, Version)
+		return fmt.Errorf("store: WAL format v%d unsupported (want v%d or v%d)", ver, Version, walVersion)
 	}
 	s.gen = binary.LittleEndian.Uint64(data[len(walMagic)+1:])
 	start := walHeaderLen
@@ -687,8 +757,11 @@ func (s *Store) openWAL() error {
 
 // scanRecords parses frames from data starting at off, returning the
 // decoded records and the offset just past the last valid one. A frame
-// whose length, checksum or JSON fails to check out ends the scan —
-// the torn tail a crash mid-append leaves behind.
+// whose length, checksum or payload fails to check out ends the scan —
+// the torn tail a crash mid-append leaves behind. Each frame's payload
+// picks its own codec by first byte: recBinaryMarker opens the binary
+// TLV encoding, anything else is JSON — so logs mixing pre- and
+// post-upgrade records replay in one pass.
 func scanRecords(data []byte, off int64) ([]Record, int64) {
 	var recs []Record
 	r := bytes.NewReader(data[off:])
@@ -699,7 +772,11 @@ func scanRecords(data []byte, off int64) ([]Record, int64) {
 			return recs, valid
 		}
 		var rec Record
-		if err := json.Unmarshal(payload, &rec); err != nil {
+		if len(payload) > 0 && payload[0] == recBinaryMarker {
+			if rec, err = decodeRecord(payload); err != nil {
+				return recs, valid
+			}
+		} else if err := json.Unmarshal(payload, &rec); err != nil {
 			return recs, valid
 		}
 		recs = append(recs, rec)

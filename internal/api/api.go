@@ -314,6 +314,80 @@ type RunSummary struct {
 	DroppedLiveSamples int64   `json:"dropped_live_samples,omitempty"`
 }
 
+// Analytics field names a client may request via the analytics route's
+// fields= parameter. An empty selection means all of them.
+const (
+	AnalyticsFieldMean      = "mean"
+	AnalyticsFieldMinMax    = "minmax"
+	AnalyticsFieldQuantiles = "quantiles"
+	AnalyticsFieldEnergy    = "energy"
+)
+
+// AnalyticsQuery selects what GET /api/v1/builds/{id}/analytics
+// computes. The zero value asks for whole-trace rollups of every field
+// over the build's power trace.
+type AnalyticsQuery struct {
+	// WindowNS is the bucket width in nanoseconds; 0 disables bucketing
+	// (rollup only).
+	WindowNS int64
+	// Fields restricts the computed aggregates to a subset of the
+	// AnalyticsField* names; empty means all.
+	Fields []string
+	// Artifact names the stored trace to aggregate; empty means the
+	// build's power trace ("current.trace").
+	Artifact string
+}
+
+// AnalyticsBucket is one time bucket (or the whole-trace rollup) of
+// server-side aggregates over a stored trace. Aggregate fields are
+// pointers so unrequested fields — and statistics of a bucket whose
+// every sample was invalid — are absent rather than zero or NaN (JSON
+// has no NaN). Quantiles are P² streaming estimates, exact for ≤ 5
+// samples; see internal/samples for the error envelope beyond that.
+// Energy integrates only within-bucket sample pairs, so bucket
+// energies sum to slightly less than the rollup's exact whole-trace
+// integral (boundary-straddling spans belong to neither bucket).
+type AnalyticsBucket struct {
+	// StartNS and EndNS bound the bucket, nanoseconds since the trace's
+	// first sample (EndNS exclusive). The rollup row spans the whole
+	// trace.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Samples counts valid samples in the bucket; NaNs counts skipped
+	// invalid ones. Empty buckets are omitted from the result entirely.
+	Samples   int64    `json:"samples"`
+	NaNs      int64    `json:"nans,omitempty"`
+	MeanMA    *float64 `json:"mean_ma,omitempty"`
+	MinMA     *float64 `json:"min_ma,omitempty"`
+	MaxMA     *float64 `json:"max_ma,omitempty"`
+	P50MA     *float64 `json:"p50_ma,omitempty"`
+	P95MA     *float64 `json:"p95_ma,omitempty"`
+	EnergyMAH *float64 `json:"energy_mah,omitempty"`
+}
+
+// AnalyticsResult is the analytics route's response: the query echoed
+// back in resolved form, a whole-trace rollup, and one bucket per
+// non-empty window when bucketing was requested.
+type AnalyticsResult struct {
+	BuildID  int    `json:"build_id"`
+	Artifact string `json:"artifact"`
+	// EpochNS is the trace's first sample timestamp, unix nanoseconds;
+	// bucket offsets are relative to it.
+	EpochNS    int64 `json:"epoch_ns"`
+	DurationNS int64 `json:"duration_ns"`
+	// WindowNS echoes the bucket width (0 = rollup only).
+	WindowNS int64 `json:"window_ns,omitempty"`
+	// Fields echoes the computed aggregate set, sorted.
+	Fields []string `json:"fields"`
+	// Total is the whole-trace rollup. Its EnergyMAH is the exact
+	// trapezoidal integral of the full trace (bit-identical to the
+	// capture-time summary).
+	Total AnalyticsBucket `json:"total"`
+	// Buckets holds the non-empty windows in time order; nil without
+	// bucketing.
+	Buckets []AnalyticsBucket `json:"buckets,omitempty"`
+}
+
 // BuildStatus reports one build over the wire. Canceled marks builds
 // ended by an explicit cancel request and NodeLost marks builds failed
 // by vantage-point loss — clients branch on these flags (never on the

@@ -413,6 +413,31 @@ func (p *Platform) Artifact(ctx context.Context, build int, name string) ([]byte
 	return p.getBytes(ctx, p.url("/api/v1/builds/%d/artifacts/%s", build, name))
 }
 
+// Analytics runs a server-side trace query over a finished build's
+// stored trace: windowed aggregates (mean/min/max/quantiles/energy)
+// computed where the artifact lives, so a dashboard fetches kilobytes
+// of summaries instead of the whole trace. A zero q asks for every
+// field, no bucketing, the default trace artifact.
+func (p *Platform) Analytics(ctx context.Context, build int, q api.AnalyticsQuery) (api.AnalyticsResult, error) {
+	vals := url.Values{}
+	if q.WindowNS > 0 {
+		vals.Set("window", time.Duration(q.WindowNS).String())
+	}
+	if len(q.Fields) > 0 {
+		vals.Set("fields", strings.Join(q.Fields, ","))
+	}
+	if q.Artifact != "" {
+		vals.Set("artifact", q.Artifact)
+	}
+	u := p.url("/api/v1/builds/%d/analytics", build)
+	if len(vals) > 0 {
+		u += "?" + vals.Encode()
+	}
+	var out api.AnalyticsResult
+	err := p.doJSON(ctx, http.MethodGet, u, nil, &out)
+	return out, err
+}
+
 // StartExperiment submits a declarative spec and returns a live
 // session handle — the remote counterpart of
 // core.Platform.StartExperiment. Observers receive phase transitions

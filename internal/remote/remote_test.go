@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"batterylab"
 	"batterylab/internal/api"
@@ -286,6 +287,77 @@ func TestRemoteSingleExperiment(t *testing.T) {
 	// The monitor's trace and the CPU traces all made the trip.
 	if res.DeviceCPU.Len() == 0 || res.ControllerCPU.Len() == 0 {
 		t.Error("CPU traces missing from the reconstructed result")
+	}
+}
+
+// TestRemoteAnalytics runs one experiment and queries the server-side
+// analytics engine: the rollup must agree with the reconstructed
+// trace's own summary (energy bit-identical — both are the same
+// trapezoid in the same order), and windowed buckets must partition
+// the sample count.
+func TestRemoteAnalytics(t *testing.T) {
+	server := newLab(t)
+	client := server.serve(t)
+	spec := server.campaignSpec().Experiments[0]
+
+	ctx := context.Background()
+	sess, err := client.StartExperiment(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	an, err := client.Analytics(ctx, sess.Build(), api.AnalyticsQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.BuildID != sess.Build() || an.Artifact != "current.trace" {
+		t.Fatalf("echo fields: %+v", an)
+	}
+	if an.Total.Samples != int64(res.Current.Len()) {
+		t.Fatalf("rollup %d samples, trace has %d", an.Total.Samples, res.Current.Len())
+	}
+	if an.Total.EnergyMAH == nil || *an.Total.EnergyMAH != res.EnergyMAH {
+		t.Fatalf("rollup energy %v, want bit-identical %v", an.Total.EnergyMAH, res.EnergyMAH)
+	}
+	if !relTol(*an.Total.MeanMA, res.Current.Summary().Mean) {
+		t.Errorf("rollup mean %v vs trace summary %v", *an.Total.MeanMA, res.Current.Summary().Mean)
+	}
+
+	windowed, err := client.Analytics(ctx, sess.Build(), api.AnalyticsQuery{
+		WindowNS: int64(2 * time.Second), Fields: []string{"mean", "energy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windowed.Buckets) == 0 {
+		t.Fatal("no buckets from a windowed query")
+	}
+	var n int64
+	for _, b := range windowed.Buckets {
+		n += b.Samples
+		if b.Samples > 0 && (b.MeanMA == nil || b.EnergyMAH == nil) {
+			t.Fatalf("bucket missing requested fields: %+v", b)
+		}
+		if b.MinMA != nil || b.P50MA != nil {
+			t.Fatalf("bucket carries unrequested fields: %+v", b)
+		}
+	}
+	if n != an.Total.Samples {
+		t.Fatalf("buckets sum to %d samples, rollup says %d", n, an.Total.Samples)
+	}
+
+	// A bad query surfaces as the typed 400 envelope.
+	if _, err := client.Analytics(ctx, sess.Build(), api.AnalyticsQuery{Fields: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown field accepted")
+	} else {
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.HTTPStatus() != 400 {
+			t.Fatalf("unknown field error = %v, want 400 envelope", err)
+		}
 	}
 }
 
