@@ -16,6 +16,16 @@
 //	blab-access -sim 3 -flaky node2=30s/2m
 //	blab-access -sim 2 -data /var/lib/batterylab   # durable: survives restarts
 //	blab-access -sim 2 -data ./state -credits      # + §5 credit economy
+//	blab-access -http :9091 -feedgw http://control:9090   # feed gateway
+//
+// With -feedgw the daemon runs in feed-gateway mode instead: no local
+// scheduler, no nodes, no state — just a stateless relay that serves
+// the v1 streaming routes (build events and live samples) by
+// subscribing to the given upstream access server with each client's
+// own bearer token. Deploy gateways next to dashboard fleets to absorb
+// streaming subscribers away from the control plane; the gateway
+// reconnects severed upstream streams from its accumulated resume
+// cursor, so clients see one uninterrupted stream.
 //
 // With -data the server keeps a write-ahead log plus periodic
 // snapshots under the directory and replays them at startup: users
@@ -52,6 +62,7 @@ import (
 
 	"batterylab"
 	"batterylab/internal/accessserver"
+	"batterylab/internal/accessserver/feedgw"
 	"batterylab/internal/accessserver/store"
 	"batterylab/internal/sshx"
 )
@@ -99,6 +110,7 @@ func main() {
 		credits  = flag.Bool("credits", false, "enforce the §5 credit economy (admins exempt; experimenter gets a starter grant)")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		statsInt = flag.Duration("stats-every", time.Minute, "period between stats digests in the structured log (0 disables)")
+		gwURL    = flag.String("feedgw", "", "run as a feed gateway relaying the v1 streaming routes from this upstream access server URL (no local scheduler)")
 		nodes    nodeList
 		flaky    nodeList
 		owners   nodeList
@@ -107,6 +119,11 @@ func main() {
 	flag.Var(&flaky, "flaky", "failure injection for a hosted node as name=killAfter[/reviveAfter] (repeatable)")
 	flag.Var(&owners, "owner", "hosting member as node=user; the owner earns §5 contribution credits for the node's online time (repeatable)")
 	flag.Parse()
+
+	if *gwURL != "" {
+		runFeedGateway(*httpAddr, *gwURL)
+		return
+	}
 
 	flakySpecs := make(map[string]flakySpec)
 	for _, v := range flaky {
@@ -314,5 +331,28 @@ func main() {
 			log.Printf("final snapshot: %v", err)
 		}
 	}
+	fmt.Println("shutting down")
+}
+
+// runFeedGateway serves the -feedgw mode: the stateless streaming relay
+// of internal/accessserver/feedgw on addr, until SIGTERM/SIGINT.
+func runFeedGateway(addr, upstream string) {
+	gw := feedgw.New(upstream)
+	httpSrv := &http.Server{Addr: addr, Handler: gw.Handler()}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+	fmt.Printf("feed gateway up\n")
+	fmt.Printf("  upstream           : %s\n", upstream)
+	fmt.Printf("  events             : http://%s/api/v1/builds/{id}/events\n", addr)
+	fmt.Printf("  samples            : http://%s/api/v1/builds/{id}/samples\n", addr)
+	fmt.Printf("  metrics            : http://%s/api/v1/metrics (healthz unauthenticated)\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	httpSrv.Close()
 	fmt.Println("shutting down")
 }

@@ -47,7 +47,29 @@ type fleetBenchReport struct {
 	Campaigns int `json:"campaigns"`
 
 	Deterministic fleetDeterministic `json:"deterministic"`
+	ReadFlood     fleetReadFlood     `json:"read_flood"`
 	Timing        fleetTiming        `json:"timing"`
+}
+
+// fleetReadFlood is the read-flood phase: the identical churn scenario
+// rerun with a status-poll flood hammering the snapshot-served routes
+// while the clock is driven. Because the hot reads never acquire the
+// scheduler lock, the flood cannot perturb the virtual-clock schedule:
+// every field here is deterministic, and the submit-wait quantiles must
+// not regress from the churn-only phase (the -fleet-bench-check gate
+// enforces both).
+type fleetReadFlood struct {
+	// Polls counts completed status polls (fixed by construction:
+	// builds x pollsPerBuild).
+	Polls int64 `json:"polls"`
+	// MonotonicViolations counts polls that observed a build's state
+	// move backwards. Snapshots publish in transition order, so this
+	// must be zero.
+	MonotonicViolations int64 `json:"monotonic_violations"`
+	// Submit-wait quantiles under the flood; no regression allowed
+	// against the churn-only Deterministic quantiles.
+	SubmitP50MS float64 `json:"submit_p50_ms"`
+	SubmitP99MS float64 `json:"submit_p99_ms"`
 }
 
 // fleetDeterministic is the replayable part of the outcome.
@@ -144,8 +166,68 @@ func (fb fleetBackend) Compile(spec api.ExperimentSpec) (accessserver.Constraint
 
 func (fleetBackend) WorkloadNames() []string { return []string{"fleet"} }
 
-// runFleetBench drives the scenario and writes the JSON report.
+// fleetPhase is one scenario pass's harvest.
+type fleetPhase struct {
+	det       fleetDeterministic
+	campaigns int
+	wallNS    int64
+
+	polls    int64
+	monoViol int64
+	floodP50 float64
+	floodP99 float64
+}
+
+// fleetPollsPerBuild is the read-flood depth: every build's status is
+// polled this many times while the scenario churns. At the default 200
+// builds that is a thousand polls riding on top of the streaming
+// clients.
+const fleetPollsPerBuild = 5
+
+// runFleetBench drives the scenario twice — churn only, then churn
+// with the read flood — and writes the JSON report.
 func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
+	churn, err := runFleetPhase(nodeCount, clientCount, buildCount, false)
+	if err != nil {
+		return err
+	}
+	flood, err := runFleetPhase(nodeCount, clientCount, buildCount, true)
+	if err != nil {
+		return err
+	}
+
+	rep := fleetBenchReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		Nodes:     nodeCount,
+		Clients:   clientCount,
+		Builds:    buildCount,
+		Campaigns: churn.campaigns,
+
+		Deterministic: churn.det,
+		ReadFlood: fleetReadFlood{
+			Polls:               flood.polls,
+			MonotonicViolations: flood.monoViol,
+			SubmitP50MS:         flood.floodP50,
+			SubmitP99MS:         flood.floodP99,
+		},
+		Timing: fleetTiming{
+			WallNS:           churn.wallNS,
+			BuildsPerSec:     float64(buildCount) / (float64(churn.wallNS) / 1e9),
+			WALAppendsPerSec: float64(churn.det.WALAppends) / (float64(churn.wallNS) / 1e9),
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runFleetPhase drives one pass of the fleet scenario. With flood set,
+// status pollers hammer the snapshot routes concurrently with the
+// streaming clients and the clock drive.
+func runFleetPhase(nodeCount, clientCount, buildCount int, flood bool) (fleetPhase, error) {
+	var phase fleetPhase
 	clk := simclock.NewVirtual()
 	srv := accessserver.New(clk, accessserver.Config{
 		Executors:      nodeCount,
@@ -158,13 +240,13 @@ func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
 
 	admin, err := srv.Users.Add("bench", accessserver.RoleAdmin)
 	if err != nil {
-		return err
+		return phase, err
 	}
 	nodeNames := make([]string, nodeCount)
 	for i := range nodeNames {
 		nodeNames[i] = fmt.Sprintf("node%02d", i)
 		if err := srv.RegisterNode(rawBenchNode{name: nodeNames[i]}); err != nil {
-			return err
+			return phase, err
 		}
 	}
 
@@ -172,15 +254,15 @@ func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
 	// appends to an actual WAL in a scratch directory.
 	dir, err := os.MkdirTemp("", "blab-fleet-bench-*")
 	if err != nil {
-		return err
+		return phase, err
 	}
 	defer os.RemoveAll(dir)
 	st, err := store.Open(dir)
 	if err != nil {
-		return err
+		return phase, err
 	}
 	if _, err := srv.AttachStore(st); err != nil {
-		return err
+		return phase, err
 	}
 
 	start := time.Now()
@@ -214,7 +296,7 @@ func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
 			MaxConcurrent: 3,
 		})
 		if err != nil {
-			return err
+			return phase, err
 		}
 		all = append(all, builds...)
 		campaigns++
@@ -222,7 +304,7 @@ func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
 	for i := len(all); i < buildCount; i++ {
 		b, err := srv.SubmitSpec(admin, spec(i))
 		if err != nil {
-			return err
+			return phase, err
 		}
 		all = append(all, b)
 	}
@@ -233,7 +315,7 @@ func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
 	for _, b := range all {
 		if b.ID > nodeCount && b.ID%9 == 0 && b.State() == accessserver.StateQueued {
 			if err := srv.Abort(admin, b.ID); err != nil {
-				return err
+				return phase, err
 			}
 		}
 	}
@@ -269,6 +351,38 @@ func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
 		}(c)
 	}
 
+	// The read flood: pollers sweep every build's status a fixed number
+	// of times while the clock is driven. Status reads come off the
+	// snapshot plane without the scheduler lock, so the flood must not
+	// move a single deterministic outcome — the check gate compares this
+	// phase's submit-wait quantiles against the churn-only phase's.
+	var polls, monoViol atomic.Int64
+	if flood {
+		for c := 0; c < clientCount; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; i < len(all); i += clientCount {
+					last := -1
+					for k := 0; k < fleetPollsPerBuild; k++ {
+						state, ok := pollBuildState(ts.URL, admin.Token, all[i].ID)
+						if !ok {
+							continue
+						}
+						polls.Add(1)
+						r := fleetStateRank(state)
+						if r >= 0 && r < last {
+							monoViol.Add(1)
+						}
+						if r >= 0 {
+							last = r
+						}
+					}
+				}
+			}(c)
+		}
+	}
+
 	// Drive the virtual clock until every build settles.
 	terminal := func(b *accessserver.Build) bool {
 		switch b.State() {
@@ -290,7 +404,7 @@ func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
 		}
 		next, ok := clk.NextDeadline()
 		if !ok {
-			return fmt.Errorf("fleet-bench: stalled with %d builds queued", srv.QueueLength())
+			return phase, fmt.Errorf("fleet-bench: stalled with %d builds queued", srv.QueueLength())
 		}
 		clk.RunUntil(next)
 	}
@@ -339,29 +453,128 @@ func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
 		det.SubmitP99MS = samples.QuantileSorted(waits, 0.99)
 	}
 
-	rep := fleetBenchReport{
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		GoVersion: runtime.Version(),
-		Nodes:     nodeCount,
-		Clients:   clientCount,
-		Builds:    buildCount,
-		Campaigns: campaigns,
-
-		Deterministic: det,
-		Timing: fleetTiming{
-			WallNS:           wallNS,
-			BuildsPerSec:     float64(buildCount) / (float64(wallNS) / 1e9),
-			WALAppendsPerSec: float64(det.WALAppends) / (float64(wallNS) / 1e9),
-		},
-	}
 	if det.Succeeded+det.Failed+det.Aborted != int64(buildCount) {
-		return fmt.Errorf("fleet-bench: %d builds submitted but %d finished",
+		return phase, fmt.Errorf("fleet-bench: %d builds submitted but %d finished",
 			buildCount, det.Succeeded+det.Failed+det.Aborted)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	phase = fleetPhase{
+		det:       det,
+		campaigns: campaigns,
+		wallNS:    wallNS,
+		polls:     polls.Load(),
+		monoViol:  monoViol.Load(),
+		floodP50:  det.SubmitP50MS,
+		floodP99:  det.SubmitP99MS,
+	}
+	return phase, nil
+}
+
+// pollBuildState reads one build's snapshot-served wire status.
+func pollBuildState(baseURL, token string, build int) (string, bool) {
+	req, err := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/api/v1/builds/%d", baseURL, build), nil)
+	if err != nil {
+		return "", false
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", false
+	}
+	var st api.BuildStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", false
+	}
+	return st.State, true
+}
+
+// fleetStateRank orders wire states along the build lifecycle for the
+// monotonic-read check (-1: unrecognized, skipped).
+func fleetStateRank(state string) int {
+	switch state {
+	case "queued":
+		return 0
+	case "running":
+		return 1
+	case "success", "failure", "aborted":
+		return 2
+	case "expired":
+		return 3
+	}
+	return -1
+}
+
+// fleetBenchCheck reruns the fleet scenario at the baseline's scale and
+// fails if any deterministic field drifted — including the read-flood
+// section — or if the read-flood phase's p99 submit wait regressed
+// against the churn-only phase (the data plane leaking back into the
+// control plane).
+func fleetBenchCheck(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want fleetBenchReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("fleet-bench-check: parsing %s: %w", path, err)
+	}
+	churn, err := runFleetPhase(want.Nodes, want.Clients, want.Builds, false)
+	if err != nil {
+		return err
+	}
+	flood, err := runFleetPhase(want.Nodes, want.Clients, want.Builds, true)
+	if err != nil {
+		return err
+	}
+	var drifts []string
+	diffI := func(field string, wantV, gotV int64) {
+		if wantV != gotV {
+			drifts = append(drifts, fmt.Sprintf("%s drifted %d -> %d", field, wantV, gotV))
+		}
+	}
+	diffF := func(field string, wantV, gotV float64) {
+		if wantV != gotV {
+			drifts = append(drifts, fmt.Sprintf("%s drifted %g -> %g", field, wantV, gotV))
+		}
+	}
+	w, g := want.Deterministic, churn.det
+	diffI("submitted", w.Submitted, g.Submitted)
+	diffI("dispatched", w.Dispatched, g.Dispatched)
+	diffI("succeeded", w.Succeeded, g.Succeeded)
+	diffI("failed", w.Failed, g.Failed)
+	diffI("aborted", w.Aborted, g.Aborted)
+	diffF("submit_p50_ms", w.SubmitP50MS, g.SubmitP50MS)
+	diffF("submit_p99_ms", w.SubmitP99MS, g.SubmitP99MS)
+	diffI("events_posted", w.EventsPosted, g.EventsPosted)
+	diffI("events_dropped", w.EventsDropped, g.EventsDropped)
+	diffI("samples_posted", w.SamplesPosted, g.SamplesPosted)
+	diffI("samples_dropped", w.SamplesDropped, g.SamplesDropped)
+	diffI("events_streamed", w.EventsStreamed, g.EventsStreamed)
+	diffI("wal_appends", w.WALAppends, g.WALAppends)
+	diffI("simulated_ms", w.SimulatedMS, g.SimulatedMS)
+	diffI("read_flood.polls", want.ReadFlood.Polls, flood.polls)
+	diffI("read_flood.monotonic_violations", want.ReadFlood.MonotonicViolations, flood.monoViol)
+	diffF("read_flood.submit_p50_ms", want.ReadFlood.SubmitP50MS, flood.floodP50)
+	diffF("read_flood.submit_p99_ms", want.ReadFlood.SubmitP99MS, flood.floodP99)
+	if flood.monoViol != 0 {
+		drifts = append(drifts, fmt.Sprintf("read flood observed %d monotonic-read violations, want 0", flood.monoViol))
+	}
+	if flood.floodP99 > churn.det.SubmitP99MS {
+		drifts = append(drifts, fmt.Sprintf(
+			"read-flood p99 submit wait %.0fms regressed past churn-only %.0fms",
+			flood.floodP99, churn.det.SubmitP99MS))
+	}
+	if len(drifts) > 0 {
+		for _, d := range drifts {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return fmt.Errorf("%d deterministic field(s) drifted from %s", len(drifts), path)
+	}
+	return nil
 }
 
 // streamEventCount follows one build's NDJSON event stream to its end

@@ -27,6 +27,24 @@ func TestFleetBenchDeterministic(t *testing.T) {
 		t.Errorf("deterministic sections differ:\nrun 1: %+v\nrun 2: %+v",
 			a.Deterministic, b.Deterministic)
 	}
+	if a.ReadFlood != b.ReadFlood {
+		t.Errorf("read-flood sections differ:\nrun 1: %+v\nrun 2: %+v",
+			a.ReadFlood, b.ReadFlood)
+	}
+
+	// The read flood rides on the snapshot plane: fixed poll count, no
+	// monotonic-read violations, and — the acceptance gate — no p99
+	// submit-wait regression against the churn-only phase.
+	if want := int64(50 * fleetPollsPerBuild); a.ReadFlood.Polls != want {
+		t.Errorf("read-flood polls = %d, want %d", a.ReadFlood.Polls, want)
+	}
+	if a.ReadFlood.MonotonicViolations != 0 {
+		t.Errorf("read flood observed %d monotonic violations", a.ReadFlood.MonotonicViolations)
+	}
+	if a.ReadFlood.SubmitP99MS > a.Deterministic.SubmitP99MS {
+		t.Errorf("read-flood p99 submit wait %.0fms > churn-only %.0fms",
+			a.ReadFlood.SubmitP99MS, a.Deterministic.SubmitP99MS)
+	}
 
 	det := a.Deterministic
 	if det.Submitted != 50 {

@@ -21,7 +21,10 @@
 //	blab-bench -store-bench-check BENCH_store.json
 //	                       # fail if the deterministic WAL-size fields drift from the baseline
 //	blab-bench -fleet-bench -fleet-bench-out BENCH_fleet.json
-//	                       # fleet-scale load: nodes × streaming clients × campaign churn
+//	                       # fleet-scale load: nodes × streaming clients × campaign churn,
+//	                       # plus a read-flood phase against the snapshot-served routes
+//	blab-bench -fleet-bench-check BENCH_fleet.json
+//	                       # fail if deterministic fleet outcomes (incl. read flood) drift
 //
 // Scale knobs: -reps, -pages, -scrolls, -rate, -video-seconds, -seed.
 package main
@@ -66,6 +69,7 @@ func main() {
 		fleetBenchNodes   = flag.Int("fleet-bench-nodes", 16, "simulated vantage points for -fleet-bench")
 		fleetBenchClients = flag.Int("fleet-bench-clients", 8, "concurrent event-stream clients for -fleet-bench")
 		fleetBenchN       = flag.Int("fleet-bench-builds", 200, "builds (singles + campaigns) for -fleet-bench")
+		fleetBenchCk      = flag.String("fleet-bench-check", "", "rerun the fleet scenario and fail if deterministic outcomes (including the read-flood section) drift from this baseline JSON")
 
 		seed    = flag.Uint64("seed", 2019, "simulation seed")
 		reps    = flag.Int("reps", 5, "repetitions per configuration")
@@ -284,6 +288,15 @@ func main() {
 		if *fleetBenchOut != "" && *fleetBenchOut != "-" {
 			fmt.Printf("(fleet benchmark written to %s)\n", *fleetBenchOut)
 		}
+	}
+
+	if *fleetBenchCk != "" {
+		ran = true
+		if err := fleetBenchCheck(*fleetBenchCk); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet-bench-check: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(fleet outcomes match %s)\n", *fleetBenchCk)
 	}
 
 	if !ran {

@@ -1,138 +1,17 @@
 package accessserver
 
-import (
-	"sync"
+import "batterylab/internal/accessserver/feedhub"
 
-	"batterylab/internal/api"
-)
+// Feed moved to the feedhub package in the control/data plane split:
+// the hub owns feed lifecycle under its own leaf lock so streaming
+// subscribers never touch scheduler state. The alias keeps the
+// historical accessserver.Feed name (and the pipeline-facing
+// Build.Feed contract) intact.
+type Feed = feedhub.Feed
 
-// Feed buffer bounds. Like the capture pipeline's observer queue, the
-// feed is bounded and never blocks a producer: when a buffer fills,
-// new records are dropped and counted rather than queued without
-// limit, so a stalled HTTP consumer can never exert backpressure on
-// the capture loop. At the default 1 s live-sample cadence the sample
-// buffer holds over four hours of backlog.
+// Buffer bounds, re-exported for tests and embedders that sized
+// workloads against the historical accessserver constants.
 const (
-	feedEventCap  = 4096
-	feedSampleCap = 16384
+	feedEventCap  = feedhub.EventCap
+	feedSampleCap = feedhub.SampleCap
 )
-
-// Feed is a build's streaming log: the phase events and live power
-// samples its run emitted, buffered for replay-plus-follow consumers.
-// Producers (the measurement session's observer) append without ever
-// blocking; consumers (the NDJSON/binary streaming handlers) read
-// snapshots by cursor and wait on a change channel for more. The feed
-// closes when the build finishes.
-type Feed struct {
-	mu      sync.Mutex
-	changed chan struct{}
-	events  []api.BuildEvent
-	samples []api.SamplePoint
-	closed  bool
-
-	droppedEvents  int64
-	droppedSamples int64
-
-	// counters aggregates posted/dropped totals across all feeds for
-	// the metrics registry. Nil in feeds built outside a server.
-	counters *feedCounters
-}
-
-// newFeed returns an open feed. c may be nil.
-func newFeed(c *feedCounters) *Feed {
-	return &Feed{changed: make(chan struct{}), counters: c}
-}
-
-// notifyLocked wakes every waiting consumer. Callers hold f.mu.
-func (f *Feed) notifyLocked() {
-	close(f.changed)
-	f.changed = make(chan struct{})
-}
-
-// PostEvent appends a phase event, assigning its sequence number. Full
-// buffer or closed feed: the event is dropped and counted. Never
-// blocks.
-func (f *Feed) PostEvent(e api.BuildEvent) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed || len(f.events) >= feedEventCap {
-		f.droppedEvents++
-		if f.counters != nil {
-			f.counters.eventsDropped.Inc()
-		}
-		return
-	}
-	e.Seq = len(f.events)
-	f.events = append(f.events, e)
-	if f.counters != nil {
-		f.counters.eventsPosted.Inc()
-	}
-	f.notifyLocked()
-}
-
-// PostSample appends a live sample under the same non-blocking,
-// drop-when-full contract as PostEvent.
-func (f *Feed) PostSample(p api.SamplePoint) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed || len(f.samples) >= feedSampleCap {
-		f.droppedSamples++
-		if f.counters != nil {
-			f.counters.samplesDropped.Inc()
-		}
-		return
-	}
-	f.samples = append(f.samples, p)
-	if f.counters != nil {
-		f.counters.samplesPosted.Inc()
-	}
-	f.notifyLocked()
-}
-
-// close marks the feed complete and wakes consumers so they can drain
-// and exit. Idempotent.
-func (f *Feed) close() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return
-	}
-	f.closed = true
-	f.notifyLocked()
-}
-
-// EventsSince returns the events at cursor n and beyond, whether the
-// feed has closed, and a channel that signals the next change. A
-// consumer loops: drain the snapshot, exit when closed and caught up,
-// otherwise wait on the channel (or its own context).
-func (f *Feed) EventsSince(n int) (evs []api.BuildEvent, closed bool, changed <-chan struct{}) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if n < 0 {
-		n = 0
-	}
-	if n < len(f.events) {
-		evs = append(evs, f.events[n:]...)
-	}
-	return evs, f.closed, f.changed
-}
-
-// SamplesSince is EventsSince for the sample stream.
-func (f *Feed) SamplesSince(n int) (pts []api.SamplePoint, closed bool, changed <-chan struct{}) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if n < 0 {
-		n = 0
-	}
-	if n < len(f.samples) {
-		pts = append(pts, f.samples[n:]...)
-	}
-	return pts, f.closed, f.changed
-}
-
-// Dropped reports how many events and samples the bounded buffers shed.
-func (f *Feed) Dropped() (events, samples int64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.droppedEvents, f.droppedSamples
-}

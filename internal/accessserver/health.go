@@ -198,6 +198,7 @@ func (s *Server) MonitorNode(name string) error {
 	rec.devices = devices
 	rec.lastBeat = s.clock.Now()
 	if rec.monitored {
+		s.publishNodesLocked()
 		s.mu.Unlock()
 		return nil
 	}
@@ -212,6 +213,7 @@ func (s *Server) MonitorNode(name string) error {
 	s.logStore(store.Record{T: store.TNodeMonitored, Node: &store.NodeRec{
 		Name: name, Owner: rec.owner, Monitored: true, Devices: append([]string(nil), devices...),
 	}})
+	s.publishNodesLocked()
 	s.mu.Unlock()
 	return nil
 }
@@ -343,6 +345,7 @@ func (s *Server) Heartbeat(name string) {
 	}
 	rec.lastBeat = now
 	pending := len(s.queue)
+	s.publishNodesLocked()
 	s.mu.Unlock()
 	if pending > 0 && !wasOnline {
 		s.dispatch()
@@ -362,6 +365,7 @@ func (s *Server) DrainNode(user *User, name string) error {
 	s.mu.Lock()
 	s.recLocked(name).draining = true
 	s.logStore(store.Record{T: store.TNodeDrain, Name: name, Draining: true})
+	s.publishNodesLocked()
 	s.mu.Unlock()
 	return nil
 }
@@ -378,6 +382,7 @@ func (s *Server) UndrainNode(user *User, name string) error {
 	s.mu.Lock()
 	s.recLocked(name).draining = false
 	s.logStore(store.Record{T: store.TNodeDrain, Name: name, Draining: false})
+	s.publishNodesLocked()
 	s.mu.Unlock()
 	s.dispatch()
 	return nil
@@ -410,22 +415,20 @@ func (s *Server) RemoveNode(user *User, name string) error {
 	// threshold still belongs to the owner.
 	s.flushHostingLocked(rec, rec.owner)
 	s.logStore(store.Record{T: store.TNodeRemoved, Name: name})
-	var failed []*Build
 	kept := s.queue[:0]
 	for _, b := range s.queue {
 		cons, _, err := s.pipelineLocked(b)
 		if err == nil && cons.Node == name && !cons.Fallback {
+			// terminateLocked closes the feed through the hub (a leaf
+			// lock, safe under s.mu) — no post-unlock close list.
 			s.terminateLocked(b, fmt.Errorf("%w: node %q removed while build %d was queued", ErrNodeLost, name, b.ID))
-			failed = append(failed, b)
 			continue
 		}
 		kept = append(kept, b)
 	}
 	s.queue = kept
+	s.publishNodesLocked()
 	s.mu.Unlock()
-	for _, b := range failed {
-		b.feed.close()
-	}
 	s.dispatch() // fallback builds re-place onto survivors
 	return nil
 }
@@ -470,6 +473,22 @@ func (s *Server) HealthOf(name string) (health Health, devices []string, monitor
 }
 
 func (s *Server) nodeStatusLocked(name string) NodeStatus {
+	queued := 0
+	for _, b := range s.queue {
+		if cons, _, err := s.pipelineLocked(b); err == nil && cons.Node == name {
+			queued++
+		}
+	}
+	st, _ := s.nodeEntryLocked(name, queued)
+	return st
+}
+
+// nodeEntryLocked builds one node's lifecycle snapshot given its
+// precomputed queued-build count, and reports whether the node is
+// currently registered. Census publication calls it once per node after
+// a single queue scan; nodeStatusLocked wraps it for one-off lookups.
+// Callers hold s.mu.
+func (s *Server) nodeEntryLocked(name string, queued int) (NodeStatus, bool) {
 	now := s.clock.Now()
 	st := NodeStatus{Name: name}
 	rec := s.nodeRecs[name]
@@ -483,7 +502,7 @@ func (s *Server) nodeStatusLocked(name string) NodeStatus {
 		} else {
 			st.Health = HealthOffline
 		}
-		return st
+		return st, registered
 	}
 	if rec.removed && registered {
 		rec.removed = false // node re-registered after removal
@@ -493,6 +512,7 @@ func (s *Server) nodeStatusLocked(name string) NodeStatus {
 	st.Removed = rec.removed
 	st.LastHeartbeat = rec.lastBeat
 	st.Running = rec.running
+	st.Queued = queued
 	st.Devices = append([]string(nil), rec.devices...)
 	st.Beats = rec.beats
 	st.Flaps = rec.flaps
@@ -502,12 +522,7 @@ func (s *Server) nodeStatusLocked(name string) NodeStatus {
 	} else {
 		st.Health = s.healthLocked(rec, now)
 	}
-	for _, b := range s.queue {
-		if cons, _, err := s.pipelineLocked(b); err == nil && cons.Node == name {
-			st.Queued++
-		}
-	}
-	return st
+	return st, registered
 }
 
 // NodeStatuses snapshots every known node (registered or remembered),

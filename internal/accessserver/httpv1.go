@@ -3,9 +3,11 @@ package accessserver
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
+	"batterylab/internal/accessserver/feedhub"
 	"batterylab/internal/api"
 	"batterylab/internal/metrics"
 )
@@ -40,12 +42,13 @@ import (
 
 // Error-code aliases keep the HTTP files terse.
 const (
-	codeBadRequest   = api.CodeBadRequest
-	codeUnauthorized = api.CodeUnauthorized
-	codeForbidden    = api.CodeForbidden
-	codeNotFound     = api.CodeNotFound
-	codeConflict     = api.CodeConflict
-	codeInternal     = api.CodeInternal
+	codeBadRequest    = api.CodeBadRequest
+	codeUnauthorized  = api.CodeUnauthorized
+	codeForbidden     = api.CodeForbidden
+	codeNotFound      = api.CodeNotFound
+	codeConflict      = api.CodeConflict
+	codeInternal      = api.CodeInternal
+	codeInvalidCursor = api.CodeInvalidCursor
 )
 
 // Submission body bounds: a spec is well under a kilobyte of JSON, so
@@ -79,20 +82,30 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 		if s.auth(w, r, PermViewConsole) == nil {
 			return
 		}
+		// Snapshot-served: names come from the registry (its own lock,
+		// never the scheduler's), health and cached devices from the
+		// published census — a fleet-listing flood is lock-free with
+		// respect to dispatch. Health is recomputed against the current
+		// clock because silence ages a node without republishing.
+		now := s.clock.Now()
 		names := s.Nodes.List()
 		infos := make([]api.NodeInfo, 0, len(names))
 		for _, name := range names {
-			// Monitored nodes serve the cached device list: one hung
-			// vantage point must not stall the whole fleet listing on a
-			// live list_devices round trip.
-			health, devs, monitored := s.HealthOf(name)
-			if !monitored {
+			e, ok := s.reads.node(name)
+			if !ok {
+				e = nodeCensusEntry{NodeStatus: NodeStatus{Name: name}}
+			}
+			devs := e.Devices
+			if !e.Monitored {
+				// Monitored nodes serve the cached device list: one hung
+				// vantage point must not stall the whole fleet listing on
+				// a live list_devices round trip.
 				devs, _ = s.Nodes.Devices(name)
 			}
 			infos = append(infos, api.NodeInfo{
 				Name:    name,
 				Devices: devs,
-				Health:  health.String(),
+				Health:  s.censusHealth(e, true, now).String(),
 			})
 		}
 		writeJSON(w, http.StatusOK, infos)
@@ -102,9 +115,19 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 			return
 		}
 		name := r.PathValue("name")
-		st := s.NodeHealth(name)
-		if _, err := s.Nodes.Get(name); err != nil && !st.Removed && !st.Monitored {
-			writeError(w, err)
+		// Census-served (registry membership checked live, on the
+		// registry's own lock): the detail route never touches s.mu.
+		_, regErr := s.Nodes.Get(name)
+		st, ok := s.reads.node(name)
+		if !ok {
+			if regErr != nil {
+				writeError(w, regErr)
+				return
+			}
+			st = nodeCensusEntry{NodeStatus: NodeStatus{Name: name}}
+		}
+		if regErr != nil && !st.Removed && !st.Monitored {
+			writeError(w, regErr)
 			return
 		}
 		// Monitored nodes serve the cached device list: this endpoint
@@ -117,7 +140,7 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 		detail := api.NodeDetail{
 			Name:          name,
 			Devices:       devs,
-			Health:        st.Health.String(),
+			Health:        s.censusHealth(st, regErr == nil, s.clock.Now()).String(),
 			Monitored:     st.Monitored,
 			Draining:      st.Draining,
 			RunningBuilds: st.Running,
@@ -228,24 +251,28 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 			writeAPIError(w, apiError(codeBadRequest, "campaign id must be an integer"))
 			return
 		}
-		ids, err := s.CampaignBuildIDs(id)
-		if err != nil {
-			writeError(w, err)
+		// Snapshot-served: membership and member statuses come from the
+		// read plane; only the drop counters are refreshed from the feed
+		// plane. No scheduler lock on this path.
+		ids, ok := s.reads.campaign(id)
+		if !ok {
+			if s.reads.campaignExpired(id) {
+				writeError(w, fmt.Errorf("%w: campaign %d expired after its %s retention window", ErrExpired, id, s.cfg.Retention))
+			} else {
+				writeError(w, fmt.Errorf("%w: no campaign %d", ErrNotFound, id))
+			}
 			return
 		}
 		status := api.CampaignStatus{Campaign: id}
 		for _, bid := range ids {
-			b, err := s.Build(bid)
-			if errors.Is(err, ErrExpired) {
+			st, ok := s.reads.buildStatus(bid)
+			if !ok {
 				// Tombstoned member: the record aged out of retention.
 				status.Builds = append(status.Builds, api.BuildStatus{ID: bid, State: api.StateExpired})
 				continue
 			}
-			if err != nil {
-				writeError(w, err)
-				return
-			}
-			status.Builds = append(status.Builds, buildStatus(b))
+			st.DroppedEvents, st.DroppedSamples = s.hub.Feed(bid).Dropped()
+			status.Builds = append(status.Builds, st)
 		}
 		writeJSON(w, http.StatusOK, status)
 	})
@@ -258,18 +285,24 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 			writeAPIError(w, apiError(codeBadRequest, "build id must be an integer"))
 			return
 		}
-		b, err := s.Build(id)
-		if errors.Is(err, ErrExpired) {
+		// The hot poll path: served from the read plane's published
+		// snapshot, lock-free with respect to dispatch. The scheduler
+		// republishes on every transition, in transition order, so polls
+		// observe monotonic state. Drop counters move without a scheduler
+		// transition (producer-side shedding), so they are refreshed from
+		// the feed plane — also a leaf, never s.mu.
+		if st, ok := s.reads.buildStatus(id); ok {
+			st.DroppedEvents, st.DroppedSamples = s.hub.Feed(id).Dropped()
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		if _, _, hst := s.hub.Resolve(id); hst == feedhub.StatusExpired {
 			// The build existed but aged out: an explicit marker, not a
 			// 404 — clients distinguish "expired" from "never existed".
 			writeJSON(w, http.StatusOK, api.BuildStatus{ID: id, State: api.StateExpired})
 			return
 		}
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, buildStatus(b))
+		writeError(w, fmt.Errorf("%w: no build %d", ErrNotFound, id))
 	})
 	mux.HandleFunc("GET /api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if s.auth(w, r, PermViewConsole) == nil {
@@ -288,18 +321,18 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 		}
 	})
 	mux.HandleFunc("GET /api/v1/builds/{id}/events", func(w http.ResponseWriter, r *http.Request) {
-		b := s.buildFromPath(w, r)
-		if b == nil {
+		f := s.feedFromPath(w, r)
+		if f == nil {
 			return
 		}
-		s.streamEvents(w, r, b)
+		s.streamEvents(w, r, f)
 	})
 	mux.HandleFunc("GET /api/v1/builds/{id}/samples", func(w http.ResponseWriter, r *http.Request) {
-		b := s.buildFromPath(w, r)
-		if b == nil {
+		f := s.feedFromPath(w, r)
+		if f == nil {
 			return
 		}
-		s.streamSamples(w, r, b)
+		s.streamSamples(w, r, f)
 	})
 	mux.HandleFunc("GET /api/v1/builds/{id}/analytics", func(w http.ResponseWriter, r *http.Request) {
 		b := s.buildFromPath(w, r)
@@ -376,27 +409,66 @@ func buildStatus(b *Build) api.BuildStatus {
 	return st
 }
 
+// feedFromPath resolves the {id} path segment to its feed through the
+// hub — the data plane's only lookup; streaming subscriptions never
+// touch scheduler state. Writes the error response itself (400 for a
+// malformed id, 404 for unknown or expired builds). Authentication runs
+// first.
+func (s *Server) feedFromPath(w http.ResponseWriter, r *http.Request) *Feed {
+	if s.auth(w, r, PermViewConsole) == nil {
+		return nil
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeAPIError(w, apiError(codeBadRequest, "build id must be an integer"))
+		return nil
+	}
+	f, _, st := s.hub.Resolve(id)
+	switch st {
+	case feedhub.StatusLive:
+		return f
+	case feedhub.StatusExpired:
+		writeError(w, fmt.Errorf("%w: build %d expired after its %s retention window", ErrExpired, id, s.cfg.Retention))
+	default:
+		writeError(w, fmt.Errorf("%w: no build %d", ErrNotFound, id))
+	}
+	return nil
+}
+
+// streamCursor parses the ?from= resume cursor (default 0), writing the
+// typed invalid_cursor envelope on garbage — a reconnecting client can
+// branch on the code and restart from 0 instead of giving up.
+func streamCursor(w http.ResponseWriter, r *http.Request) (int, bool) {
+	from := r.URL.Query().Get("from")
+	if from == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(from)
+	if err != nil || n < 0 {
+		writeAPIError(w, apiError(codeInvalidCursor, "?from= must be a non-negative integer"))
+		return 0, false
+	}
+	return n, true
+}
+
 // streamEvents serves the NDJSON phase-event stream: replay from the
 // ?from= cursor (default 0), then follow until the build finishes or
 // the client goes away.
-func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, b *Build) {
-	cursor := 0
-	if from := r.URL.Query().Get("from"); from != "" {
-		n, err := strconv.Atoi(from)
-		if err != nil || n < 0 {
-			writeAPIError(w, apiError(codeBadRequest, "?from= must be a non-negative integer"))
-			return
-		}
-		cursor = n
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, f *Feed) {
+	cursor, ok := streamCursor(w, r)
+	if !ok {
+		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
+	s.m.feedSubscribers.Inc()
 	s.m.eventSubscribers.Inc()
+	defer s.m.feedSubscribers.Dec()
 	defer s.m.eventSubscribers.Dec()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for {
-		evs, closed, changed := b.Feed().EventsSince(cursor)
+		evs, closed, changed := f.EventsSince(cursor)
 		for _, e := range evs {
 			if err := enc.Encode(e); err != nil {
 				return // client gone
@@ -409,7 +481,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, b *Build) 
 		if closed {
 			// One last snapshot covers the close/append race: EventsSince
 			// reported closed only after any final events were visible.
-			if more, _, _ := b.Feed().EventsSince(cursor); len(more) == 0 {
+			if more, _, _ := f.EventsSince(cursor); len(more) == 0 {
 				return
 			}
 			continue
@@ -431,7 +503,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, b *Build) 
 // n samples resumes with ?from=n. The feed it reads is bounded and
 // drop-under-backpressure, so however slowly this consumer drains, the
 // capture loop never blocks.
-func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, b *Build) {
+func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, f *Feed) {
 	format := r.URL.Query().Get("format")
 	switch format {
 	case "", "binary", "ndjson":
@@ -439,14 +511,9 @@ func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, b *Build)
 		writeAPIError(w, apiError(codeBadRequest, "?format= must be binary or ndjson"))
 		return
 	}
-	cursor := 0
-	if from := r.URL.Query().Get("from"); from != "" {
-		n, err := strconv.Atoi(from)
-		if err != nil || n < 0 {
-			writeAPIError(w, apiError(codeBadRequest, "?from= must be a non-negative integer"))
-			return
-		}
-		cursor = n
+	cursor, ok := streamCursor(w, r)
+	if !ok {
+		return
 	}
 	ndjson := format == "ndjson"
 	if ndjson {
@@ -455,12 +522,14 @@ func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, b *Build)
 		w.Header().Set("Content-Type", "application/octet-stream")
 	}
 	w.WriteHeader(http.StatusOK)
+	s.m.feedSubscribers.Inc()
 	s.m.sampleSubscribers.Inc()
+	defer s.m.feedSubscribers.Dec()
 	defer s.m.sampleSubscribers.Dec()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for {
-		pts, closed, changed := b.Feed().SamplesSince(cursor)
+		pts, closed, changed := f.SamplesSince(cursor)
 		if len(pts) > 0 {
 			if ndjson {
 				for _, p := range pts {
@@ -477,7 +546,7 @@ func (s *Server) streamSamples(w http.ResponseWriter, r *http.Request, b *Build)
 			}
 		}
 		if closed {
-			if more, _, _ := b.Feed().SamplesSince(cursor); len(more) == 0 {
+			if more, _, _ := f.SamplesSince(cursor); len(more) == 0 {
 				return
 			}
 			continue

@@ -133,7 +133,10 @@ type Build struct {
 	// streaming clients can invalidate stale resume cursors.
 	recovered bool
 	feedEpoch int
-	// feed streams the build's phase events and live samples.
+	// feed is the build's event/sample stream, owned and registered by
+	// the server's feed hub (lifecycle — close, eviction — runs through
+	// the hub, never through this handle). Set once at construction,
+	// immutable after.
 	feed *Feed
 
 	mu         sync.Mutex

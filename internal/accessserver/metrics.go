@@ -56,7 +56,10 @@ type serverMetrics struct {
 	// atomics; see feedCounters).
 	feeds feedCounters
 
-	// Streaming subscriber gauges (HTTP handler side).
+	// Streaming subscriber gauges (HTTP handler side). feedSubscribers
+	// is the combined gauge (events + samples) the stats digest and
+	// capacity dashboards key on; the per-stream gauges break it down.
+	feedSubscribers   *metrics.Gauge
 	eventSubscribers  *metrics.Gauge
 	sampleSubscribers *metrics.Gauge
 
@@ -86,13 +89,21 @@ type serverMetrics struct {
 
 // feedCounters is the server-wide view of the bounded feed buffers:
 // every build's feed shares these, so fleet-level drop rates come from
-// one place instead of a scan over all builds.
+// one place instead of a scan over all builds. It implements
+// feedhub.Stats, wiring the hub's per-feed ticks into the registry;
+// the methods touch only lock-free registry atomics, honoring the
+// hub's no-locks-held rule for stats sinks.
 type feedCounters struct {
 	eventsPosted   *metrics.Counter
 	samplesPosted  *metrics.Counter
 	eventsDropped  *metrics.Counter
 	samplesDropped *metrics.Counter
 }
+
+func (c *feedCounters) EventPosted()   { c.eventsPosted.Inc() }
+func (c *feedCounters) EventDropped()  { c.eventsDropped.Inc() }
+func (c *feedCounters) SamplePosted()  { c.samplesPosted.Inc() }
+func (c *feedCounters) SampleDropped() { c.samplesDropped.Inc() }
 
 // newServerMetrics builds the registry and registers the collectors.
 // Called once from New, after the scheduler maps exist.
@@ -107,6 +118,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 			eventsDropped:  reg.Counter("blab_feed_events_dropped_total", "phase events shed by full or closed feed buffers"),
 			samplesDropped: reg.Counter("blab_feed_samples_dropped_total", "live samples shed by full or closed feed buffers"),
 		},
+		feedSubscribers:   reg.Gauge("blab_feed_subscribers", "open streaming connections (events + samples)"),
 		eventSubscribers:  reg.Gauge("blab_feed_event_subscribers", "open event-stream connections"),
 		sampleSubscribers: reg.Gauge("blab_feed_sample_subscribers", "open sample-stream connections"),
 		heartbeats:        reg.Counter("blab_node_heartbeats_total", "liveness beats recorded"),
@@ -222,6 +234,12 @@ func (s *Server) collectScheduler(e *metrics.Emitter) {
 			float64(health[h]), metrics.Label{Name: "state", Value: h.String()})
 	}
 	e.Gauge("blab_nodes_monitored", "vantage points with heartbeat tracking armed", float64(monitored))
+
+	// Lock-domain telemetry: total scheduler-lock acquisitions. Paired
+	// with blab_feed_subscribers it answers "are status polls and
+	// streaming reads staying off the dispatch lock" in production the
+	// same way the lock-isolation test asserts it in CI.
+	e.Counter("blab_sched_lock_acquisitions_total", "scheduler mutex acquisitions", float64(s.mu.acquisitions.Load()))
 }
 
 // collectStore emits durability metrics under storeMu, consistent with
@@ -321,6 +339,9 @@ func (s *Server) FlushStats() {
 		slog.Int64("failed", int64(get("blab_builds_finished_total", metrics.Label{Name: "result", Value: "failure"}))),
 		slog.Float64("dispatch_p50_s", p50),
 		slog.Float64("dispatch_p99_s", p99),
+		slog.Int64("feed_subscribers", int64(get("blab_feed_subscribers"))),
+		slog.Int64("event_subscribers", int64(get("blab_feed_event_subscribers"))),
+		slog.Int64("sample_subscribers", int64(get("blab_feed_sample_subscribers"))),
 		slog.Int64("feed_events_dropped", int64(get("blab_feed_events_dropped_total"))),
 		slog.Int64("feed_samples_dropped", int64(get("blab_feed_samples_dropped_total"))),
 		slog.Int64("wal_appends", int64(get("blab_wal_appends_total"))),

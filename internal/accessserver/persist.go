@@ -484,7 +484,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	var finished []*Build // feeds to close + retention outside s.mu
+	var finished []*Build // retention scheduling after the store attaches
 	for _, id := range ids {
 		br := rs.builds[id]
 		state, ok := parseState(br.State)
@@ -504,7 +504,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 			// across a second restart, which bumps it again.
 			feedEpoch: br.FeedEpoch + 1,
 			workspace: NewWorkspace(),
-			feed:      newFeed(&s.m.feeds),
+			feed:      s.hub.Create(br.ID, br.FeedEpoch+1),
 		}
 		b.queuedAt = now
 		if br.QueuedAtNS != 0 {
@@ -546,7 +546,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 				}
 				b.err = &recoveredErr{msg: br.Err, sentinels: sentinels}
 			}
-			b.feed.close()
+			s.hub.Close(b.ID)
 			finished = append(finished, b)
 			continue
 		}
@@ -560,7 +560,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 			s.m.aborted++
 			b.finishedAt = now
 			fmt.Fprintf(&b.log, "build aborted: cancel requested before the server restart\n")
-			b.feed.close()
+			s.hub.Close(b.ID)
 			finished = append(finished, b)
 			pending = append(pending, finishedRecord(b))
 			continue
@@ -586,7 +586,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 			b.err = fmt.Errorf("build %d unrecoverable after restart: %w", b.ID, compileErr)
 			b.finishedAt = now
 			fmt.Fprintf(&b.log, "build failed: %v\n", b.err)
-			b.feed.close()
+			s.hub.Close(b.ID)
 			finished = append(finished, b)
 			stats.Failed++
 			pending = append(pending, finishedRecord(b))
@@ -612,7 +612,7 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 				b.err = fmt.Errorf("%w: %s; retry budget (%d) spent", ErrNodeLost, reason, s.cfg.MaxRetries)
 				b.finishedAt = now
 				fmt.Fprintf(&b.log, "build lost: %s; retry budget (%d) spent\n", reason, s.cfg.MaxRetries)
-				b.feed.close()
+				s.hub.Close(b.ID)
 				finished = append(finished, b)
 				stats.Failed++
 				pending = append(pending, finishedRecord(b))
@@ -640,6 +640,23 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 		s.queue = append(s.queue, b)
 		b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
 	}
+
+	// Prime the read plane and the feed-plane high-water mark with the
+	// recovered world before the lock drops: ids whose records expired
+	// before the restart must resolve as expired (not unknown), and the
+	// snapshot routes must serve the recovered state from the first
+	// request rather than waiting for the next transition to publish.
+	s.hub.SetHighWater(s.nextID - 1)
+	for _, b := range s.builds {
+		s.publishBuildLocked(b)
+	}
+	for id, rec := range s.campaigns {
+		s.reads.publishCampaign(id, rec.builds)
+	}
+	if s.nextCampaign > 1 {
+		s.reads.highCamp.Store(int64(s.nextCampaign - 1))
+	}
+	s.publishNodesLocked()
 	s.mu.Unlock()
 
 	// Go live: install the store and the observation hooks, flush the

@@ -10,11 +10,28 @@ import (
 	"sync/atomic"
 	"time"
 
+	"batterylab/internal/accessserver/feedhub"
 	"batterylab/internal/accessserver/store"
 	"batterylab/internal/analytics"
 	"batterylab/internal/api"
 	"batterylab/internal/simclock"
 )
+
+// schedMutex is the scheduler lock with an acquisition counter. The
+// counter exists to make the control/data plane split provable: tests
+// (and the fleet bench) assert that streaming subscribers and status
+// pollers drive the read plane without a single scheduler-lock
+// acquisition. The atomic add costs nanoseconds next to the critical
+// sections the lock guards.
+type schedMutex struct {
+	sync.Mutex
+	acquisitions atomic.Int64
+}
+
+func (m *schedMutex) Lock() {
+	m.Mutex.Lock()
+	m.acquisitions.Add(1)
+}
 
 // Config tunes the access server.
 type Config struct {
@@ -181,7 +198,17 @@ type Server struct {
 	// gated by Config.EnforceCredits / SetCreditEnforcement.
 	Ledger *Ledger
 
-	mu      sync.Mutex
+	// hub is the feed plane: per-build event/sample streams behind
+	// their own leaf lock, so streaming subscribers resolve and drain
+	// feeds without ever touching s.mu, and the scheduler may
+	// create/close/evict feeds while holding any of its locks.
+	hub *feedhub.Hub
+	// reads is the snapshot read plane: copy-on-write build/node/
+	// campaign views republished at every transition under s.mu, served
+	// by the hot GET routes lock-free (see snapshot.go).
+	reads *readPlane
+
+	mu      schedMutex
 	jobs    map[string]*Job
 	builds  map[int]*Build
 	queue   []*Build
@@ -282,8 +309,20 @@ func New(clock simclock.Clock, cfg Config) *Server {
 	s.creditsOn.Store(s.cfg.EnforceCredits)
 	s.analyticsCache = analytics.NewCache(s.cfg.AnalyticsCacheBytes)
 	s.m = newServerMetrics(s)
+	s.hub = feedhub.New(&s.m.feeds)
+	s.reads = newReadPlane()
 	return s
 }
+
+// FeedHub exposes the server's feed plane. Embedders (the fleet bench,
+// gateway tests) use it to resolve subscriptions the way the streaming
+// routes do; the scheduler drives lifecycle internally.
+func (s *Server) FeedHub() *feedhub.Hub { return s.hub }
+
+// SchedLockAcquisitions reports how many times the scheduler lock has
+// been acquired since the server started. Read-plane isolation tests
+// diff it across a poll/stream flood to prove GETs never touch it.
+func (s *Server) SchedLockAcquisitions() int64 { return s.mu.acquisitions.Load() }
 
 // SetCreditEnforcement toggles the §5 credit economy at runtime (the
 // daemon's -credits flag; Config.EnforceCredits sets the initial
@@ -397,21 +436,17 @@ func (s *Server) DeleteJob(user *User, name string) error {
 	s.mu.Lock()
 	delete(s.jobs, name)
 	s.logStore(store.Record{T: store.TJobDeleted, Name: name})
-	var failed []*Build
 	kept := s.queue[:0]
 	for _, b := range s.queue {
 		if b.run == nil && b.Job == name {
 			s.terminateLocked(b, fmt.Errorf("%w: job %q deleted while build %d was queued", ErrJobDeleted, name, b.ID))
-			failed = append(failed, b)
 			continue
 		}
 		kept = append(kept, b)
 	}
 	s.queue = kept
+	s.publishNodesLocked()
 	s.mu.Unlock()
-	for _, b := range failed {
-		b.feed.close()
-	}
 	return nil
 }
 
@@ -540,7 +575,7 @@ func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constra
 		wireSpec:  spec,
 		queuedAt:  s.clock.Now(),
 		workspace: NewWorkspace(),
-		feed:      newFeed(&s.m.feeds),
+		feed:      s.hub.Create(s.nextID, 0),
 	}
 	s.nextID++
 	s.builds[b.ID] = b
@@ -558,6 +593,7 @@ func (s *Server) enqueueLocked(owner, jobName string, campaign int, cons Constra
 	} else {
 		s.logStore(rec)
 	}
+	s.publishBuildLocked(b)
 	return b
 }
 
@@ -656,6 +692,8 @@ func (s *Server) SubmitCampaign(user *User, cs api.CampaignSpec) (int, []*Build,
 		ID: id, MaxConcurrent: rec.maxConcurrent, Builds: append([]int(nil), rec.builds...),
 	}})
 	s.logStoreBatch(walBatch)
+	s.reads.publishCampaign(id, rec.builds)
+	s.publishNodesLocked()
 	s.mu.Unlock()
 	s.dispatch()
 	return id, builds, nil
@@ -729,8 +767,12 @@ func (s *Server) Abort(user *User, id int) error {
 		fmt.Fprintf(&b.log, "build aborted while queued\n")
 		s.logBuildFinishedLocked(b)
 		b.mu.Unlock()
+		// The hub's lock is a leaf: closing the feed under s.mu is legal
+		// and keeps close-before-publish ordering trivially right.
+		s.hub.Close(b.ID)
+		s.publishBuildLocked(b)
+		s.publishNodesLocked()
 		s.mu.Unlock()
-		b.feed.close()
 		s.scheduleRetention(b)
 		return nil
 	}
@@ -754,6 +796,7 @@ func (s *Server) Abort(user *User, id int) error {
 		fn := b.canceler
 		s.logStore(store.Record{T: store.TBuildCancelWant, BuildID: b.ID})
 		b.mu.Unlock()
+		s.publishBuildLocked(b) // the served status carries Canceled now
 		s.mu.Unlock()
 		if fn != nil {
 			fn()
@@ -849,12 +892,9 @@ func (s *Server) dispatch() {
 	s.dispatching = true
 	for {
 		s.redispatch = false
-		picks, probes, failed := s.drainLocked()
+		picks, probes := s.drainLocked()
 		s.mu.Unlock()
 
-		for _, b := range failed {
-			b.feed.close()
-		}
 		// Launch every collected probe whether or not builds were also
 		// picked: drainLocked latched cpuProbing for each, and dropping
 		// one here would leave its node skipped ("probing controller
@@ -933,26 +973,27 @@ const (
 // claiming every build that can start now (locks, counters and leases
 // are taken immediately, so later candidates in the same pass see the
 // updated state) and recording a stable pending reason for every build
-// it skips. It also collects CPU probes to launch and builds to fail
-// (deleted jobs). Node probes (CPU gating) never run under s.mu: fresh
-// cache values decide immediately; stale ones trigger a probe — in
-// place for in-process nodes, on a goroutine for remote ones — and the
-// candidate is skipped for this pass, so one hung node cannot delay
-// dispatch (or Submit, Abort, status) for everyone else. Callers hold
-// s.mu.
-func (s *Server) drainLocked() ([]*pick, []cpuProbe, []*Build) {
+// it skips. It also collects CPU probes to launch; builds of deleted
+// jobs fail (and close their feeds through the hub) in place. Node
+// probes (CPU gating) never run under s.mu: fresh cache values decide
+// immediately; stale ones trigger a probe — in place for in-process
+// nodes, on a goroutine for remote ones — and the candidate is skipped
+// for this pass, so one hung node cannot delay dispatch (or Submit,
+// Abort, status) for everyone else. Callers hold s.mu.
+func (s *Server) drainLocked() ([]*pick, []cpuProbe) {
 	var picks []*pick
 	var probes []cpuProbe
-	var failed []*Build
 	now := s.clock.Now()
 	// skip records a build's pending reason through the s.mu-guarded
 	// shadow, taking b.mu only when the reason actually changed — the
 	// drain labels every skipped build every pass, and on a deep queue
-	// almost all of those labels are repeats.
+	// almost all of those labels are repeats. The changed reason is
+	// republished so snapshot-served status polls surface it.
 	skip := func(b *Build, reason string) {
 		if b.schedReason != reason {
 			b.schedReason = reason
 			b.setPendingReason(reason)
+			s.publishBuildLocked(b)
 		}
 	}
 	// The queue is compacted in place: w is the write index, engaged at
@@ -980,7 +1021,6 @@ func (s *Server) drainLocked() ([]*pick, []cpuProbe, []*Build) {
 			// Deleted job: fail the build immediately instead of
 			// skipping it forever.
 			s.terminateLocked(cand, fmt.Errorf("build %d: %w (deleted while queued)", cand.ID, err))
-			failed = append(failed, cand)
 			if w < 0 {
 				w = i
 			}
@@ -1089,6 +1129,7 @@ func (s *Server) drainLocked() ([]*pick, []cpuProbe, []*Build) {
 		cand.mu.Unlock()
 		s.logStore(store.Record{T: store.TBuildStarted, BuildID: cand.ID,
 			NodeName: node.Name(), Attempt: attempt, AtNS: now.UnixNano()})
+		s.publishBuildLocked(cand)
 
 		picks = append(picks, &pick{b: cand, run: run, node: node, device: device, locks: keys})
 	}
@@ -1100,7 +1141,8 @@ func (s *Server) drainLocked() ([]*pick, []cpuProbe, []*Build) {
 		}
 		s.queue = s.queue[:w]
 	}
-	return picks, probes, failed
+	s.publishNodesLocked()
+	return picks, probes
 }
 
 // placeLocked resolves where a build may run right now: its preferred
@@ -1394,7 +1436,9 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 		b.stopTimersLocked()
 		s.logBuildFinishedLocked(b)
 		b.mu.Unlock()
-		b.feed.close()
+		s.hub.Close(b.ID) // leaf lock: legal under s.mu
+		s.publishBuildLocked(b)
+		s.publishNodesLocked()
 		s.scheduleRetention(b)
 		return cancel
 	}
@@ -1412,6 +1456,8 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 	s.logStore(store.Record{T: store.TBuildFailover, BuildID: b.ID,
 		Retries: b.retries, Reason: reason, AtNS: now.UnixNano()})
 	b.mu.Unlock()
+	s.publishBuildLocked(b)
+	s.publishNodesLocked()
 	return cancel
 }
 
@@ -1437,8 +1483,9 @@ func (s *Server) requeue(b *Build, attempt int) {
 		fmt.Fprintf(&b.log, "build aborted during failover backoff\n")
 		s.logBuildFinishedLocked(b)
 		b.mu.Unlock()
+		s.hub.Close(b.ID)
+		s.publishBuildLocked(b)
 		s.mu.Unlock()
-		b.feed.close()
 		s.scheduleRetention(b)
 		return
 	}
@@ -1447,6 +1494,8 @@ func (s *Server) requeue(b *Build, attempt int) {
 	b.agingTimer = s.clock.AfterFunc(s.cfg.PendingTimeout, func() { s.checkAging(b) })
 	b.mu.Unlock()
 	s.queue = append(s.queue, b)
+	s.publishBuildLocked(b)
+	s.publishNodesLocked()
 	s.mu.Unlock()
 	s.dispatch()
 }
@@ -1522,12 +1571,16 @@ func (s *Server) checkAging(b *Build) {
 	}
 	s.terminateLocked(b, fmt.Errorf("%w: build %d waited %s: %s",
 		ErrNodeLost, b.ID, s.cfg.PendingTimeout, reason))
+	s.publishNodesLocked()
 	s.mu.Unlock()
-	b.feed.close()
 }
 
-// terminateLocked marks a never-dispatched build failed. Callers hold
-// s.mu (but not b.mu) and must close the feed after releasing s.mu.
+// terminateLocked marks a never-dispatched build failed, closes its
+// feed through the hub and republishes its served status. Callers hold
+// s.mu (but not b.mu). The old contract — "close the feed after
+// releasing s.mu" — is gone: the hub's lock is a leaf, so closing
+// under the scheduler lock is safe by construction, and callers no
+// longer carry lists of feeds to close on the way out.
 func (s *Server) terminateLocked(b *Build, err error) {
 	s.m.queued--
 	s.m.failed++
@@ -1540,6 +1593,8 @@ func (s *Server) terminateLocked(b *Build, err error) {
 	fmt.Fprintf(&b.log, "build failed: %v\n", err)
 	s.logBuildFinishedLocked(b)
 	b.mu.Unlock()
+	s.hub.Close(b.ID)
+	s.publishBuildLocked(b)
 	s.scheduleRetention(b)
 }
 
@@ -1594,10 +1649,16 @@ func (s *Server) finish(b *Build, attempt int, locks []string, err error) {
 	}
 	s.ownerRunDoneLocked(b.Owner)
 	s.ownerSettledLocked(b.Owner)
+	// Close the feed and republish served state while still inside the
+	// scheduler's critical section: the hub and read plane are leaf
+	// locks, and publishing here keeps snapshot order identical to
+	// transition order (monotonic reads for status pollers).
+	s.hub.Close(b.ID)
+	s.publishBuildLocked(b)
+	s.publishNodesLocked()
 	s.mu.Unlock()
 
 	s.chargeRun(b.Owner, deviceTime)
-	b.feed.close()
 	s.scheduleRetention(b)
 	s.dispatch()
 }
@@ -1616,6 +1677,8 @@ func (s *Server) scheduleRetention(b *Build) {
 		b.mu.Unlock()
 		s.mu.Lock()
 		delete(s.builds, b.ID)
+		s.hub.Remove(b.ID)
+		s.reads.removeBuild(b.ID)
 		s.logStore(store.Record{T: store.TBuildExpired, BuildID: b.ID})
 		if rec := s.campaigns[b.campaign]; rec != nil {
 			live := false
@@ -1627,6 +1690,7 @@ func (s *Server) scheduleRetention(b *Build) {
 			}
 			if !live {
 				delete(s.campaigns, b.campaign)
+				s.reads.removeCampaign(b.campaign)
 				s.logStore(store.Record{T: store.TCampaignExpired, CampaignID: b.campaign})
 			}
 		}

@@ -493,6 +493,11 @@ const (
 	// is over their in-flight cap, or the queue crossed the shed
 	// watermark. The envelope's ShedReason says which.
 	CodeOverloaded ErrorCode = "overloaded"
+	// CodeInvalidCursor rejects a malformed ?from= resume cursor on the
+	// streaming routes (400). Typed separately from bad_request so a
+	// reconnecting client can tell "my cursor is garbage, restart from
+	// 0" from "my request is malformed".
+	CodeInvalidCursor ErrorCode = "invalid_cursor"
 )
 
 // Error is the typed error envelope every non-2xx v1 response carries:
@@ -518,7 +523,7 @@ func (e *Error) Error() string {
 // HTTPStatus maps the code to its canonical HTTP status.
 func (e *Error) HTTPStatus() int {
 	switch e.Code {
-	case CodeBadRequest:
+	case CodeBadRequest, CodeInvalidCursor:
 		return http.StatusBadRequest
 	case CodeUnauthorized:
 		return http.StatusUnauthorized

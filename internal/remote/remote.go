@@ -340,6 +340,28 @@ func (p *Platform) stream(ctx context.Context, u string) (io.ReadCloser, error) 
 	return resp.Body, nil
 }
 
+// OpenStream opens a long-lived streaming GET against a server-relative
+// path plus query (e.g. "/api/v1/builds/7/events?from=42") and returns
+// the open response body. No retry loop runs here: transient failures —
+// network errors and gateway-class statuses — report true from
+// IsTransient so a caller holding its own resume cursor (the feed
+// gateway) can reconnect where it left off; application errors come
+// back as *api.Error. The caller owns the body.
+func (p *Platform) OpenStream(ctx context.Context, pathQuery string) (io.ReadCloser, error) {
+	ref, err := url.Parse(pathQuery)
+	if err != nil {
+		return nil, fmt.Errorf("remote: parsing stream path %q: %w", pathQuery, err)
+	}
+	return p.stream(ctx, p.base.ResolveReference(ref).String())
+}
+
+// IsTransient reports whether err is a retry-worthy transport failure
+// (a network error or a 502/503/504) rather than an application error.
+func IsTransient(err error) bool {
+	var te *transientErr
+	return errors.As(err, &te)
+}
+
 // getBytes fetches a whole resource (artifacts), retrying transient
 // failures with the client's backoff policy.
 func (p *Platform) getBytes(ctx context.Context, u string) ([]byte, error) {
