@@ -17,6 +17,15 @@
 //	blab-access -sim 2 -data /var/lib/batterylab   # durable: survives restarts
 //	blab-access -sim 2 -data ./state -credits      # + §5 credit economy
 //	blab-access -http :9091 -feedgw http://control:9090   # feed gateway
+//	blab-access -http :9092 -sim 1 -cluster-name lab-eu \
+//	    -cluster-token s3cret -peer http://control:9090   # federate
+//
+// With -cluster-token (plus -peer seeds) the server federates: it
+// announces itself and its node census to the listed peers on every
+// heartbeat, adopts the peers it learns back, and routes builds whose
+// vantage point lives on a peer across the cluster — events, samples
+// and summaries stream home, so clients see one server however many
+// testbeds stand behind it. GET /api/v1/cluster shows the membership.
 //
 // With -feedgw the daemon runs in feed-gateway mode instead: no local
 // scheduler, no nodes, no state — just a stateless relay that serves
@@ -49,6 +58,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -64,6 +74,8 @@ import (
 	"batterylab/internal/accessserver"
 	"batterylab/internal/accessserver/feedgw"
 	"batterylab/internal/accessserver/store"
+	"batterylab/internal/api"
+	"batterylab/internal/remote"
 	"batterylab/internal/sshx"
 )
 
@@ -111,13 +123,18 @@ func main() {
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		statsInt = flag.Duration("stats-every", time.Minute, "period between stats digests in the structured log (0 disables)")
 		gwURL    = flag.String("feedgw", "", "run as a feed gateway relaying the v1 streaming routes from this upstream access server URL (no local scheduler)")
+		clName   = flag.String("cluster-name", "", "this server's cluster-unique name for federation (default \"batterylab\")")
+		clToken  = flag.String("cluster-token", "", "shared federation secret; empty disables federation")
+		advURL   = flag.String("advertise", "", "base URL peers reach this server at (default http://<-http addr>)")
 		nodes    nodeList
 		flaky    nodeList
 		owners   nodeList
+		peers    nodeList
 	)
 	flag.Var(&nodes, "node", "vantage point as name=addr (repeatable)")
 	flag.Var(&flaky, "flaky", "failure injection for a hosted node as name=killAfter[/reviveAfter] (repeatable)")
 	flag.Var(&owners, "owner", "hosting member as node=user; the owner earns §5 contribution credits for the node's online time (repeatable)")
+	flag.Var(&peers, "peer", "upstream access server base URL to announce to and federate with (repeatable; needs -cluster-token)")
 	flag.Parse()
 
 	if *gwURL != "" {
@@ -236,6 +253,18 @@ func main() {
 			name, addr, out, sshx.Fingerprint(cl.HostKey()))
 	}
 
+	// Federation identity before the store attach, so replayed peer
+	// membership lands in a registry that already knows who it is.
+	if *clToken != "" {
+		adv := *advURL
+		if adv == "" {
+			adv = "http://" + *httpAddr
+		}
+		srv.ConfigureCluster(*clName, adv, *clToken)
+	} else if len(peers) > 0 {
+		log.Fatal("-peer needs -cluster-token (the shared federation secret)")
+	}
+
 	// Durable state: replay snapshot+WAL from the data directory — after
 	// the nodes above are registered, so interrupted spec builds can
 	// recompile and dispatch — then log every mutation from here on. A
@@ -315,6 +344,19 @@ func main() {
 	fmt.Printf("  web console        : http://%s/api/nodes\n", *httpAddr)
 	fmt.Printf("  remote API         : http://%s/api/v1/nodes\n", *httpAddr)
 	fmt.Printf("  metrics            : http://%s/api/v1/metrics (healthz/readyz unauthenticated)\n", *httpAddr)
+
+	// Federation: install the cross-server relay (internal/remote speaks
+	// the v1 protocol the scheduler's routed builds travel over) and
+	// start announcing. Started after the listener is up so the first
+	// announce advertises a reachable URL.
+	if *clToken != "" {
+		srv.SetPeerRelay(func(ctx context.Context, peerURL, token string, spec api.ExperimentSpec, sink accessserver.PeerSink) (*api.BuildStatus, error) {
+			return remote.Relay(ctx, peerURL, token, spec, sink)
+		})
+		srv.StartCluster(peers...)
+		fmt.Printf("  federation         : %s announcing as %q to %d seed peer(s); cluster view at /api/v1/cluster\n",
+			srv.Cluster().URL(), srv.Cluster().Self(), len(peers))
+	}
 	fmt.Printf("  try                : curl -H 'Authorization: Bearer %s' http://%s/api/v1/workloads\n",
 		exp.Token, *httpAddr)
 

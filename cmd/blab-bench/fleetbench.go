@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"batterylab/internal/accessserver/store"
 	"batterylab/internal/api"
 	"batterylab/internal/metrics"
+	"batterylab/internal/remote"
 	"batterylab/internal/samples"
 	"batterylab/internal/simclock"
 )
@@ -27,7 +29,8 @@ import (
 // the whole access server under fleet-scale load — N simulated vantage
 // points, campaign churn (submits, concurrency caps, cancels) and M
 // HTTP streaming clients following build feeds — on the virtual clock
-// with a real WAL attached.
+// with a real WAL attached, plus a two-server federation phase where
+// half the builds route to a peer's vantage points over the relay.
 //
 // The report splits cleanly in two. Deterministic holds fields that
 // depend only on the scenario (virtual-clock scheduling is
@@ -48,7 +51,42 @@ type fleetBenchReport struct {
 
 	Deterministic fleetDeterministic `json:"deterministic"`
 	ReadFlood     fleetReadFlood     `json:"read_flood"`
+	Federation    fleetFederation    `json:"federation"`
 	Timing        fleetTiming        `json:"timing"`
+}
+
+// fleetFederation is the two-server phase: a home server and a
+// federated peer share one virtual clock, builds submitted to the home
+// server alternate between home-local vantage points and ones it only
+// knows through the peer's census, and every routed build streams its
+// feed back through the relay. Wall-clock interleaving between the
+// relay's HTTP goroutines and the clock driver varies run to run, so
+// the section reports only schedule-invariant counts — no wait
+// quantiles and no simulated-time field.
+type fleetFederation struct {
+	NodesPerServer int `json:"nodes_per_server"`
+	Builds         int `json:"builds"`
+
+	Submitted int64 `json:"submitted"`
+	Succeeded int64 `json:"succeeded"`
+	Failed    int64 `json:"failed"`
+	// Routed counts builds the home scheduler dispatched to the peer
+	// (blab_cluster_builds_routed_total) — exactly half the submissions
+	// by construction.
+	Routed     int64 `json:"routed"`
+	PeerLosses int64 `json:"peer_losses"`
+
+	// Home-server feed totals. Routed builds post their events and
+	// samples on the peer, and the relay republishes every record into
+	// the home feed — so these count local and relayed traffic alike.
+	EventsPosted   int64 `json:"events_posted"`
+	EventsDropped  int64 `json:"events_dropped"`
+	SamplesPosted  int64 `json:"samples_posted"`
+	SamplesDropped int64 `json:"samples_dropped"`
+
+	// PeersOnline is the home server's final census: the peer must
+	// still be online (heartbeats rode the same virtual clock).
+	PeersOnline int64 `json:"peers_online"`
 }
 
 // fleetReadFlood is the read-flood phase: the identical churn scenario
@@ -184,14 +222,39 @@ type fleetPhase struct {
 // clients.
 const fleetPollsPerBuild = 5
 
-// runFleetBench drives the scenario twice — churn only, then churn
-// with the read flood — and writes the JSON report.
+// fleetFederationScale derives the two-server phase's size from the
+// main scenario's knobs: a quarter of the fleet on each server, a
+// tenth of the builds (rounded even so exactly half route to the
+// peer).
+func fleetFederationScale(nodeCount, buildCount int) (perServer, builds int) {
+	perServer = nodeCount / 4
+	if perServer < 2 {
+		perServer = 2
+	}
+	builds = buildCount / 10
+	if builds < 8 {
+		builds = 8
+	}
+	if builds%2 == 1 {
+		builds++
+	}
+	return perServer, builds
+}
+
+// runFleetBench drives the scenario three times — churn only, churn
+// with the read flood, then the two-server federation phase — and
+// writes the JSON report.
 func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
 	churn, err := runFleetPhase(nodeCount, clientCount, buildCount, false)
 	if err != nil {
 		return err
 	}
 	flood, err := runFleetPhase(nodeCount, clientCount, buildCount, true)
+	if err != nil {
+		return err
+	}
+	fedNodes, fedBuilds := fleetFederationScale(nodeCount, buildCount)
+	fed, err := runFleetFederation(fedNodes, fedBuilds)
 	if err != nil {
 		return err
 	}
@@ -212,6 +275,7 @@ func runFleetBench(w io.Writer, nodeCount, clientCount, buildCount int) error {
 			SubmitP50MS:         flood.floodP50,
 			SubmitP99MS:         flood.floodP99,
 		},
+		Federation: fed,
 		Timing: fleetTiming{
 			WallNS:           churn.wallNS,
 			BuildsPerSec:     float64(buildCount) / (float64(churn.wallNS) / 1e9),
@@ -469,6 +533,213 @@ func runFleetPhase(nodeCount, clientCount, buildCount int, flood bool) (fleetPha
 	return phase, nil
 }
 
+// fedFleetBackend compiles pinned specs whose runtime derives from the
+// node NAME, not the build ID: a build routed to the peer is assigned
+// a fresh ID over there, and the arrival order of concurrent relays is
+// racy, so ID-derived durations would make the sample totals drift run
+// to run.
+type fedFleetBackend struct{ clock simclock.Clock }
+
+// fedNodeWeight spreads run durations (4–8 s) and current draws across
+// the fleet deterministically by name.
+func fedNodeWeight(node string) int {
+	sum := 0
+	for i := 0; i < len(node); i++ {
+		sum += int(node[i])
+	}
+	return sum % 5
+}
+
+func (fb fedFleetBackend) Compile(spec api.ExperimentSpec) (accessserver.Constraints, accessserver.RunFunc, error) {
+	cons := accessserver.Constraints{Node: spec.Node, Device: spec.Device}
+	run := func(ctx *accessserver.BuildContext, done func(error)) {
+		id := ctx.Build.ID
+		feed := ctx.Build.Feed()
+		node := ctx.Node.Name()
+		ctx.OnCancel(func() { done(errors.New("canceled by user")) })
+
+		feed.PostEvent(api.BuildEvent{
+			Build: id, Node: node, Phase: "workload",
+			AtNS: fb.clock.Now().UnixNano(),
+		})
+		w := fedNodeWeight(node)
+		dur := time.Duration(4+w) * time.Second
+		for i := 1; i <= int(dur/time.Second); i++ {
+			at := time.Duration(i) * time.Second
+			fb.clock.AfterFunc(at, func() {
+				feed.PostSample(api.SamplePoint{
+					AtNS:      fb.clock.Now().UnixNano(),
+					CurrentMA: float64(100 + 10*w),
+				})
+			})
+		}
+		fb.clock.AfterFunc(dur, func() {
+			feed.PostEvent(api.BuildEvent{
+				Build: id, Node: node, Phase: "teardown",
+				AtNS: fb.clock.Now().UnixNano(),
+			})
+			done(nil)
+		})
+	}
+	return cons, run, nil
+}
+
+func (fedFleetBackend) WorkloadNames() []string { return []string{"fleet"} }
+
+const fleetFederationToken = "fleet-bench-fed"
+
+// runFleetFederation drives the two-server phase: home and peer access
+// servers on one virtual clock, joined over real HTTP with the cluster
+// token, with every second build pinned to a vantage point only the
+// peer's census advertises. The phase is self-validating — every build
+// must succeed and exactly half must route — and returns the
+// deterministic counts for the report.
+func runFleetFederation(perServer, buildCount int) (fleetFederation, error) {
+	out := fleetFederation{NodesPerServer: perServer, Builds: buildCount}
+	clk := simclock.NewVirtual()
+	cfg := accessserver.Config{
+		Executors:      perServer,
+		HeartbeatEvery: 5 * time.Second,
+		RetryBackoff:   5 * time.Second,
+		MaxRetries:     3,
+		PendingTimeout: 30 * time.Minute,
+	}
+	home := accessserver.New(clk, cfg)
+	peer := accessserver.New(clk, cfg)
+	home.SetSpecBackend(fedFleetBackend{clock: clk})
+	peer.SetSpecBackend(fedFleetBackend{clock: clk})
+
+	admin, err := home.Users.Add("bench", accessserver.RoleAdmin)
+	if err != nil {
+		return out, err
+	}
+	homeNodes := make([]string, perServer)
+	peerNodes := make([]string, perServer)
+	for i := 0; i < perServer; i++ {
+		homeNodes[i] = fmt.Sprintf("fed-a-%02d", i)
+		peerNodes[i] = fmt.Sprintf("fed-b-%02d", i)
+		if err := home.RegisterNode(rawBenchNode{name: homeNodes[i]}); err != nil {
+			return out, err
+		}
+		if err := peer.RegisterNode(rawBenchNode{name: peerNodes[i]}); err != nil {
+			return out, err
+		}
+	}
+
+	tsHome := httptest.NewServer(home.Handler())
+	defer tsHome.Close()
+	tsPeer := httptest.NewServer(peer.Handler())
+	defer tsPeer.Close()
+	home.ConfigureCluster("fleet-home", tsHome.URL, fleetFederationToken)
+	peer.ConfigureCluster("fleet-peer", tsPeer.URL, fleetFederationToken)
+	relay := func(ctx context.Context, peerURL, token string, spec api.ExperimentSpec, sink accessserver.PeerSink) (*api.BuildStatus, error) {
+		return remote.Relay(ctx, peerURL, token, spec, sink)
+	}
+	home.SetPeerRelay(relay)
+	peer.SetPeerRelay(relay)
+	defer home.StopCluster()
+	defer peer.StopCluster()
+
+	// Clock driver: step while either server has work, with real sleeps
+	// between steps so the relay's HTTP goroutines get to run. (The
+	// churn phases step the clock inline instead — they have no real
+	// concurrency between builds and the driver.)
+	stop := make(chan struct{})
+	var driveWG sync.WaitGroup
+	driveWG.Add(1)
+	go func() {
+		defer driveWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if home.Running()+home.QueueLength()+peer.Running()+peer.QueueLength() == 0 {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if !clk.Step() {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	defer func() { close(stop); driveWG.Wait() }()
+
+	// Mesh join: the home server's synchronous first announce teaches
+	// the peer about fleet-home, and the peer's first beat answers with
+	// its census — placement knows the remote fleet before any submit.
+	home.StartCluster(tsPeer.URL)
+	peer.StartCluster()
+
+	all := make([]*accessserver.Build, 0, buildCount)
+	for i := 0; i < buildCount; i++ {
+		n := homeNodes[(i/2)%perServer]
+		if i%2 == 1 {
+			n = peerNodes[(i/2)%perServer]
+		}
+		b, err := home.SubmitSpec(admin, api.ExperimentSpec{
+			Node: n, Device: "dev-" + n,
+			Workload: api.WorkloadSpec{Name: "fleet"},
+		})
+		if err != nil {
+			return out, err
+		}
+		all = append(all, b)
+	}
+
+	terminal := func(b *accessserver.Build) bool {
+		switch b.State() {
+		case accessserver.StateSuccess, accessserver.StateFailure, accessserver.StateAborted:
+			return true
+		}
+		return false
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		settled := 0
+		for _, b := range all {
+			if terminal(b) {
+				settled++
+			}
+		}
+		if settled == len(all) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return out, fmt.Errorf("fleet-bench federation: stalled with %d/%d builds unsettled",
+				len(all)-settled, len(all))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	snap := home.MetricsSnapshot()
+	get := func(name string, labels ...string) int64 {
+		m, _ := snap.Get(name, metrics.L(labels...)...)
+		return int64(m.Value)
+	}
+	out.Submitted = get("blab_builds_submitted_total")
+	out.Succeeded = get("blab_builds_finished_total", "result", "success")
+	out.Failed = get("blab_builds_finished_total", "result", "failure")
+	out.Routed = get("blab_cluster_builds_routed_total")
+	out.PeerLosses = get("blab_cluster_peer_losses_total")
+	out.EventsPosted = get("blab_feed_events_posted_total")
+	out.EventsDropped = get("blab_feed_events_dropped_total")
+	out.SamplesPosted = get("blab_feed_samples_posted_total")
+	out.SamplesDropped = get("blab_feed_samples_dropped_total")
+	out.PeersOnline = get("blab_cluster_peers", "state", "online")
+
+	if out.Succeeded != int64(buildCount) {
+		return out, fmt.Errorf("fleet-bench federation: %d/%d builds succeeded (failed=%d)",
+			out.Succeeded, buildCount, out.Failed)
+	}
+	if out.Routed != int64(buildCount/2) {
+		return out, fmt.Errorf("fleet-bench federation: %d builds routed to the peer, want exactly %d",
+			out.Routed, buildCount/2)
+	}
+	return out, nil
+}
+
 // pollBuildState reads one build's snapshot-served wire status.
 func pollBuildState(baseURL, token string, build int) (string, bool) {
 	req, err := http.NewRequest(http.MethodGet,
@@ -510,7 +781,7 @@ func fleetStateRank(state string) int {
 
 // fleetBenchCheck reruns the fleet scenario at the baseline's scale and
 // fails if any deterministic field drifted — including the read-flood
-// section — or if the read-flood phase's p99 submit wait regressed
+// and federation sections — or if the read-flood phase's p99 submit wait regressed
 // against the churn-only phase (the data plane leaking back into the
 // control plane).
 func fleetBenchCheck(path string) error {
@@ -529,6 +800,13 @@ func fleetBenchCheck(path string) error {
 	flood, err := runFleetPhase(want.Nodes, want.Clients, want.Builds, true)
 	if err != nil {
 		return err
+	}
+	var fed fleetFederation
+	if want.Federation.Builds > 0 {
+		fed, err = runFleetFederation(want.Federation.NodesPerServer, want.Federation.Builds)
+		if err != nil {
+			return err
+		}
 	}
 	var drifts []string
 	diffI := func(field string, wantV, gotV int64) {
@@ -560,6 +838,19 @@ func fleetBenchCheck(path string) error {
 	diffI("read_flood.monotonic_violations", want.ReadFlood.MonotonicViolations, flood.monoViol)
 	diffF("read_flood.submit_p50_ms", want.ReadFlood.SubmitP50MS, flood.floodP50)
 	diffF("read_flood.submit_p99_ms", want.ReadFlood.SubmitP99MS, flood.floodP99)
+	if want.Federation.Builds > 0 {
+		fw := want.Federation
+		diffI("federation.submitted", fw.Submitted, fed.Submitted)
+		diffI("federation.succeeded", fw.Succeeded, fed.Succeeded)
+		diffI("federation.failed", fw.Failed, fed.Failed)
+		diffI("federation.routed", fw.Routed, fed.Routed)
+		diffI("federation.peer_losses", fw.PeerLosses, fed.PeerLosses)
+		diffI("federation.events_posted", fw.EventsPosted, fed.EventsPosted)
+		diffI("federation.events_dropped", fw.EventsDropped, fed.EventsDropped)
+		diffI("federation.samples_posted", fw.SamplesPosted, fed.SamplesPosted)
+		diffI("federation.samples_dropped", fw.SamplesDropped, fed.SamplesDropped)
+		diffI("federation.peers_online", fw.PeersOnline, fed.PeersOnline)
+	}
 	if flood.monoViol != 0 {
 		drifts = append(drifts, fmt.Sprintf("read flood observed %d monotonic-read violations, want 0", flood.monoViol))
 	}

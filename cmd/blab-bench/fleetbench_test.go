@@ -31,6 +31,31 @@ func TestFleetBenchDeterministic(t *testing.T) {
 		t.Errorf("read-flood sections differ:\nrun 1: %+v\nrun 2: %+v",
 			a.ReadFlood, b.ReadFlood)
 	}
+	if a.Federation != b.Federation {
+		t.Errorf("federation sections differ:\nrun 1: %+v\nrun 2: %+v",
+			a.Federation, b.Federation)
+	}
+
+	// The federation phase routes half its builds across the peer relay
+	// and everything must land: all succeed, nothing lost, and the
+	// routed builds' relayed samples show up in the home feed totals.
+	fed := a.Federation
+	if fed.Succeeded != int64(fed.Builds) {
+		t.Errorf("federation: %d/%d builds succeeded", fed.Succeeded, fed.Builds)
+	}
+	if fed.Routed != int64(fed.Builds/2) {
+		t.Errorf("federation: routed = %d, want %d", fed.Routed, fed.Builds/2)
+	}
+	if fed.PeerLosses != 0 {
+		t.Errorf("federation: %d peer losses with a healthy peer", fed.PeerLosses)
+	}
+	if fed.SamplesPosted == 0 || fed.EventsPosted == 0 {
+		t.Errorf("federation: home feed saw %d events / %d samples; relay not exercised",
+			fed.EventsPosted, fed.SamplesPosted)
+	}
+	if fed.PeersOnline != 1 {
+		t.Errorf("federation: home census sees %d online peers, want 1", fed.PeersOnline)
+	}
 
 	// The read flood rides on the snapshot plane: fixed poll count, no
 	// monotonic-read violations, and — the acceptance gate — no p99

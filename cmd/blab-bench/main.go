@@ -22,9 +22,11 @@
 //	                       # fail if the deterministic WAL-size fields drift from the baseline
 //	blab-bench -fleet-bench -fleet-bench-out BENCH_fleet.json
 //	                       # fleet-scale load: nodes × streaming clients × campaign churn,
-//	                       # plus a read-flood phase against the snapshot-served routes
+//	                       # a read-flood phase against the snapshot-served routes, and a
+//	                       # two-server federation phase routing builds over the peer relay
 //	blab-bench -fleet-bench-check BENCH_fleet.json
-//	                       # fail if deterministic fleet outcomes (incl. read flood) drift
+//	                       # fail if deterministic fleet outcomes (incl. read flood and
+//	                       # federation) drift
 //
 // Scale knobs: -reps, -pages, -scrolls, -rate, -video-seconds, -seed.
 package main

@@ -1,0 +1,305 @@
+// Package cluster is the access server's federation membership layer: a
+// registry of peer servers that joined the testbed over the v1 cluster
+// routes, each authenticated by a shared cluster token and kept alive by
+// heartbeat announces that double as node-census exchange.
+//
+// The registry follows the same discipline as the health subsystem's
+// node lifecycle: a peer's state (online/suspect/offline) is derived
+// from the age of its last heartbeat against the same suspect/offline
+// thresholds nodes use, never stored — a silent peer ages into suspect
+// and then offline without any write. Reads come off an immutable
+// copy-on-write snapshot behind an atomic pointer, so GET /api/v1/cluster
+// and the scheduler's remote-candidate scan never contend with announce
+// processing, and neither ever touches the scheduler mutex.
+//
+// Membership (name + URL) is durable — the access server persists it as
+// WAL records and restores it at startup — while heartbeat liveness and
+// the advertised census are ephemeral: a restored peer starts offline
+// and returns to service with its first live announce.
+package cluster
+
+import (
+	"crypto/subtle"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batterylab/internal/api"
+)
+
+// State is a peer's heartbeat-derived lifecycle state, mirroring the
+// health subsystem's model for nodes.
+type State int
+
+// Peer states.
+const (
+	StateOnline State = iota
+	StateSuspect
+	StateOffline
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOnline:
+		return "online"
+	case StateSuspect:
+		return "suspect"
+	default:
+		return "offline"
+	}
+}
+
+// Config parameterizes a registry.
+type Config struct {
+	// Self is this server's cluster-unique name.
+	Self string
+	// URL is the base URL this server advertises to its peers.
+	URL string
+	// Token is the shared cluster secret; announces must present it.
+	Token string
+	// SuspectAfter and OfflineAfter are the heartbeat-age thresholds, the
+	// same values the health subsystem applies to nodes.
+	SuspectAfter time.Duration
+	OfflineAfter time.Duration
+}
+
+// Peer is one peer's immutable snapshot. State is not stored here —
+// derive it from LastBeat via Registry.state at read time.
+type Peer struct {
+	Name string
+	URL  string
+	// LastBeat is the local-clock time of the peer's last announce (zero
+	// for a membership restored from the WAL that has not re-announced).
+	LastBeat time.Time
+	// Nodes is the census the peer advertised on its last announce.
+	Nodes []api.PeerNode
+}
+
+// Candidate is one remote vantage point eligible for placement: a node
+// an online peer advertised in its latest census.
+type Candidate struct {
+	Peer    string
+	PeerURL string
+	Node    api.PeerNode
+}
+
+// Registry is the peer membership table. Writers serialize on mu;
+// readers load the copy-on-write snapshot and never block.
+type Registry struct {
+	cfg Config
+
+	mu    sync.Mutex
+	peers map[string]*Peer
+	// reported is each peer's state at the last Sweep, for edge
+	// detection (online -> suspect transitions trigger failover).
+	reported map[string]State
+
+	view atomic.Pointer[[]Peer]
+}
+
+// New returns an empty registry.
+func New(cfg Config) *Registry {
+	r := &Registry{
+		cfg:      cfg,
+		peers:    make(map[string]*Peer),
+		reported: make(map[string]State),
+	}
+	empty := []Peer{}
+	r.view.Store(&empty)
+	return r
+}
+
+// Configure sets the registry's identity and shared secret — for
+// daemons and tests that build the server first and learn the cluster
+// flags after. Empty arguments keep the current value. Boot-time only:
+// call before the server takes traffic or the announce loop starts;
+// identity is read lock-free everywhere else.
+func (r *Registry) Configure(self, url, token string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if self != "" {
+		r.cfg.Self = self
+	}
+	if url != "" {
+		r.cfg.URL = url
+	}
+	if token != "" {
+		r.cfg.Token = token
+	}
+}
+
+// Self reports this server's cluster name.
+func (r *Registry) Self() string { return r.cfg.Self }
+
+// URL reports this server's advertised base URL.
+func (r *Registry) URL() string { return r.cfg.URL }
+
+// Token reports the shared cluster secret (used as the bearer token on
+// outbound peer calls).
+func (r *Registry) Token() string { return r.cfg.Token }
+
+// Authorize reports whether tok is the cluster token. Constant-time;
+// always false when no token is configured (federation disabled).
+func (r *Registry) Authorize(tok string) bool {
+	if r.cfg.Token == "" || tok == "" {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(tok), []byte(r.cfg.Token)) == 1
+}
+
+// state derives a peer's lifecycle state from its last beat at now.
+func (r *Registry) state(p Peer, now time.Time) State {
+	if p.LastBeat.IsZero() || now.Sub(p.LastBeat) >= r.cfg.OfflineAfter {
+		return StateOffline
+	}
+	if now.Sub(p.LastBeat) >= r.cfg.SuspectAfter {
+		return StateSuspect
+	}
+	return StateOnline
+}
+
+// publishLocked rebuilds the read snapshot. Callers hold r.mu.
+func (r *Registry) publishLocked() {
+	list := make([]Peer, 0, len(r.peers))
+	for _, p := range r.peers {
+		list = append(list, *p)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	r.view.Store(&list)
+}
+
+// Announce upserts a peer from a live (token-checked) announce: the
+// membership, the heartbeat and the census all refresh. isNew reports
+// first contact with this peer name — the caller persists membership
+// then.
+func (r *Registry) Announce(ann api.PeerAnnounce, now time.Time) (isNew bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.peers[ann.Name]
+	if !ok {
+		p = &Peer{Name: ann.Name}
+		r.peers[ann.Name] = p
+		isNew = true
+	}
+	if p.URL != ann.URL && ann.URL != "" {
+		if !isNew {
+			isNew = true // URL moved: re-persist membership
+		}
+		p.URL = ann.URL
+	}
+	p.LastBeat = now
+	p.Nodes = append([]api.PeerNode(nil), ann.Nodes...)
+	r.publishLocked()
+	return isNew
+}
+
+// Restore re-adds a peer from persisted membership (WAL replay). The
+// peer starts with no heartbeat — offline — and returns to service on
+// its first live announce.
+func (r *Registry) Restore(name, url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.peers[name]; !ok {
+		r.peers[name] = &Peer{Name: name, URL: url}
+	} else {
+		r.peers[name].URL = url
+	}
+	r.publishLocked()
+}
+
+// Remove drops a peer's membership entirely.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.peers[name]; !ok {
+		return false
+	}
+	delete(r.peers, name)
+	delete(r.reported, name)
+	r.publishLocked()
+	return true
+}
+
+// Peers returns the immutable membership snapshot, sorted by name.
+func (r *Registry) Peers() []Peer { return *r.view.Load() }
+
+// Peer returns one peer's immutable snapshot by name.
+func (r *Registry) Peer(name string) (Peer, bool) {
+	for _, p := range *r.view.Load() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Peer{}, false
+}
+
+// PeerState reports one peer's derived state and URL.
+func (r *Registry) PeerState(name string, now time.Time) (State, string, bool) {
+	for _, p := range *r.view.Load() {
+		if p.Name == name {
+			return r.state(p, now), p.URL, true
+		}
+	}
+	return StateOffline, "", false
+}
+
+// View renders the wire-form cluster view at now. Lock-free: one atomic
+// load plus per-peer state derivation.
+func (r *Registry) View(now time.Time) api.ClusterView {
+	peers := *r.view.Load()
+	out := api.ClusterView{Self: r.cfg.Self, URL: r.cfg.URL}
+	for _, p := range peers {
+		ps := api.PeerStatus{
+			Name:  p.Name,
+			URL:   p.URL,
+			State: r.state(p, now).String(),
+			Nodes: p.Nodes,
+		}
+		if !p.LastBeat.IsZero() {
+			ps.LastHeartbeatNS = p.LastBeat.UnixNano()
+		}
+		out.Peers = append(out.Peers, ps)
+	}
+	return out
+}
+
+// Candidates lists the remote vantage points eligible for placement at
+// now: every online node advertised by every online peer, in (peer,
+// node) name order — the deterministic scan order the placer relies on.
+func (r *Registry) Candidates(now time.Time) []Candidate {
+	peers := *r.view.Load()
+	var out []Candidate
+	for _, p := range peers {
+		if r.state(p, now) != StateOnline {
+			continue
+		}
+		for _, n := range p.Nodes {
+			if n.Health != api.HealthOnline {
+				continue
+			}
+			out = append(out, Candidate{Peer: p.Name, PeerURL: p.URL, Node: n})
+		}
+	}
+	return out
+}
+
+// Sweep derives every peer's state at now and returns the names of
+// peers that left the online state since the previous sweep — the edge
+// the scheduler fails routed builds over on. The first sweep observing
+// a peer reports no edge (a restored-offline peer never had builds
+// routed to it in this process).
+func (r *Registry) Sweep(now time.Time) (lost []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, p := range r.peers {
+		st := r.state(*p, now)
+		prev, seen := r.reported[name]
+		r.reported[name] = st
+		if seen && prev == StateOnline && st != StateOnline {
+			lost = append(lost, name)
+		}
+	}
+	sort.Strings(lost)
+	return lost
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"batterylab/internal/api"
+)
+
+func testRegistry() *Registry {
+	return New(Config{
+		Self:         "lab-a",
+		URL:          "http://lab-a.example:9090",
+		Token:        "s3cret",
+		SuspectAfter: 30 * time.Second,
+		OfflineAfter: 60 * time.Second,
+	})
+}
+
+func announce(name, url string, nodes ...api.PeerNode) api.PeerAnnounce {
+	return api.PeerAnnounce{Name: name, URL: url, Nodes: nodes}
+}
+
+// TestPeerLifecycle: a peer's state is derived from heartbeat age, never
+// stored — online while fresh, suspect past SuspectAfter, offline past
+// OfflineAfter, and back to online on the next announce.
+func TestPeerLifecycle(t *testing.T) {
+	r := testRegistry()
+	t0 := time.Date(2019, 11, 13, 9, 0, 0, 0, time.UTC)
+
+	if isNew := r.Announce(announce("lab-eu", "http://eu:9090"), t0); !isNew {
+		t.Fatal("first announce not reported as new")
+	}
+	if isNew := r.Announce(announce("lab-eu", "http://eu:9090"), t0.Add(time.Second)); isNew {
+		t.Fatal("re-announce reported as new")
+	}
+	if isNew := r.Announce(announce("lab-eu", "http://eu2:9090"), t0.Add(2*time.Second)); !isNew {
+		t.Fatal("URL move not reported as new (membership must re-persist)")
+	}
+
+	base := t0.Add(2 * time.Second)
+	for _, tc := range []struct {
+		at   time.Time
+		want State
+	}{
+		{base, StateOnline},
+		{base.Add(29 * time.Second), StateOnline},
+		{base.Add(30 * time.Second), StateSuspect},
+		{base.Add(59 * time.Second), StateSuspect},
+		{base.Add(60 * time.Second), StateOffline},
+	} {
+		st, url, ok := r.PeerState("lab-eu", tc.at)
+		if !ok || url != "http://eu2:9090" {
+			t.Fatalf("PeerState at %v: ok=%v url=%q", tc.at, ok, url)
+		}
+		if st != tc.want {
+			t.Errorf("state at +%v = %v, want %v", tc.at.Sub(base), st, tc.want)
+		}
+	}
+
+	// A fresh announce revives an offline peer.
+	late := base.Add(2 * time.Minute)
+	r.Announce(announce("lab-eu", "http://eu2:9090"), late)
+	if st, _, _ := r.PeerState("lab-eu", late); st != StateOnline {
+		t.Fatalf("state after revival = %v", st)
+	}
+}
+
+// TestSweepEdges: Sweep reports only the online -> non-online edge, once,
+// and a restored (never-online) peer produces no edge.
+func TestSweepEdges(t *testing.T) {
+	r := testRegistry()
+	t0 := time.Date(2019, 11, 13, 9, 0, 0, 0, time.UTC)
+	r.Restore("lab-cold", "http://cold:9090") // offline from the start
+	r.Announce(announce("lab-eu", "http://eu:9090"), t0)
+	r.Announce(announce("lab-us", "http://us:9090"), t0)
+
+	if lost := r.Sweep(t0.Add(time.Second)); len(lost) != 0 {
+		t.Fatalf("first sweep lost %v, want none", lost)
+	}
+	// Both live peers age past suspect together: one sorted edge batch.
+	if lost := r.Sweep(t0.Add(31 * time.Second)); !reflect.DeepEqual(lost, []string{"lab-eu", "lab-us"}) {
+		t.Fatalf("sweep lost %v, want [lab-eu lab-us]", lost)
+	}
+	// Still suspect: the edge does not repeat.
+	if lost := r.Sweep(t0.Add(32 * time.Second)); len(lost) != 0 {
+		t.Fatalf("repeated edge: %v", lost)
+	}
+	// Revive one, lose it again: a second edge.
+	r.Announce(announce("lab-eu", "http://eu:9090"), t0.Add(40*time.Second))
+	if lost := r.Sweep(t0.Add(41 * time.Second)); len(lost) != 0 {
+		t.Fatalf("sweep after revival lost %v", lost)
+	}
+	if lost := r.Sweep(t0.Add(2 * time.Hour)); !reflect.DeepEqual(lost, []string{"lab-eu"}) {
+		t.Fatalf("second edge %v, want [lab-eu]", lost)
+	}
+}
+
+// TestCandidatesOrderAndFiltering: only online peers' online nodes are
+// placement candidates, in deterministic (peer, node) order.
+func TestCandidatesOrderAndFiltering(t *testing.T) {
+	r := testRegistry()
+	t0 := time.Date(2019, 11, 13, 9, 0, 0, 0, time.UTC)
+	r.Announce(announce("lab-us", "http://us:9090",
+		api.PeerNode{Name: "nodeZ", Health: "online"},
+		api.PeerNode{Name: "nodeY", Health: "suspect"}), t0)
+	r.Announce(announce("lab-eu", "http://eu:9090",
+		api.PeerNode{Name: "nodeB", Health: "online"},
+		api.PeerNode{Name: "nodeA", Health: "online"}), t0)
+	r.Announce(announce("lab-gone", "http://gone:9090",
+		api.PeerNode{Name: "nodeQ", Health: "online"}), t0.Add(-2*time.Minute))
+
+	var got []string
+	for _, c := range r.Candidates(t0.Add(time.Second)) {
+		got = append(got, c.Peer+"/"+c.Node.Name)
+	}
+	// Peers sort by name; within a peer, census order is the peer's own.
+	want := []string{"lab-eu/nodeB", "lab-eu/nodeA", "lab-us/nodeZ"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("candidates %v, want %v", got, want)
+	}
+}
+
+// TestAuthorize: constant-time equality, and always false with no token
+// configured (federation disabled).
+func TestAuthorize(t *testing.T) {
+	r := testRegistry()
+	if !r.Authorize("s3cret") {
+		t.Fatal("correct token rejected")
+	}
+	if r.Authorize("wrong") || r.Authorize("") {
+		t.Fatal("bad token accepted")
+	}
+	off := New(Config{Self: "solo"})
+	if off.Authorize("") || off.Authorize("s3cret") {
+		t.Fatal("tokenless registry must authorize nothing")
+	}
+}
+
+// TestRestoreAndView: a restored peer is a member (name + URL) but
+// offline with no heartbeat until it announces; Remove drops it.
+func TestRestoreAndView(t *testing.T) {
+	r := testRegistry()
+	t0 := time.Date(2019, 11, 13, 9, 0, 0, 0, time.UTC)
+	r.Restore("lab-eu", "http://eu:9090")
+
+	view := r.View(t0)
+	if view.Self != "lab-a" || len(view.Peers) != 1 {
+		t.Fatalf("view = %+v", view)
+	}
+	p := view.Peers[0]
+	if p.Name != "lab-eu" || p.State != "offline" || p.LastHeartbeatNS != 0 {
+		t.Fatalf("restored peer = %+v, want offline with no heartbeat", p)
+	}
+
+	r.Announce(announce("lab-eu", "http://eu:9090", api.PeerNode{Name: "node1", Health: "online"}), t0)
+	view = r.View(t0)
+	if view.Peers[0].State != "online" || view.Peers[0].LastHeartbeatNS != t0.UnixNano() {
+		t.Fatalf("announced peer = %+v", view.Peers[0])
+	}
+
+	if !r.Remove("lab-eu") {
+		t.Fatal("Remove failed")
+	}
+	if r.Remove("lab-eu") {
+		t.Fatal("double Remove succeeded")
+	}
+	if got := len(r.View(t0).Peers); got != 0 {
+		t.Fatalf("%d peers after Remove", got)
+	}
+}

@@ -181,7 +181,9 @@ func (l *Ledger) CanAfford(user string, deviceTime time.Duration) bool {
 // time. Admins operate the platform rather than buy access and are
 // exempt, as is everyone while enforcement is off.
 func (s *Server) creditGate(user *User, n int) error {
-	if !s.creditsOn.Load() || user.Role == RoleAdmin {
+	if !s.creditsOn.Load() || user.Role == RoleAdmin || user.Role == RolePeer {
+		// Peer-relayed builds were charged to their real owner on the
+		// home server; double-billing the federation would be a toll.
 		return nil
 	}
 	need := time.Duration(n) * s.cfg.SubmitCharge

@@ -3,6 +3,7 @@ package accessserver
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Typed sentinel errors. Every error the server returns wraps exactly
@@ -46,6 +47,17 @@ var (
 	// watermark. The v1 API maps it to 429 (overloaded) and the error
 	// envelope carries a machine-readable shed reason.
 	ErrOverloaded = errors.New("accessserver: overloaded")
+	// ErrPeerLost reports a routed build reclaimed because the peer
+	// server executing it went suspect or the relay broke. The scheduler
+	// treats it exactly like ErrNodeLost — requeue while the failover
+	// budget lasts — and the wire status carries it as node_lost.
+	ErrPeerLost = errors.New("accessserver: peer lost")
+	// ErrPeerUnavailable reports a cross-server submission that cannot
+	// proceed right now: the only vantage point matching the spec lives
+	// on a peer that is not online. The v1 API maps it to 503
+	// (peer_unavailable) with a Retry-After hint so clients resubmit
+	// after a heartbeat interval instead of hammering.
+	ErrPeerUnavailable = errors.New("accessserver: peer unavailable")
 )
 
 // Shed reasons carried on the wire when admission control rejects a
@@ -90,6 +102,43 @@ func ShedReasonOf(err error) string {
 		return oe.shed
 	}
 	return ""
+}
+
+// peerUnavailableError wraps ErrPeerUnavailable with the retry hint the
+// 503 envelope carries as a Retry-After header: one peer heartbeat
+// interval, after which the peer may have come back (or its census may
+// have stopped advertising the node).
+type peerUnavailableError struct {
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *peerUnavailableError) Error() string { return e.msg }
+
+// Is makes errors.Is(err, ErrPeerUnavailable) work across the wrap.
+func (e *peerUnavailableError) Is(target error) bool { return target == ErrPeerUnavailable }
+
+// peerUnavailablef builds a typed cross-server routing rejection.
+func peerUnavailablef(retryAfter time.Duration, format string, args ...any) error {
+	return &peerUnavailableError{retryAfter: retryAfter, msg: fmt.Sprintf(format, args...)}
+}
+
+// RetryAfterOf extracts the retry hint from a peer-unavailable
+// rejection (0 for any other error).
+func RetryAfterOf(err error) time.Duration {
+	var pe *peerUnavailableError
+	if errors.As(err, &pe) {
+		return pe.retryAfter
+	}
+	return 0
+}
+
+// markedErr builds an error that matches every listed sentinel under
+// errors.Is — for failures that belong to two typed families at once
+// (a routed build lost with its peer is both ErrPeerLost and, for the
+// wire's node_lost flag, ErrNodeLost).
+func markedErr(msg string, sentinels ...error) error {
+	return &recoveredErr{msg: msg, sentinels: sentinels}
 }
 
 // recoveredErr is a failure cause reconstructed from the store: the

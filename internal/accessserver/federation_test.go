@@ -1,0 +1,185 @@
+package accessserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"batterylab/internal/accessserver/cluster"
+	"batterylab/internal/accessserver/store"
+	"batterylab/internal/api"
+)
+
+const testClusterToken = "fed-s3cret"
+
+// announceJSON posts a peer announce to the server's v1 handler with
+// the given bearer token and returns the recorder.
+func announceJSON(t *testing.T, h http.Handler, token string, ann api.PeerAnnounce) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/cluster/peers", bytes.NewReader(body))
+	req.Header.Set("Authorization", "Bearer "+token)
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestClusterAnnounceAuth: announces need the cluster token (not a user
+// token, not nothing), a nameless announce is rejected, and a peer
+// claiming this server's own name conflicts.
+func TestClusterAnnounceAuth(t *testing.T) {
+	r := newRig(t)
+	r.srv.ConfigureCluster("lab-a", "http://lab-a:9090", testClusterToken)
+	h := r.srv.Handler()
+	ann := api.PeerAnnounce{Name: "lab-eu", URL: "http://eu:9090"}
+
+	if w := announceJSON(t, h, "", ann); w.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless announce: HTTP %d", w.Code)
+	}
+	if w := announceJSON(t, h, r.admin.Token, ann); w.Code != http.StatusUnauthorized {
+		t.Fatalf("user-token announce: HTTP %d (user tokens must not join peers)", w.Code)
+	}
+	if w := announceJSON(t, h, testClusterToken, api.PeerAnnounce{URL: "http://x"}); w.Code != http.StatusBadRequest {
+		t.Fatalf("nameless announce: HTTP %d", w.Code)
+	}
+	if w := announceJSON(t, h, testClusterToken, api.PeerAnnounce{Name: "lab-a"}); w.Code != http.StatusConflict {
+		t.Fatalf("self-named announce: HTTP %d", w.Code)
+	}
+	w := announceJSON(t, h, testClusterToken, ann)
+	if w.Code != http.StatusOK {
+		t.Fatalf("valid announce: HTTP %d: %s", w.Code, w.Body)
+	}
+	var view api.ClusterView
+	if err := json.Unmarshal(w.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Self != "lab-a" || len(view.Peers) != 1 || view.Peers[0].State != "online" {
+		t.Fatalf("announce response view = %+v", view)
+	}
+
+	// The cluster token is a peer principal, not an admin: submit and
+	// console reads only.
+	for perm, want := range map[Permission]bool{
+		PermRunJob:      true,
+		PermViewConsole: true,
+		PermCreateJob:   false,
+		PermManageNodes: false,
+		PermManageUsers: false,
+	} {
+		if got := Allowed(RolePeer, perm); got != want {
+			t.Errorf("Allowed(RolePeer, %v) = %v, want %v", perm, got, want)
+		}
+	}
+}
+
+// TestClusterMembershipPersists: peer membership rides the WAL — it
+// survives a restart by name and URL, comes back offline until the peer
+// re-announces, and an eviction is durable too.
+func TestClusterMembershipPersists(t *testing.T) {
+	dir := t.TempDir()
+	r := newRig(t)
+	r.srv.ConfigureCluster("lab-a", "http://lab-a:9090", testClusterToken)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.srv.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	h := r.srv.Handler()
+
+	if w := announceJSON(t, h, testClusterToken, api.PeerAnnounce{Name: "lab-eu", URL: "http://eu:9090"}); w.Code != http.StatusOK {
+		t.Fatalf("announce lab-eu: HTTP %d", w.Code)
+	}
+	if w := announceJSON(t, h, testClusterToken, api.PeerAnnounce{Name: "lab-us", URL: "http://us:9090"}); w.Code != http.StatusOK {
+		t.Fatalf("announce lab-us: HTTP %d", w.Code)
+	}
+	// A URL move re-persists membership.
+	if w := announceJSON(t, h, testClusterToken, api.PeerAnnounce{Name: "lab-eu", URL: "http://eu-new:9090"}); w.Code != http.StatusOK {
+		t.Fatalf("re-announce lab-eu: HTTP %d", w.Code)
+	}
+	// Evict lab-us with an admin user token.
+	req := httptest.NewRequest(http.MethodDelete, "/api/v1/cluster/peers/lab-us", nil)
+	req.Header.Set("Authorization", "Bearer "+r.admin.Token)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("evict lab-us: HTTP %d: %s", w.Code, w.Body)
+	}
+	st.Close()
+
+	// Restart on the same directory.
+	r2 := newRig(t)
+	r2.srv.ConfigureCluster("lab-a", "http://lab-a:9090", testClusterToken)
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.srv.AttachStore(st2); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+
+	p, ok := r2.srv.Cluster().Peer("lab-eu")
+	if !ok {
+		t.Fatal("lab-eu membership did not survive the restart")
+	}
+	if p.URL != "http://eu-new:9090" {
+		t.Fatalf("restored URL %q, want the moved http://eu-new:9090", p.URL)
+	}
+	if !p.LastBeat.IsZero() {
+		t.Fatal("liveness persisted: a restored peer must start with no heartbeat")
+	}
+	if st, _, _ := r2.srv.Cluster().PeerState("lab-eu", r2.clk.Now()); st != cluster.StateOffline {
+		t.Fatalf("restored peer state %v, want offline until it re-announces", st)
+	}
+	if _, ok := r2.srv.Cluster().Peer("lab-us"); ok {
+		t.Fatal("evicted lab-us came back after the restart")
+	}
+}
+
+// TestClusterViewLockFree: GET /api/v1/cluster is snapshot-served — a
+// flood of view reads (user token and cluster token alike) acquires the
+// scheduler mutex zero times.
+func TestClusterViewLockFree(t *testing.T) {
+	r := newRig(t)
+	r.srv.ConfigureCluster("lab-a", "http://lab-a:9090", testClusterToken)
+	h := r.srv.Handler()
+	if w := announceJSON(t, h, testClusterToken, api.PeerAnnounce{
+		Name: "lab-eu", URL: "http://eu:9090",
+		Nodes: []api.PeerNode{{Name: "node9", Health: "online"}},
+	}); w.Code != http.StatusOK {
+		t.Fatalf("announce: HTTP %d", w.Code)
+	}
+
+	before := r.srv.SchedLockAcquisitions()
+	for i := 0; i < 100; i++ {
+		tok := r.exp.Token
+		if i%2 == 1 {
+			tok = testClusterToken
+		}
+		req := httptest.NewRequest(http.MethodGet, "/api/v1/cluster", nil)
+		req.Header.Set("Authorization", "Bearer "+tok)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("view read %d: HTTP %d", i, w.Code)
+		}
+		var view api.ClusterView
+		if err := json.Unmarshal(w.Body.Bytes(), &view); err != nil {
+			t.Fatal(err)
+		}
+		if len(view.Peers) != 1 || view.Peers[0].Nodes[0].Name != "node9" {
+			t.Fatalf("view read %d: %+v", i, view)
+		}
+	}
+	if after := r.srv.SchedLockAcquisitions(); after != before {
+		t.Fatalf("cluster view reads took the scheduler lock %d times", after-before)
+	}
+}

@@ -48,6 +48,7 @@ type Gateway struct {
 	reconnects *metrics.Counter
 	events     *metrics.Counter
 	samples    *metrics.Counter
+	reads      *metrics.Counter
 	streams    *metrics.Gauge
 }
 
@@ -62,6 +63,7 @@ func New(upstream string) *Gateway {
 		reconnects: reg.Counter("blab_feedgw_reconnects_total", "upstream stream reconnects (resume-cursor replays)"),
 		events:     reg.Counter("blab_feedgw_events_relayed_total", "phase events relayed to downstream clients"),
 		samples:    reg.Counter("blab_feedgw_samples_relayed_total", "live samples relayed to downstream clients"),
+		reads:      reg.Counter("blab_feedgw_reads_proxied_total", "status/analytics reads proxied upstream"),
 		streams:    reg.Gauge("blab_feedgw_streams", "client streams currently open"),
 	}
 }
@@ -111,7 +113,59 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	// Dashboard-read parity: the two snapshot reads a feed consumer
+	// needs next to its streams — build status (for the feed epoch and
+	// terminal state) and trace analytics — proxy upstream with the
+	// client's own token. Everything else under /api/v1/ is control-
+	// plane work this gateway deliberately does not relay: a typed 501
+	// tells clients to talk to the control server, instead of a bare
+	// 404 that reads like "no such build".
+	mux.HandleFunc("GET /api/v1/builds/{id}", func(w http.ResponseWriter, r *http.Request) {
+		g.proxyRead(w, r)
+	})
+	mux.HandleFunc("GET /api/v1/builds/{id}/analytics", func(w http.ResponseWriter, r *http.Request) {
+		g.proxyRead(w, r)
+	})
+	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, &api.Error{Code: api.CodeNotRelayed,
+			Message: fmt.Sprintf("feed gateway: %s %s is not relayed; only build streams, status and analytics are — use the control server at %s", r.Method, r.URL.Path, g.upstream)})
+	})
 	return mux
+}
+
+// proxyRead forwards one GET (path + query + bearer token) upstream
+// verbatim and copies the response back, envelope and status included —
+// the gateway adds no interpretation, so upstream auth and typed errors
+// apply per-client exactly as on a direct connection.
+func (g *Gateway) proxyRead(w http.ResponseWriter, r *http.Request) {
+	u := g.upstream + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+	if err != nil {
+		writeErr(w, &api.Error{Code: api.CodeInternal, Message: err.Error()})
+		return
+	}
+	if tok := r.Header.Get("Authorization"); tok != "" {
+		req.Header.Set("Authorization", tok)
+	}
+	hc := g.hc
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		writeErr(w, &api.Error{Code: api.CodeInternal, Message: "upstream: " + err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	g.reads.Inc()
 }
 
 // writeErr writes the typed v1 error envelope at its canonical status.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 
 	"batterylab/internal/api"
 )
@@ -119,8 +120,16 @@ func (s *Server) auth(w http.ResponseWriter, r *http.Request, perm Permission) *
 	}
 	user, err := s.Users.Authenticate(tok)
 	if err != nil {
-		writeAPIError(w, apiError(codeUnauthorized, "missing or invalid token"))
-		return nil
+		if tok != "" && s.cluster.Authorize(tok) {
+			// A federated peer holding the shared cluster token: it acts
+			// as the synthetic "cluster" principal, whose RolePeer grants
+			// exactly what relaying a build needs (submit, status,
+			// streams, cancel).
+			user = &User{Name: "cluster", Role: RolePeer}
+		} else {
+			writeAPIError(w, apiError(codeUnauthorized, "missing or invalid token"))
+			return nil
+		}
 	}
 	if !Allowed(user.Role, perm) {
 		writeAPIError(w, apiError(codeForbidden,
@@ -187,6 +196,16 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrInsufficientCredits):
 		// 402: the §5 credit economy rejected the submission.
 		code = api.CodeInsufficientCredits
+	case errors.Is(err, ErrPeerUnavailable):
+		// 503: the submission's only matching vantage point lives on a
+		// federated peer that is not online right now. Retry-After hints
+		// one peer heartbeat interval — transient by definition.
+		if d := RetryAfterOf(err); d > 0 {
+			secs := int((d + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		writeAPIError(w, apiError(api.CodePeerUnavailable, err.Error()))
+		return
 	case errors.Is(err, ErrOverloaded):
 		// 429: admission control shed the submission. The envelope
 		// carries the typed shed reason so clients can branch without

@@ -361,6 +361,7 @@ func (s *Server) handlerV1(mux *http.ServeMux) {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(data)
 	})
+	s.handlerCluster(mux)
 	mux.HandleFunc("POST /api/v1/builds/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		user := s.auth(w, r, PermRunJob)
 		if user == nil {
@@ -395,6 +396,13 @@ func buildStatus(b *Build) api.BuildStatus {
 		FeedEpoch: b.FeedEpoch(),
 	}
 	st.PlacementScore = b.PlacementScore()
+	// Federation provenance: routed_via names the peer executing the
+	// build for its home server; home_server (carried on the relayed
+	// spec) names the submitting server for the peer executing it.
+	st.RoutedVia = b.RoutedVia()
+	if b.wireSpec != nil {
+		st.HomeServer = b.wireSpec.HomeServer
+	}
 	// Feed-loss counters: a streaming client that sees a non-zero value
 	// knows its replay is missing records instead of trusting a silently
 	// truncated stream.

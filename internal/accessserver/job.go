@@ -158,6 +158,7 @@ type Build struct {
 	attempt        int
 	retries        int
 	nodeName       string  // node of the current/last attempt
+	routedVia      string  // peer executing the current/last attempt ("" = local)
 	pendingReason  string  // why a queued build is not running yet
 	placementScore float64 // placer score of the current/last placement
 	// schedReason shadows pendingReason for the dispatch pass, guarded
@@ -209,6 +210,15 @@ func (b *Build) NodeName() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.nodeName
+}
+
+// RoutedVia reports the federation peer executing the current (or
+// last) attempt, "" for a local placement. After a peer-loss failover
+// onto a local node it resets to "".
+func (b *Build) RoutedVia() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.routedVia
 }
 
 // PendingReason reports why a queued build is not running yet ("" when

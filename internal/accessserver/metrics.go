@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"batterylab/internal/accessserver/cluster"
 	"batterylab/internal/metrics"
 	"batterylab/internal/simclock"
 )
@@ -47,6 +48,11 @@ type serverMetrics struct {
 	campaigns        int64
 	shedOwnerCap     int64
 	shedWatermark    int64
+	// Federation lifecycle counters, same s.mu discipline: clusterRouted
+	// counts claims placed on a peer's vantage point, clusterPeerLost
+	// counts routed builds reclaimed from a lost peer.
+	clusterRouted   int64
+	clusterPeerLost int64
 
 	// dispatchLatency observes submit→running wait in seconds, on the
 	// server clock (virtual-clock deterministic).
@@ -64,6 +70,11 @@ type serverMetrics struct {
 	sampleSubscribers *metrics.Gauge
 
 	heartbeats *metrics.Counter
+
+	// Federation announce loop (its own goroutine-free tick; registry
+	// atomics, not s.mu).
+	clusterAnnounces      *metrics.Counter
+	clusterAnnounceErrors *metrics.Counter
 
 	// HTTP middleware.
 	httpInFlight *metrics.Gauge
@@ -122,15 +133,18 @@ func newServerMetrics(s *Server) *serverMetrics {
 		eventSubscribers:  reg.Gauge("blab_feed_event_subscribers", "open event-stream connections"),
 		sampleSubscribers: reg.Gauge("blab_feed_sample_subscribers", "open sample-stream connections"),
 		heartbeats:        reg.Counter("blab_node_heartbeats_total", "liveness beats recorded"),
-		httpInFlight:      reg.Gauge("blab_http_in_flight", "HTTP requests currently being served"),
-		fsyncLatency:      reg.Histogram("blab_wal_fsync_seconds", "WAL group-commit fsync latency (wall time)"),
-		snapshotLatency:   reg.Histogram("blab_store_snapshot_seconds", "snapshot compaction duration (wall time)"),
-		creditDenials:     reg.Counter("blab_credit_denials_total", "submissions rejected by the credit gate"),
-		runsCharged:       reg.Counter("blab_credit_runs_charged_total", "finished runs debited for device time"),
-		creditsDebited:    reg.FloatCounter("blab_credits_debited_total", "credits debited for consumed device time"),
-		analyticsLatency:  reg.Histogram("blab_analytics_query_seconds", "analytics query latency, cache hits included (wall time)"),
-		analyticsHits:     reg.Counter("blab_analytics_cache_hits_total", "analytics queries answered from the result cache"),
-		analyticsMisses:   reg.Counter("blab_analytics_cache_misses_total", "analytics queries that computed a fresh result"),
+		clusterAnnounces:  reg.Counter("blab_cluster_announces_total", "peer announces delivered"),
+		clusterAnnounceErrors: reg.Counter("blab_cluster_announce_errors_total",
+			"peer announces that failed (unreachable peer, bad token)"),
+		httpInFlight:     reg.Gauge("blab_http_in_flight", "HTTP requests currently being served"),
+		fsyncLatency:     reg.Histogram("blab_wal_fsync_seconds", "WAL group-commit fsync latency (wall time)"),
+		snapshotLatency:  reg.Histogram("blab_store_snapshot_seconds", "snapshot compaction duration (wall time)"),
+		creditDenials:    reg.Counter("blab_credit_denials_total", "submissions rejected by the credit gate"),
+		runsCharged:      reg.Counter("blab_credit_runs_charged_total", "finished runs debited for device time"),
+		creditsDebited:   reg.FloatCounter("blab_credits_debited_total", "credits debited for consumed device time"),
+		analyticsLatency: reg.Histogram("blab_analytics_query_seconds", "analytics query latency, cache hits included (wall time)"),
+		analyticsHits:    reg.Counter("blab_analytics_cache_hits_total", "analytics queries answered from the result cache"),
+		analyticsMisses:  reg.Counter("blab_analytics_cache_misses_total", "analytics queries that computed a fresh result"),
 	}
 	reg.Collect(s.collectScheduler)
 	reg.Collect(s.collectStore)
@@ -234,6 +248,21 @@ func (s *Server) collectScheduler(e *metrics.Emitter) {
 			float64(health[h]), metrics.Label{Name: "state", Value: h.String()})
 	}
 	e.Gauge("blab_nodes_monitored", "vantage points with heartbeat tracking armed", float64(monitored))
+
+	// Federation census. Peer state derives from the registry's lock-free
+	// snapshot (a leaf read — the cluster registry never takes s.mu).
+	e.Counter("blab_cluster_builds_routed_total", "builds dispatched to a federated peer's vantage point", float64(m.clusterRouted))
+	e.Counter("blab_cluster_peer_losses_total", "routed builds reclaimed from a lost peer", float64(m.clusterPeerLost))
+	peerStates := map[cluster.State]int{}
+	for _, p := range s.cluster.Peers() {
+		if st, _, ok := s.cluster.PeerState(p.Name, now); ok {
+			peerStates[st]++
+		}
+	}
+	for _, st := range []cluster.State{cluster.StateOnline, cluster.StateSuspect, cluster.StateOffline} {
+		e.Gauge("blab_cluster_peers", "federated peers by heartbeat state",
+			float64(peerStates[st]), metrics.Label{Name: "state", Value: st.String()})
+	}
 
 	// Lock-domain telemetry: total scheduler-lock acquisitions. Paired
 	// with blab_feed_subscribers it answers "are status polls and

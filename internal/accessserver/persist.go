@@ -140,6 +140,7 @@ type replayState struct {
 	campaigns    map[int]store.CampaignRec
 	ledger       map[string][]store.LedgerRec
 	balances     map[string]float64
+	peers        map[string]store.PeerRec
 	nextBuild    int
 	nextCampaign int
 }
@@ -153,6 +154,7 @@ func newReplayState(snap *store.Snapshot) *replayState {
 		campaigns:    map[int]store.CampaignRec{},
 		ledger:       map[string][]store.LedgerRec{},
 		balances:     map[string]float64{},
+		peers:        map[string]store.PeerRec{},
 		nextBuild:    1,
 		nextCampaign: 1,
 	}
@@ -161,6 +163,9 @@ func newReplayState(snap *store.Snapshot) *replayState {
 	}
 	for _, u := range snap.Users {
 		rs.users[u.Name] = u
+	}
+	for _, p := range snap.Peers {
+		rs.peers[p.Name] = p
 	}
 	for _, j := range snap.Jobs {
 		rs.jobs[j.Name] = j
@@ -331,6 +336,12 @@ func (rs *replayState) apply(rec store.Record) {
 			rs.ledger[rec.Entry.User] = append(rs.ledger[rec.Entry.User], *rec.Entry)
 			rs.balances[rec.Entry.User] += rec.Entry.Delta
 		}
+	case store.TPeerJoined:
+		if rec.Peer != nil {
+			rs.peers[rec.Peer.Name] = *rec.Peer
+		}
+	case store.TPeerLeft:
+		delete(rs.peers, rec.Name)
 	}
 }
 
@@ -399,6 +410,19 @@ func (s *Server) AttachStore(st *store.Store) (RecoveryStats, error) {
 		}
 		s.Ledger.restore(user, rs.balances[user], entries)
 		stats.Ledger += len(entries)
+	}
+
+	// Cluster membership: known peers come back by name and URL but
+	// start offline (zero last-beat) — the next announce exchange proves
+	// them alive again, and until then the scheduler will not route
+	// builds their way.
+	peerNames := make([]string, 0, len(rs.peers))
+	for name := range rs.peers {
+		peerNames = append(peerNames, name)
+	}
+	sort.Strings(peerNames)
+	for _, name := range peerNames {
+		s.cluster.Restore(name, rs.peers[name].URL)
 	}
 
 	s.mu.Lock()
@@ -986,6 +1010,14 @@ func (s *Server) buildSnapshotLocked() *store.Snapshot {
 			MaxConcurrent: rec.maxConcurrent,
 			Builds:        append([]int(nil), rec.builds...),
 		})
+	}
+
+	// Cluster peers: name and URL only — liveness is never persisted
+	// (a restored peer proves itself alive again with its first
+	// announce). Peers() returns name-sorted peers, so snapshots stay
+	// deterministic.
+	for _, p := range s.cluster.Peers() {
+		snap.Peers = append(snap.Peers, store.PeerRec{Name: p.Name, URL: p.URL})
 	}
 	return snap
 }

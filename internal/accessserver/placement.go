@@ -23,6 +23,13 @@ type PlacementCandidate struct {
 	// Node and Device identify the candidate pair.
 	Node   string
 	Device string
+	// Peer names the federation peer advertising the node, or "" for a
+	// node attached to this server. Remote candidates carry the census
+	// the peer exchanged on its last heartbeat: Health, Running and
+	// Device come from the advertisement, while the reliability fields
+	// (flaps, failovers) stay zero — this server has no local telemetry
+	// for a remote vantage point.
+	Peer string
 	// Health is the node's lifecycle state at scoring time. Only
 	// online nodes are offered to the placer today, but the field is
 	// part of the contract so a future policy can rank suspects.
@@ -69,6 +76,11 @@ type ScoreWeights struct {
 	Flap float64
 	// Failover is the penalty per build reclaimed from the node.
 	Failover float64
+	// Remote is the flat penalty for a candidate advertised by a
+	// federation peer rather than attached locally: relaying costs a
+	// network hop and a failover domain, so a local node with a build or
+	// two queued still beats an idle remote one.
+	Remote float64
 }
 
 // DefaultScoreWeights is the shipped policy: queue depth dominates
@@ -83,6 +95,7 @@ func DefaultScoreWeights() ScoreWeights {
 		RecentFlap: 8,
 		Flap:       1,
 		Failover:   4,
+		Remote:     15,
 	}
 }
 
@@ -106,6 +119,9 @@ func (p WeightedPlacer) Score(c PlacementCandidate) float64 {
 	}
 	s -= p.W.Flap * float64(c.Flaps)
 	s -= p.W.Failover * float64(c.Failovers)
+	if c.Peer != "" {
+		s -= p.W.Remote
+	}
 	return s
 }
 

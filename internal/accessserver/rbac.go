@@ -29,6 +29,12 @@ const (
 	// RoleTester only interacts with device-mirroring sessions shared
 	// with them (the crowdsourced humans of §3).
 	RoleTester
+	// RolePeer is the synthetic principal behind the shared cluster
+	// token: a federated peer relaying builds here. It may submit and
+	// follow builds — nothing else — and is exempt from admission
+	// fairness and credits, because the build's home server already
+	// applied both to the real submitting user.
+	RolePeer
 )
 
 func (r Role) String() string {
@@ -37,6 +43,8 @@ func (r Role) String() string {
 		return "admin"
 	case RoleExperimenter:
 		return "experimenter"
+	case RolePeer:
+		return "peer"
 	default:
 		return "tester"
 	}
@@ -91,6 +99,9 @@ var matrix = map[Role]map[Permission]bool{
 	},
 	RoleTester: {
 		PermInteractSession: true,
+	},
+	RolePeer: {
+		PermRunJob: true, PermViewConsole: true,
 	},
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"batterylab/internal/accessserver/cluster"
 	"batterylab/internal/accessserver/feedhub"
 	"batterylab/internal/accessserver/store"
 	"batterylab/internal/analytics"
@@ -114,6 +115,18 @@ type Config struct {
 	// AnalyticsCacheBytes bounds the analytics result cache (marshaled
 	// response bodies, LRU). Default 4 MiB; negative disables caching.
 	AnalyticsCacheBytes int64
+
+	// Federation (see federation.go). ClusterName is this server's
+	// cluster-unique name (default "batterylab"); AdvertiseURL is the
+	// base URL peers reach it at; ClusterToken is the shared secret peer
+	// announces must present — empty disables federation entirely.
+	ClusterName  string
+	ClusterToken string
+	AdvertiseURL string
+	// PeerHeartbeatEvery is the peer announce cadence (default
+	// HeartbeatEvery). Peer lifecycle uses the same SuspectAfter /
+	// OfflineAfter thresholds as nodes.
+	PeerHeartbeatEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +180,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AnalyticsCacheBytes < 0 {
 		c.AnalyticsCacheBytes = 0
+	}
+	if c.ClusterName == "" {
+		c.ClusterName = "batterylab"
+	}
+	if c.PeerHeartbeatEvery == 0 {
+		c.PeerHeartbeatEvery = c.HeartbeatEvery
 	}
 	return c
 }
@@ -262,6 +281,18 @@ type Server struct {
 	// analytics.go); self-locking, bounded by Config.AnalyticsCacheBytes.
 	analyticsCache *analytics.Cache
 
+	// cluster is the federation membership registry (its own leaf locks;
+	// reads are lock-free COW snapshots — see internal/accessserver/
+	// cluster and federation.go). peerRelay is the injected cross-server
+	// submit path (s.mu-guarded; the server core cannot import
+	// internal/remote, so the daemon or test wires the implementation
+	// in). peerSeeds are announce targets configured before the mesh
+	// self-assembles; peerTicker drives announce/sweep.
+	cluster    *cluster.Registry
+	peerRelay  PeerRelay // guarded by s.mu
+	peerSeeds  []string  // guarded by s.mu
+	peerTicker *simclock.Ticker
+
 	// m is the observability surface (see metrics.go). Its scheduler
 	// counters are plain fields mutated under s.mu; everything else is
 	// atomic.
@@ -311,6 +342,13 @@ func New(clock simclock.Clock, cfg Config) *Server {
 	s.m = newServerMetrics(s)
 	s.hub = feedhub.New(&s.m.feeds)
 	s.reads = newReadPlane()
+	s.cluster = cluster.New(cluster.Config{
+		Self:         s.cfg.ClusterName,
+		URL:          s.cfg.AdvertiseURL,
+		Token:        s.cfg.ClusterToken,
+		SuspectAfter: s.cfg.SuspectAfter,
+		OfflineAfter: s.cfg.OfflineAfter,
+	})
 	return s
 }
 
@@ -511,7 +549,9 @@ func (s *Server) Submit(user *User, jobName string) (*Build, error) {
 // a submitter who passed the credit gate paid for headroom and only
 // the doubled hard watermark sheds them. Callers hold s.mu.
 func (s *Server) admitLocked(user *User, n int) error {
-	if user.Role == RoleAdmin {
+	if user.Role == RoleAdmin || user.Role == RolePeer {
+		// Admins operate the platform; peer-relayed builds were already
+		// admitted (and capped) on their home server.
 		return nil
 	}
 	if cap := s.cfg.OwnerInFlightCap; cap > 0 && s.ownerActive[user.Name]+n > cap {
@@ -617,7 +657,13 @@ func (s *Server) SubmitSpec(user *User, spec api.ExperimentSpec) (*Build, error)
 	}
 	cons, run, err := backend.Compile(spec)
 	if err != nil {
-		return nil, err
+		// The node may live on a federation peer: a spec this server
+		// cannot compile still queues when a peer advertises its vantage
+		// point (the peer compiles it on relay submit).
+		cons, run, err = s.compileForPeer(spec, err)
+		if err != nil {
+			return nil, err
+		}
 	}
 	s.mu.Lock()
 	if err := s.admitLocked(user, 1); err != nil {
@@ -665,7 +711,10 @@ func (s *Server) SubmitCampaign(user *User, cs api.CampaignSpec) (int, []*Build,
 	for i, spec := range cs.Experiments {
 		cons, run, err := backend.Compile(spec)
 		if err != nil {
-			return 0, nil, fmt.Errorf("experiments[%d]: %w", i, err)
+			cons, run, err = s.compileForPeer(spec, err)
+			if err != nil {
+				return 0, nil, fmt.Errorf("experiments[%d]: %w", i, err)
+			}
 		}
 		pipelines[i] = compiled{cons, run, specJobName(spec)}
 	}
@@ -827,11 +876,15 @@ func (s *Server) Build(id int) (*Build, error) {
 	return b, nil
 }
 
-// QueueLength reports pending builds.
+// QueueLength reports builds in state queued: the dispatchable queue
+// plus failed-over builds sitting out their retry backoff. The backoff
+// builds matter for virtual-clock drivers (DriveBuilds): their requeue
+// timers only fire if the clock keeps advancing, so a driver that froze
+// time whenever the dispatch queue emptied would strand them forever.
 func (s *Server) QueueLength() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return int(s.m.queued)
 }
 
 // Running reports in-flight builds.
@@ -943,13 +996,38 @@ type cpuProbe struct {
 	node Node
 }
 
-// pick is one dispatchable build with its resolved placement.
+// pick is one dispatchable build with its resolved placement. node is
+// nil for a remote placement (the pipeline is the synthesized relay
+// body and the vantage point lives on pl.peer's server).
 type pick struct {
-	b      *Build
-	run    RunFunc
-	node   Node
-	device string
-	locks  []string
+	b        *Build
+	run      RunFunc
+	node     Node
+	nodeName string
+	device   string
+	locks    []string
+}
+
+// placement is placeLocked's resolution: where a build may run right
+// now. node is nil for remote placements — the build routes to a
+// vantage point peer advertised in its census, reachable at peerURL.
+type placement struct {
+	node     Node
+	nodeName string
+	device   string
+	score    float64
+	peer     string // "" = local
+	peerURL  string
+}
+
+// lockName is the mutual-exclusion namespace of the placement's node:
+// remote nodes are keyed per peer, so a peer's "pixel-1" never contends
+// with a local node of the same name.
+func (pl placement) lockName() string {
+	if pl.peer == "" {
+		return pl.nodeName
+	}
+	return pl.peer + "!" + pl.nodeName
 }
 
 // Pending-reason priorities. A build skipped for several reasons in
@@ -1039,25 +1117,26 @@ func (s *Server) drainLocked() ([]*pick, []cpuProbe) {
 		if cap := s.cfg.OwnerRunCap; prio == prioNone && cap > 0 && s.ownerRunning[cand.Owner] >= cap {
 			prio, reason = prioOwnerCap, fmt.Sprintf("owner %s at the fair-share cap (%d running)", cand.Owner, cap)
 		}
-		var node Node
-		var device string
-		var score float64
+		var pl placement
 		if prio == prioNone {
 			var preason string
-			node, device, score, preason = s.placeLocked(cons, now)
-			if node == nil {
+			pl, preason = s.placeLocked(cons, cand.wireSpec != nil, now)
+			if pl.nodeName == "" {
 				prio, reason = prioNodeUnavailable, preason
 			}
 		}
 		var keys []string
 		if prio == prioNone {
-			keys = lockKeysFor(node.Name(), device)
+			keys = lockKeysFor(pl.lockName(), pl.device)
 			if s.locksHeld(keys) {
 				prio, reason = prioLockWait, fmt.Sprintf("waiting for %s", keys[0])
 			}
 		}
-		if prio == prioNone && cons.RequireLowCPU {
-			rec := s.recLocked(node.Name())
+		// The CPU gate only applies to local placements: a routed build's
+		// home peer enforces its own gate when it dispatches the relayed
+		// spec.
+		if prio == prioNone && cons.RequireLowCPU && pl.peer == "" {
+			rec := s.recLocked(pl.nodeName)
 			fresh := rec.cpuOK && rec.cpuAt.Add(s.cfg.CPUProbeTTL).After(now)
 			switch {
 			case !fresh:
@@ -1068,7 +1147,7 @@ func (s *Server) drainLocked() ([]*pick, []cpuProbe) {
 				if !inFlight {
 					rec.cpuProbing = true
 					rec.cpuProbeAt = now
-					probes = append(probes, cpuProbe{name: node.Name(), node: node})
+					probes = append(probes, cpuProbe{name: pl.nodeName, node: pl.node})
 				}
 				prio, reason = prioCPUProbe, "probing controller CPU"
 			case rec.cpuPct >= s.cfg.LowCPUThreshold:
@@ -1100,8 +1179,15 @@ func (s *Server) drainLocked() ([]*pick, []cpuProbe) {
 		if rec := s.campaigns[cand.campaign]; rec != nil {
 			rec.running++
 		}
-		nrec := s.recLocked(node.Name())
-		nrec.running++
+		if pl.peer == "" {
+			// Remote placements skip the per-node bookkeeping: nodeRecs
+			// describes nodes attached to this server, and a peer's node
+			// must never leak into the local census.
+			s.recLocked(pl.nodeName).running++
+		} else {
+			s.m.clusterRouted++
+			run = s.relayRun(cand, pl)
+		}
 		s.ownerRunning[cand.Owner]++
 		cand.schedReason = ""
 
@@ -1109,10 +1195,11 @@ func (s *Server) drainLocked() ([]*pick, []cpuProbe) {
 		cand.state = StateRunning
 		cand.startedAt = now
 		cand.attempt++
-		cand.nodeName = node.Name()
+		cand.nodeName = pl.nodeName
+		cand.routedVia = pl.peer
 		cand.pendingReason = ""
 		cand.heldLocks = keys
-		cand.placementScore = score
+		cand.placementScore = pl.score
 		// The enqueue-time aging timer is done: left armed, it would
 		// outlive a failover and fail the requeued build against the
 		// original deadline instead of the re-armed one.
@@ -1121,17 +1208,27 @@ func (s *Server) drainLocked() ([]*pick, []cpuProbe) {
 			cand.agingTimer = nil
 		}
 		attempt := cand.attempt
-		if nrec.monitored {
+		switch {
+		case pl.peer != "":
+			// A routed build's lease is the peer's heartbeat: the relay
+			// reports most failures itself, and the lease catches the
+			// peer falling silent mid-run.
+			peer := pl.peer
+			cand.leaseTimer = s.clock.AfterFunc(s.cfg.OfflineAfter, func() {
+				s.checkPeerLease(cand, attempt, peer)
+			})
+		case s.nodeRecs[pl.nodeName] != nil && s.nodeRecs[pl.nodeName].monitored:
 			cand.leaseTimer = s.clock.AfterFunc(s.cfg.OfflineAfter, func() {
 				s.checkLease(cand, attempt)
 			})
 		}
 		cand.mu.Unlock()
 		s.logStore(store.Record{T: store.TBuildStarted, BuildID: cand.ID,
-			NodeName: node.Name(), Attempt: attempt, AtNS: now.UnixNano()})
+			NodeName: pl.nodeName, Attempt: attempt, AtNS: now.UnixNano()})
 		s.publishBuildLocked(cand)
 
-		picks = append(picks, &pick{b: cand, run: run, node: node, device: device, locks: keys})
+		picks = append(picks, &pick{b: cand, run: run, node: pl.node,
+			nodeName: pl.nodeName, device: pl.device, locks: keys})
 	}
 	if w >= 0 {
 		// Nil the vacated tail so the backing array does not pin
@@ -1146,14 +1243,15 @@ func (s *Server) drainLocked() ([]*pick, []cpuProbe) {
 }
 
 // placeLocked resolves where a build may run right now: its preferred
-// node when registered and online, or — for fallback-enabled builds —
-// the highest-scoring online monitored node with a free cached device
-// (see placement.go). A nil node comes with the human-readable reason
-// the build keeps waiting. The returned score is the placer's score for
-// the chosen pair (the preferred-node fast path computes it too, so the
-// wire status surfaces comparable numbers either way). Callers hold
+// node when registered and online, a peer-advertised vantage point of
+// the same name when the build is routable (it carries a wire spec the
+// relay can resubmit — closures cannot cross the wire), or — for
+// fallback-enabled builds — the highest-scoring online candidate, local
+// nodes and remote census entries scored by the same placer (remote
+// ones carry the ScoreWeights.Remote penalty). An empty nodeName comes
+// with the human-readable reason the build keeps waiting. Callers hold
 // s.mu.
-func (s *Server) placeLocked(cons Constraints, now time.Time) (Node, string, float64, string) {
+func (s *Server) placeLocked(cons Constraints, routable bool, now time.Time) (placement, string) {
 	rec := s.nodeRecs[cons.Node]
 	n, err := s.Nodes.Get(cons.Node)
 	// A removed node that reappeared through the plain registry path is
@@ -1173,7 +1271,7 @@ func (s *Server) placeLocked(cons Constraints, now time.Time) (Node, string, flo
 			if rec != nil {
 				score = s.placer.Score(s.candidateLocked(rec, cons.Device, cons.Device, now))
 			}
-			return n, cons.Device, score, ""
+			return placement{node: n, nodeName: cons.Node, device: cons.Device, score: score}, ""
 		}
 		reason = fmt.Sprintf("node %q is %s", cons.Node, h)
 	case rec != nil && rec.removed:
@@ -1181,18 +1279,50 @@ func (s *Server) placeLocked(cons Constraints, now time.Time) (Node, string, flo
 	default:
 		reason = fmt.Sprintf("waiting for node %q to register", cons.Node)
 	}
+	var remotes []cluster.Candidate
+	if routable && s.peerRelay != nil {
+		remotes = s.cluster.Candidates(now)
+	}
+	// Remote pinned: an online peer advertises a node with exactly the
+	// requested name (first peer in name order wins — deterministic).
+	// Like the local fast path this needs no Fallback flag: the build
+	// still runs on the node it asked for, just via its home server.
+	for _, c := range remotes {
+		if c.Node.Name != cons.Node {
+			continue
+		}
+		// An empty census device list means "not enumerated" (the peer
+		// only caches serials for monitored nodes), not "no devices":
+		// the peer's own scheduler is the authority and rejects an
+		// unknown serial with a typed 4xx the relay treats as permanent.
+		if cons.Device != "" && len(c.Node.Devices) > 0 && !containsString(c.Node.Devices, cons.Device) {
+			continue
+		}
+		pc := remoteCandidate(c, cons.Device, cons.Device)
+		return placement{nodeName: c.Node.Name, device: cons.Device,
+			score: s.placer.Score(pc), peer: c.Peer, peerURL: c.PeerURL}, ""
+	}
 	if !cons.Fallback {
-		return nil, "", 0, reason
+		return placement{}, reason
 	}
 	// Fallback placement: score every eligible (node, device) pair and
-	// take the best. Ties break by node name then device serial over a
-	// sorted scan, so substitution stays deterministic run to run.
+	// take the best. Local nodes scan first in sorted order, then remote
+	// candidates in (peer, node) order; strict > keeps the first pair on
+	// ties, so substitution stays deterministic run to run and local
+	// nodes win score ties against remote ones.
 	var (
-		best       Node
-		bestDevice string
-		bestScore  float64
-		found      bool
+		best  placement
+		found bool
 	)
+	consider := func(pl placement, score float64) {
+		if s.locksHeld(lockKeysFor(pl.lockName(), pl.device)) {
+			return
+		}
+		if !found || score > best.score {
+			pl.score = score
+			best, found = pl, true
+		}
+	}
 	names := make([]string, 0, len(s.nodeRecs))
 	for name := range s.nodeRecs {
 		names = append(names, name)
@@ -1210,29 +1340,69 @@ func (s *Server) placeLocked(cons Constraints, now time.Time) (Node, string, flo
 		if err != nil {
 			continue
 		}
-		consider := func(device string) {
-			if s.locksHeld(lockKeysFor(name, device)) {
-				return
-			}
-			score := s.placer.Score(s.candidateLocked(sub, device, cons.Device, now))
-			// Strict > keeps the first (lexicographically smallest)
-			// pair on ties — the deterministic tie-break.
-			if !found || score > bestScore {
-				best, bestDevice, bestScore, found = subNode, device, score, true
-			}
+		local := func(device string) {
+			consider(placement{node: subNode, nodeName: name, device: device},
+				s.placer.Score(s.candidateLocked(sub, device, cons.Device, now)))
 		}
 		if cons.Device == "" {
-			consider("")
+			local("")
 			continue
 		}
 		for _, d := range sub.devices {
-			consider(d)
+			local(d)
+		}
+	}
+	for _, c := range remotes {
+		if c.Node.Name == cons.Node {
+			continue // the remote pinned path already rejected it
+		}
+		if len(c.Node.Devices) == 0 {
+			// Unenumerated census: usable only for device-free specs —
+			// substituting a pinned device needs a concrete serial to
+			// offer, which this peer never advertised.
+			if cons.Device == "" {
+				consider(placement{nodeName: c.Node.Name, peer: c.Peer, peerURL: c.PeerURL},
+					s.placer.Score(remoteCandidate(c, "", "")))
+			}
+			continue
+		}
+		for _, d := range c.Node.Devices {
+			consider(placement{nodeName: c.Node.Name, device: d, peer: c.Peer, peerURL: c.PeerURL},
+				s.placer.Score(remoteCandidate(c, d, cons.Device)))
 		}
 	}
 	if found {
-		return best, bestDevice, bestScore, ""
+		return best, ""
 	}
-	return nil, "", 0, reason + "; no fallback node available"
+	return placement{}, reason + "; no fallback node available"
+}
+
+// remoteCandidate assembles the scored view of a peer-advertised
+// (node, device) pair. Health is online by construction (the registry
+// filters candidates), and the reliability fields stay zero — this
+// server has no local telemetry for a remote vantage point; the flat
+// ScoreWeights.Remote penalty stands in for that uncertainty.
+func remoteCandidate(c cluster.Candidate, device, wantDevice string) PlacementCandidate {
+	pc := PlacementCandidate{
+		Node:    c.Node.Name,
+		Device:  device,
+		Peer:    c.Peer,
+		Health:  HealthOnline,
+		Running: c.Node.Running,
+	}
+	if wantDevice != "" && device != "" {
+		pc.ModelMatch = DeviceModel(device) == DeviceModel(wantDevice)
+	}
+	return pc
+}
+
+func containsString(list []string, want string) bool {
+	for _, v := range list {
+		if v == want {
+			return true
+		}
+	}
+	return false
 }
 
 // startPicked runs a claimed build's pipeline.
@@ -1244,9 +1414,9 @@ func (s *Server) startPicked(p *pick) {
 
 	ctx := &BuildContext{Build: b, Node: p.node, Device: p.device, attempt: attempt}
 	if attempt > 1 {
-		ctx.Logf("build #%d of %s started on %s (attempt %d)", b.ID, b.Job, p.node.Name(), attempt)
+		ctx.Logf("build #%d of %s started on %s (attempt %d)", b.ID, b.Job, p.nodeName, attempt)
 	} else {
-		ctx.Logf("build #%d of %s started on %s", b.ID, b.Job, p.node.Name())
+		ctx.Logf("build #%d of %s started on %s", b.ID, b.Job, p.nodeName)
 	}
 
 	var once sync.Once
@@ -1431,7 +1601,17 @@ func (s *Server) failoverLocked(b *Build, reason string) (cancel func()) {
 		b.state = StateFailure
 		s.m.failed++
 		s.ownerSettledLocked(b.Owner)
-		b.err = fmt.Errorf("%w: %s after %d retries", ErrNodeLost, reason, b.retries)
+		if b.routedVia != "" {
+			// A routed build lost with its peer is both families at once:
+			// ErrPeerLost for callers that care about federation, and
+			// ErrNodeLost so the wire's node_lost flag (and every existing
+			// failover consumer) keeps working.
+			b.err = markedErr(
+				fmt.Sprintf("%s: %s after %d retries", ErrNodeLost.Error(), reason, b.retries),
+				ErrNodeLost, ErrPeerLost)
+		} else {
+			b.err = fmt.Errorf("%w: %s after %d retries", ErrNodeLost, reason, b.retries)
+		}
 		b.finishedAt = now
 		b.stopTimersLocked()
 		s.logBuildFinishedLocked(b)
@@ -1524,8 +1704,8 @@ func (s *Server) checkAging(b *Build) {
 	cons, _, err := s.pipelineLocked(b)
 	if err == nil {
 		now := s.clock.Now()
-		node, _, _, _ := s.placeLocked(cons, now)
-		if node != nil {
+		pl, _ := s.placeLocked(cons, b.wireSpec != nil, now)
+		if pl.nodeName != "" {
 			// Placeable: the wait is lock/executor pressure, not node
 			// loss. Keep watching in case the node dies later.
 			rearm()
@@ -1553,6 +1733,26 @@ func (s *Server) checkAging(b *Build) {
 				}
 				if _, regErr := s.Nodes.Get(name); regErr == nil {
 					alive = true
+					break
+				}
+			}
+		}
+		if !alive && b.wireSpec != nil && s.peerRelay != nil {
+			// Federation keeps pinned builds waiting too: a peer that is
+			// not offline and advertises the requested node (or, for
+			// fallback builds, any online node) may take the build on its
+			// next heartbeat.
+			for _, p := range s.cluster.Peers() {
+				if st, _, ok := s.cluster.PeerState(p.Name, now); !ok || st == cluster.StateOffline {
+					continue
+				}
+				for _, n := range p.Nodes {
+					if n.Name == cons.Node || (cons.Fallback && n.Health == api.HealthOnline) {
+						alive = true
+						break
+					}
+				}
+				if alive {
 					break
 				}
 			}

@@ -50,6 +50,7 @@ var typeByIndex = []Type{
 	TNodeMonitored, TNodeOwner, TNodeDrain, TNodeRemoved, TNodeHostingFlush,
 	TBuildQueued, TBuildStarted, TBuildCancelWant, TBuildFailover,
 	TBuildFinished, TBuildExpired, TCampaign, TCampaignExpired, TLedger,
+	TPeerJoined, TPeerLeft,
 }
 
 var indexByType = func() map[Type]uint64 {
@@ -261,6 +262,7 @@ const (
 	rfCampaignID = 21
 	rfEntry      = 22
 	rfStateEnum  = 23
+	rfPeer       = 24
 )
 
 // encodeRecord renders rec as a binary frame payload (marker byte plus
@@ -311,6 +313,9 @@ func encodeRecord(rec Record) (payload []byte, ok bool, err error) {
 	e.svarint(rfCampaignID, int64(rec.CampaignID))
 	if rec.Entry != nil {
 		e.bytes(rfEntry, encodeLedger(rec.Entry))
+	}
+	if rec.Peer != nil {
+		e.bytes(rfPeer, encodePeer(rec.Peer))
 	}
 	return e.b, true, nil
 }
@@ -411,6 +416,12 @@ func decodeRecord(payload []byte) (Record, error) {
 				return rec, err
 			}
 			rec.Entry = l
+		case rfPeer:
+			p, err := decodePeer(d.bytes())
+			if err != nil {
+				return rec, err
+			}
+			rec.Peer = p
 		default:
 			d.skip(wire)
 		}
@@ -735,6 +746,35 @@ func decodeLedger(b []byte) (*LedgerRec, error) {
 	return l, d.err
 }
 
+// --- PeerRec --------------------------------------------------------
+
+func encodePeer(p *PeerRec) []byte {
+	e := &enc{}
+	e.str(1, p.Name)
+	e.str(2, p.URL)
+	return e.b
+}
+
+func decodePeer(b []byte) (*PeerRec, error) {
+	p := &PeerRec{}
+	d := &dec{b: b}
+	for {
+		field, wire, ok := d.next()
+		if !ok {
+			break
+		}
+		switch field {
+		case 1:
+			p.Name = d.str()
+		case 2:
+			p.URL = d.str()
+		default:
+			d.skip(wire)
+		}
+	}
+	return p, d.err
+}
+
 // --- api.ExperimentSpec / MonitorSpec / ConstraintsSpec -------------
 
 func encodeSpec(s *api.ExperimentSpec) ([]byte, error) {
@@ -757,6 +797,7 @@ func encodeSpec(s *api.ExperimentSpec) ([]byte, error) {
 	e.str(8, s.Transport)
 	e.boolean(9, s.Constraints.RequireLowCPU)
 	e.boolean(10, s.Constraints.AllowFallback)
+	e.str(11, s.HomeServer)
 	return e.b, nil
 }
 
@@ -797,6 +838,8 @@ func decodeSpec(b []byte) (*api.ExperimentSpec, error) {
 			s.Constraints.RequireLowCPU = d.uvarint() != 0
 		case 10:
 			s.Constraints.AllowFallback = d.uvarint() != 0
+		case 11:
+			s.HomeServer = d.str()
 		default:
 			d.skip(wire)
 		}

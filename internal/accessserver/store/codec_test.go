@@ -62,6 +62,8 @@ func codecVocabulary() []Record {
 		{T: TCampaign, Campaign: &CampaignRec{ID: 1, MaxConcurrent: 2, Builds: []int{1, 2, 3}}},
 		{T: TCampaignExpired, CampaignID: 1},
 		{T: TLedger, Entry: &LedgerRec{User: "ana", Delta: -2.5, Reason: "build 1"}},
+		{T: TPeerJoined, Peer: &PeerRec{Name: "lab-eu", URL: "http://lab-eu.example:8080"}},
+		{T: TPeerLeft, Name: "lab-eu"},
 	}
 }
 
@@ -77,7 +79,7 @@ func TestCodecCoversEveryType(t *testing.T) {
 			t.Errorf("codecVocabulary missing record type %q", typ)
 		}
 	}
-	if len(typeByIndex) != 18 {
+	if len(typeByIndex) != 20 {
 		t.Errorf("typeByIndex has %d entries; a new record type must be APPENDED and covered here", len(typeByIndex))
 	}
 }

@@ -19,6 +19,8 @@ func fuzzSeedRecords() []Record {
 		{T: TBuildFinished, BuildID: 1, State: "success", AtNS: 1234},
 		{T: TNodeOwner, Name: "pixel-1", Owner: "ana"},
 		{T: TBuildExpired, BuildID: 1},
+		{T: TPeerJoined, Peer: &PeerRec{Name: "eu-west", URL: "http://eu-west:9090"}},
+		{T: TPeerLeft, Name: "eu-west"},
 	}
 }
 

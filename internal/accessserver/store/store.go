@@ -113,6 +113,12 @@ const (
 	TCampaign         Type = "campaign"
 	TCampaignExpired  Type = "campaign_expired"
 	TLedger           Type = "ledger"
+	// TPeerJoined upserts a federated peer's membership (name + URL);
+	// TPeerLeft tombstones it. Heartbeat state and the advertised node
+	// census are ephemeral and re-learned from live announces after a
+	// restart — only membership persists.
+	TPeerJoined Type = "peer_joined"
+	TPeerLeft   Type = "peer_left"
 )
 
 // UserRec is one platform member with their access token.
@@ -193,6 +199,15 @@ type CampaignRec struct {
 	Builds        []int `json:"builds"`
 }
 
+// PeerRec is one federated peer's persisted membership. Heartbeat
+// liveness and the node census are runtime state (re-announced within
+// one heartbeat period), so the record carries only what a restarted
+// server needs to resume heartbeating: the peer's name and URL.
+type PeerRec struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
 // LedgerRec is one credit movement.
 type LedgerRec struct {
 	User   string  `json:"user"`
@@ -244,6 +259,9 @@ type Record struct {
 
 	// TLedger.
 	Entry *LedgerRec `json:"entry,omitempty"`
+
+	// TPeerJoined carries the full record; TPeerLeft tombstones by Name.
+	Peer *PeerRec `json:"peer,omitempty"`
 }
 
 // Snapshot is the full compacted state at one instant: replaying it
@@ -262,6 +280,7 @@ type Snapshot struct {
 	Campaigns    []CampaignRec          `json:"campaigns,omitempty"`
 	Ledger       map[string][]LedgerRec `json:"ledger,omitempty"`
 	Balances     map[string]float64     `json:"balances,omitempty"`
+	Peers        []PeerRec              `json:"peers,omitempty"`
 
 	// WALGen and WALCut tie the snapshot to the log position it covers
 	// (see "Compaction crash-atomicity" in the package comment). Set by

@@ -188,6 +188,11 @@ type ExperimentSpec struct {
 	VPNLocation string          `json:"vpn_location,omitempty"`
 	Transport   string          `json:"transport,omitempty"`
 	Constraints ConstraintsSpec `json:"constraints,omitempty"`
+	// HomeServer names the cluster peer submitting this spec through
+	// the cross-server routing path (empty for direct client
+	// submissions). The executing server echoes it on the build's wire
+	// status as provenance.
+	HomeServer string `json:"home_server,omitempty"`
 }
 
 // Validate checks the wire-level invariants that need no server state.
@@ -433,6 +438,16 @@ type BuildStatus struct {
 	// aggregate built from the feed — belong to an abandoned attempt and
 	// must reset, even across multiple restarts.
 	FeedEpoch int `json:"feed_epoch,omitempty"`
+	// RoutedVia names the federated peer this build was routed to: the
+	// run executes on a vantage point owned by that peer, and events,
+	// samples and the summary are relayed back. Empty for builds that
+	// run on the serving server's own nodes.
+	RoutedVia string `json:"routed_via,omitempty"`
+	// HomeServer names the cluster peer that owns this build's record —
+	// set on builds another server submitted here through the
+	// cross-server routing path, so an operator reading this server's
+	// build list can trace a routed run back to where it was submitted.
+	HomeServer string `json:"home_server,omitempty"`
 }
 
 // StateExpired is the BuildStatus.State of a tombstoned build.
@@ -474,6 +489,57 @@ type SamplePoint struct {
 	IntegralS float64 `json:"integral_s,omitempty"`
 }
 
+// PeerNode is one vantage point a federated peer advertises in its
+// heartbeat census: enough for the receiving scheduler to treat it as a
+// placement candidate without owning a handle to it.
+type PeerNode struct {
+	Name    string   `json:"name"`
+	Health  string   `json:"health"`
+	Devices []string `json:"devices,omitempty"`
+	// Running counts builds currently leased to the node on its home
+	// server — the queue-depth input to remote placement scoring.
+	Running int `json:"running"`
+}
+
+// PeerAnnounce is the body of POST /api/v1/cluster/peers: one server
+// announcing (or re-announcing — the same message is the heartbeat) its
+// membership to another, carrying its current node census. Auth is the
+// shared cluster token in the Authorization header, not a user token.
+type PeerAnnounce struct {
+	// Name is the announcing server's cluster-unique name.
+	Name string `json:"name"`
+	// URL is the base URL where the announcing server's v1 API is
+	// reachable by its peers.
+	URL string `json:"url"`
+	// Nodes is the announcing server's current node census.
+	Nodes []PeerNode `json:"nodes,omitempty"`
+}
+
+// PeerStatus is one peer's entry in the cluster view.
+type PeerStatus struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// State is the peer's heartbeat-derived lifecycle state: "online",
+	// "suspect" or "offline" — the same model nodes use.
+	State string `json:"state"`
+	// LastHeartbeatNS is the receiving server's clock time of the last
+	// announce from this peer.
+	LastHeartbeatNS int64 `json:"last_heartbeat_ns,omitempty"`
+	// Nodes is the census the peer advertised on its last heartbeat.
+	Nodes []PeerNode `json:"nodes,omitempty"`
+}
+
+// ClusterView is GET /api/v1/cluster's response — and the body of an
+// announce response, so a joining server learns the mesh (including
+// peers it has never spoken to) from its first announce.
+type ClusterView struct {
+	// Self names the responding server.
+	Self string `json:"self"`
+	// URL is the responding server's advertised base URL.
+	URL   string       `json:"url,omitempty"`
+	Peers []PeerStatus `json:"peers,omitempty"`
+}
+
 // ErrorCode classifies a v1 API failure. Codes — not messages — are the
 // contract clients branch on.
 type ErrorCode string
@@ -498,6 +564,18 @@ const (
 	// reconnecting client can tell "my cursor is garbage, restart from
 	// 0" from "my request is malformed".
 	CodeInvalidCursor ErrorCode = "invalid_cursor"
+	// CodePeerUnavailable is a cross-server routing failure (503): the
+	// submission targets a vantage point owned by a federated peer that
+	// is currently suspect, offline or unreachable. Responses carry a
+	// Retry-After header; the condition is transient by definition, so
+	// client retry policy applies.
+	CodePeerUnavailable ErrorCode = "peer_unavailable"
+	// CodeNotRelayed is a feed gateway's typed refusal (501): the
+	// requested v1 route exists on a full access server but is not one
+	// the stateless gateway relays. Distinct from not_found so clients
+	// know to re-aim at the control server rather than conclude the
+	// resource is gone.
+	CodeNotRelayed ErrorCode = "not_relayed"
 )
 
 // Error is the typed error envelope every non-2xx v1 response carries:
@@ -537,6 +615,10 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusPaymentRequired
 	case CodeOverloaded:
 		return http.StatusTooManyRequests
+	case CodePeerUnavailable:
+		return http.StatusServiceUnavailable
+	case CodeNotRelayed:
+		return http.StatusNotImplemented
 	default:
 		return http.StatusInternalServerError
 	}
@@ -560,6 +642,10 @@ func CodeForStatus(status int) ErrorCode {
 		return CodeInsufficientCredits
 	case http.StatusTooManyRequests:
 		return CodeOverloaded
+	case http.StatusServiceUnavailable:
+		return CodePeerUnavailable
+	case http.StatusNotImplemented:
+		return CodeNotRelayed
 	default:
 		return CodeInternal
 	}

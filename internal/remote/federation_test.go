@@ -1,0 +1,426 @@
+package remote_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"batterylab"
+	"batterylab/internal/accessserver"
+	"batterylab/internal/accessserver/cluster"
+	"batterylab/internal/api"
+	"batterylab/internal/core"
+	"batterylab/internal/remote"
+	"batterylab/internal/simclock"
+)
+
+const fedToken = "fed-relay-s3cret"
+
+// fedLab is a two-server federation on ONE virtual clock: platform A
+// ("lab-a") hosts node1, platform B ("lab-b") hosts node2, joined over
+// real HTTP with a shared cluster token and the remote.Relay transport.
+// Per-node seeds match newLab's, so a single-server lab built by
+// newLab is the bit-identical control for the same campaign.
+type fedLab struct {
+	clock    *simclock.Virtual
+	a, b     *batterylab.Platform
+	tsA, tsB *httptest.Server
+	devices  []string // devices[0] on A's node1, devices[1] on B's node2
+}
+
+// fedNode replicates newLab's per-node build (same seeds, browsers,
+// video) on an arbitrary platform and returns the device serial.
+func fedNode(t *testing.T, clock *simclock.Virtual, plat *batterylab.Platform, i int) string {
+	t.Helper()
+	name := []string{"node1", "node2"}[i]
+	ctl, err := batterylab.NewController(clock, batterylab.ControllerConfig{Name: name, Seed: 100 + uint64(i)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := batterylab.NewDevice(clock, batterylab.DeviceConfig{Seed: 500 + uint64(i)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.AttachDevice(dev); err != nil {
+		t.Fatal(err)
+	}
+	for _, prof := range batterylab.BrowserProfiles() {
+		if err := dev.Install(batterylab.NewBrowser(prof, ctl)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dev.Storage().Push("/sdcard/blab.mp4", batterylab.SampleMP4(1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Install(batterylab.NewVideoPlayer("/sdcard/blab.mp4")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plat.Join(ctl, "198.51.100.7:2222"); err != nil {
+		t.Fatal(err)
+	}
+	return dev.Serial()
+}
+
+func newFedLab(t *testing.T) *fedLab {
+	t.Helper()
+	clock := batterylab.VirtualClock()
+	a, err := batterylab.NewPlatform(clock, 2019)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := batterylab.NewPlatform(clock, 2020)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devA := fedNode(t, clock, a, 0)
+	devB := fedNode(t, clock, b, 1)
+	tsA := httptest.NewServer(a.Access.Handler())
+	tsB := httptest.NewServer(b.Access.Handler())
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+	a.Access.ConfigureCluster("lab-a", tsA.URL, fedToken)
+	b.Access.ConfigureCluster("lab-b", tsB.URL, fedToken)
+	relay := func(ctx context.Context, peerURL, token string, spec api.ExperimentSpec, sink accessserver.PeerSink) (*api.BuildStatus, error) {
+		return remote.Relay(ctx, peerURL, token, spec, sink)
+	}
+	a.Access.SetPeerRelay(relay)
+	b.Access.SetPeerRelay(relay)
+
+	fl := &fedLab{clock: clock, a: a, b: b, tsA: tsA, tsB: tsB, devices: []string{devA, devB}}
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	go fl.drive(stop)
+
+	// Join the mesh: A's first announce teaches B about lab-a, then B's
+	// announce back (to the peer it just learned) carries its census —
+	// both sides are online with full vantage-point knowledge before
+	// this returns, since StartCluster's first beat is synchronous.
+	a.Access.StartCluster(tsB.URL)
+	b.Access.StartCluster()
+	return fl
+}
+
+// drive is DriveBuilds for a shared clock: step while EITHER server has
+// queued or running builds, freeze when the whole cluster is idle.
+func (fl *fedLab) drive(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		busy := fl.a.Access.Running()+fl.a.Access.QueueLength()+
+			fl.b.Access.Running()+fl.b.Access.QueueLength() > 0
+		if !busy {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if !fl.clock.Step() {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// client dials server A as an experimenter — the home server every
+// federated submission in these tests goes through.
+func (fl *fedLab) client(t *testing.T) *remote.Platform {
+	t.Helper()
+	token, err := batterylab.NewAPIToken(fl.a, "fed-"+t.Name(), "experimenter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := remote.Dial(fl.tsA.URL, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+// campaignSpec mirrors lab.campaignSpec: a browser sweep on node1
+// (local to A) and video playback on node2 (which A only knows through
+// lab-b's census).
+func (fl *fedLab) campaignSpec() api.CampaignSpec {
+	return api.CampaignSpec{
+		Experiments: []api.ExperimentSpec{
+			{
+				Node: "node1", Device: fl.devices[0],
+				Monitor: api.MonitorSpec{SampleRateHz: 1000},
+				Workload: api.WorkloadSpec{
+					Name:   "browser",
+					Params: api.Params{"browser": "Brave", "pages": 2, "scrolls": 4},
+				},
+			},
+			{
+				Node: "node2", Device: fl.devices[1],
+				Monitor: api.MonitorSpec{SampleRateHz: 500},
+				Workload: api.WorkloadSpec{
+					Name:   "video",
+					Params: api.Params{"duration_ms": 30000},
+				},
+			},
+		},
+	}
+}
+
+// runFederated submits the campaign to A, waits it out, and returns the
+// per-node home-server summaries plus the runs and sessions.
+func runFederated(t *testing.T, fl *fedLab, client *remote.Platform, log *progressLog) (map[string]api.RunSummary, []remote.CampaignRun, []*remote.Session) {
+	t.Helper()
+	ctx := context.Background()
+
+	// Pin both builds' start instant to the current virtual time. The
+	// routed experiment crosses a real HTTP relay before it starts on B,
+	// and if the driver stepped the clock in that window the remote
+	// workload would begin at a different instant than the local
+	// control's — summaries would only agree to a tolerance instead of
+	// bit-exactly. Holding the clock until both sides report the builds
+	// running closes the window without blocking the relay (real time
+	// keeps passing).
+	release := fl.clock.Hold()
+	held := true
+	defer func() {
+		if held {
+			release()
+		}
+	}()
+	camp, err := client.StartCampaign(ctx, fl.campaignSpec(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if fl.a.Access.Running() == 2 && fl.b.Access.Running() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("relay never started: A running %d (want 2), B running %d (want 1)",
+				fl.a.Access.Running(), fl.b.Access.Running())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	release()
+	held = false
+	runs, err := camp.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	for _, r := range runs {
+		if r.Err != nil {
+			t.Fatalf("run %d (%s) failed: %v", r.Index, r.Node, r.Err)
+		}
+		if r.Result == nil || r.Result.Current.Len() == 0 {
+			t.Fatalf("run %d (%s) has no trace", r.Index, r.Node)
+		}
+	}
+	sums := make(map[string]api.RunSummary)
+	for _, s := range camp.Sessions() {
+		st, err := client.BuildStatus(ctx, s.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Summary == nil {
+			t.Fatalf("build %d (%s): no summary on the home server", st.ID, st.Node)
+		}
+		sums[st.Node] = *st.Summary
+	}
+	return sums, runs, camp.Sessions()
+}
+
+// TestFederationRoundTrip is the cross-server acceptance path: a
+// campaign submitted to server A places one experiment on its own node
+// and routes the other to server B's node through the cluster census,
+// with events, samples, summary and artifacts streaming home — and the
+// results are bit-identical to the same campaign on a single-server
+// control lab, and to a second federated run (virtual-clock
+// determinism).
+func TestFederationRoundTrip(t *testing.T) {
+	fl := newFedLab(t)
+	client := fl.client(t)
+	log := newProgressLog()
+	ctx := context.Background()
+
+	// Both sides see each other online before anything is submitted.
+	if st, _, ok := fl.a.Access.Cluster().PeerState("lab-b", fl.clock.Now()); !ok || st != cluster.StateOnline {
+		t.Fatalf("lab-b on A: ok=%v state=%v, want online", ok, st)
+	}
+	if st, _, ok := fl.b.Access.Cluster().PeerState("lab-a", fl.clock.Now()); !ok || st != cluster.StateOnline {
+		t.Fatalf("lab-a on B: ok=%v state=%v, want online", ok, st)
+	}
+
+	sums, runs, sessions := runFederated(t, fl, client, log)
+
+	// Provenance: node2's build was routed via lab-b; node1's ran here.
+	for _, s := range sessions {
+		st, err := client.BuildStatus(ctx, s.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.Node {
+		case "node1":
+			if st.RoutedVia != "" {
+				t.Errorf("node1 routed via %q, want local", st.RoutedVia)
+			}
+		case "node2":
+			if st.RoutedVia != "lab-b" {
+				t.Errorf("node2 routed via %q, want lab-b", st.RoutedVia)
+			}
+			// The executing server's own record points home.
+			peerClient, err := remote.Dial(fl.tsB.URL, fedToken)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rst, err := peerClient.BuildStatus(ctx, 1) // B's only build
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rst.Node != "node2" || rst.HomeServer != "lab-a" || rst.State != "success" {
+				t.Errorf("peer-side record = node %q home %q state %q", rst.Node, rst.HomeServer, rst.State)
+			}
+			// Artifacts were copied home: the server-side analytics
+			// engine answers for the routed build on A.
+			an, err := client.Analytics(ctx, s.Build(), api.AnalyticsQuery{})
+			if err != nil {
+				t.Fatalf("analytics on the routed build: %v", err)
+			}
+			if an.Total.Samples != sums["node2"].Samples {
+				t.Errorf("analytics over relayed trace: %d samples, summary says %d", an.Total.Samples, sums["node2"].Samples)
+			}
+		default:
+			t.Errorf("unexpected node %q", st.Node)
+		}
+	}
+
+	// The routed build's feed streamed home: phases through done, and
+	// live samples, all observed via server A.
+	log.mu.Lock()
+	for _, node := range []string{"node1", "node2"} {
+		phases := log.phases[node]
+		if len(phases) == 0 || phases[len(phases)-1] != core.PhaseDone {
+			t.Errorf("%s: phases %v, want a stream ending in done", node, phases)
+		}
+		if log.samples[node] == 0 {
+			t.Errorf("no live samples from %s", node)
+		}
+	}
+	log.mu.Unlock()
+
+	// Control: the identical campaign on a single-server lab with the
+	// same node seeds. Wherever the build ran, the summaries match bit
+	// for bit.
+	control := newLab(t)
+	cclient := control.serve(t)
+	ccamp, err := cclient.StartCampaign(ctx, control.campaignSpec(), newProgressLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cruns, err := ccamp.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ccamp.Sessions() {
+		st, err := cclient.BuildStatus(ctx, s.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Summary == nil {
+			t.Fatalf("control build %d: no summary", st.ID)
+		}
+		if got := sums[st.Node]; got != *st.Summary {
+			t.Errorf("%s: federated summary %+v != control %+v", st.Node, got, *st.Summary)
+		}
+	}
+	for i := range runs {
+		fr, cr := runs[i].Result, cruns[i].Result
+		if cr == nil {
+			t.Fatalf("control run %d failed: %v", i, cruns[i].Err)
+		}
+		if fr.Current.Len() != cr.Current.Len() || fr.EnergyMAH != cr.EnergyMAH || fr.Duration != cr.Duration {
+			t.Errorf("run %d: federated trace (%d samples, %v mAh, %v) != control (%d, %v, %v)",
+				i, fr.Current.Len(), fr.EnergyMAH, fr.Duration, cr.Current.Len(), cr.EnergyMAH, cr.Duration)
+		}
+	}
+
+	// Determinism: a fresh federation, same seeds, same campaign —
+	// bit-identical summaries again.
+	fl2 := newFedLab(t)
+	sums2, _, _ := runFederated(t, fl2, fl2.client(t), newProgressLog())
+	for node, want := range sums {
+		if got := sums2[node]; got != want {
+			t.Errorf("%s: second federated run %+v != first %+v", node, got, want)
+		}
+	}
+}
+
+// TestFederationPeerLossFailover kills the executing peer mid-run: the
+// home server's relay breaks, the failover budget burns down against a
+// dead peer, and the build fails typed — node_lost on the wire, the
+// peer named in the error — exactly like a lost local node.
+func TestFederationPeerLossFailover(t *testing.T) {
+	fl := newFedLab(t)
+	client := fl.client(t)
+	log := newProgressLog()
+	ctx := context.Background()
+
+	sess, err := client.StartExperiment(ctx, api.ExperimentSpec{
+		Node: "node2", Device: fl.devices[1],
+		Monitor: api.MonitorSpec{SampleRateHz: 500},
+		Workload: api.WorkloadSpec{
+			Name:   "video",
+			Params: api.Params{"duration_ms": 120000},
+		},
+	}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait (real time) until the routed run is live: samples from B are
+	// streaming through A's feed.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		log.mu.Lock()
+		n := log.samples["node2"]
+		log.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("routed build never streamed a sample home")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st, err := client.BuildStatus(ctx, sess.Build()); err != nil || st.RoutedVia != "lab-b" {
+		t.Fatalf("mid-run status: routed_via=%q err=%v, want lab-b", st.RoutedVia, err)
+	}
+
+	// Kill the peer: sever every live connection and refuse new ones.
+	// The clock is held across the kill so the remote run cannot sprint
+	// to completion in the gap.
+	release := fl.clock.Hold()
+	fl.tsB.CloseClientConnections()
+	fl.tsB.Listener.Close()
+	release()
+
+	_, err = sess.Wait(ctx)
+	if err == nil {
+		t.Fatal("routed build reported success after its peer died")
+	}
+	if !errors.Is(err, core.ErrNodeLost) {
+		t.Fatalf("Wait error = %v, want core.ErrNodeLost", err)
+	}
+
+	st, err := client.BuildStatus(ctx, sess.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "failure" || !st.NodeLost {
+		t.Fatalf("terminal status: state=%q node_lost=%v, want a typed node-lost failure", st.State, st.NodeLost)
+	}
+	if !strings.Contains(st.Error, "peer") {
+		t.Fatalf("terminal error %q does not name the peer loss", st.Error)
+	}
+}

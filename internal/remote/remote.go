@@ -356,10 +356,18 @@ func (p *Platform) OpenStream(ctx context.Context, pathQuery string) (io.ReadClo
 }
 
 // IsTransient reports whether err is a retry-worthy transport failure
-// (a network error or a 502/503/504) rather than an application error.
+// rather than an application error: a network error, a gateway-class
+// response (502/503/504) that burned through the retry budget and came
+// back as its *api.Error envelope, or the server's typed 503
+// peer_unavailable rejection (the target vantage point lives on a
+// federated peer that is expected back within a heartbeat).
 func IsTransient(err error) bool {
 	var te *transientErr
-	return errors.As(err, &te)
+	if errors.As(err, &te) {
+		return true
+	}
+	var ae *api.Error
+	return errors.As(err, &ae) && transientStatus(ae.HTTPStatus())
 }
 
 // getBytes fetches a whole resource (artifacts), retrying transient
@@ -661,8 +669,8 @@ func (s *Session) Wait(ctx context.Context) (*core.Result, error) {
 // and bumps its feed_epoch, so whenever the epoch moves past what the
 // caller has seen, its resume cursor belongs to an abandoned feed and
 // must reset — on every restart, not just the first.
-func (s *Session) streamCheck(ctx context.Context, seenEpoch *int) (stop, reset bool) {
-	st, err := s.p.BuildStatus(ctx, s.build)
+func (p *Platform) streamCheck(ctx context.Context, build int, seenEpoch *int) (stop, reset bool) {
+	st, err := p.BuildStatus(ctx, build)
 	if err != nil {
 		return true, false
 	}
@@ -687,24 +695,25 @@ func healthyConn(progressed bool, opened time.Time) bool {
 	return progressed || time.Since(opened) > 5*time.Second
 }
 
-// runStream is the shared replay-plus-follow driver behind eventLoop
-// and sampleLoop: open the stream at the consumer's resume cursor,
-// let consume drain it (reporting whether anything arrived), and on
-// disconnect decide between stopping (build terminal), resetting the
-// consumer (the server restarted — feed epoch moved), and retrying
-// within the consecutive-failure budget. The loops differ only in how
-// they decode records and what a reset clears.
-func (s *Session) runStream(ctx context.Context, path string, cursor func() int, reset func(), consume func(io.Reader) bool) {
+// runStream is the shared replay-plus-follow driver behind eventLoop,
+// sampleLoop and the federation relay: open the stream at the
+// consumer's resume cursor, let consume drain it (reporting whether
+// anything arrived), and on disconnect decide between stopping (build
+// terminal), resetting the consumer (the server restarted — feed epoch
+// moved), and retrying within the consecutive-failure budget. The
+// consumers differ only in how they decode records and what a reset
+// clears.
+func (p *Platform) runStream(ctx context.Context, build int, path string, cursor func() int, reset func(), consume func(io.Reader) bool) {
 	failures := 0
 	seenEpoch := 0
 	first := true
 	for {
 		if !first {
-			s.p.streamReconnects.Add(1)
+			p.streamReconnects.Add(1)
 		}
 		first = false
 		opened := time.Now()
-		rc, err := s.p.stream(ctx, s.p.url(path, s.build)+fmt.Sprintf("?from=%d", cursor()))
+		rc, err := p.stream(ctx, p.url(path, build)+fmt.Sprintf("?from=%d", cursor()))
 		progressed := false
 		if err == nil {
 			progressed = consume(rc)
@@ -713,19 +722,19 @@ func (s *Session) runStream(ctx context.Context, path string, cursor func() int,
 		if ctx.Err() != nil {
 			return
 		}
-		stop, rst := s.streamCheck(ctx, &seenEpoch)
+		stop, rst := p.streamCheck(ctx, build, &seenEpoch)
 		if stop {
 			return
 		}
 		if rst {
-			s.p.epochResets.Add(1)
+			p.epochResets.Add(1)
 			reset()
 		}
 		if healthyConn(progressed, opened) {
 			failures = 0
 		}
 		failures++
-		if failures >= s.p.retry.Attempts || !s.p.retrySleep(ctx, failures) {
+		if failures >= p.retry.Attempts || !p.retrySleep(ctx, failures) {
 			return
 		}
 	}
@@ -740,7 +749,7 @@ func (s *Session) runStream(ctx context.Context, path string, cursor func() int,
 // drained.
 func (s *Session) eventLoop(ctx context.Context) {
 	cursor := 0
-	s.runStream(ctx, "/api/v1/builds/%d/events",
+	s.p.runStream(ctx, s.build, "/api/v1/builds/%d/events",
 		func() int { return cursor },
 		func() { cursor = 0 },
 		func(r io.Reader) bool {
@@ -808,7 +817,7 @@ func (s *Session) handleEvent(ev api.BuildEvent) {
 // pre-crash samples belonged to an attempt the scheduler abandoned.
 func (s *Session) sampleLoop(ctx context.Context) {
 	cursor := 0
-	s.runStream(ctx, "/api/v1/builds/%d/samples",
+	s.p.runStream(ctx, s.build, "/api/v1/builds/%d/samples",
 		func() int { return cursor },
 		func() {
 			cursor = 0
